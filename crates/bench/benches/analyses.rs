@@ -1,0 +1,33 @@
+//! Criterion: analysis-phase cost — static analysis and one concolic run
+//! on a real benchmark (mkdir with libc).
+
+use concolic::{Engine, InputSpec, SessionConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use progs::Program;
+use staticax::StaticConfig;
+
+fn bench_analyses(c: &mut Criterion) {
+    let cp = Program::Mkdir.build().expect("mkdir compiles");
+    let mut group = c.benchmark_group("analyses");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("static_mkdir", |b| {
+        b.iter(|| staticax::analyze(&cp, &StaticConfig::default()))
+    });
+    group.bench_function("concolic_profile_mkdir", |b| {
+        let cfg = SessionConfig::new(InputSpec::argv_symbolic("mkdir", 2, 2));
+        let engine = Engine::new(&cp, cfg);
+        b.iter(|| engine.profile_run())
+    });
+    group.bench_function("concolic_explore_mkdir_8runs", |b| {
+        let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("mkdir", 2, 2));
+        cfg.budget.max_runs = 8;
+        let engine = Engine::new(&cp, cfg);
+        b.iter(|| engine.analyze())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion: wall-clock cost of instrumented vs. uninstrumented
+//! execution (the Figure 2/4/5 quantity, measured as real time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use instrument::{LoggingHost, Method, Plan};
+use minic::vm::Vm;
+use oskit::{Kernel, KernelConfig, OsHost};
+use progs::Program;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let cp = Program::Fib.build().expect("fib compiles");
+    let n = cp.n_branches();
+    let mut group = c.benchmark_group("fib_run");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("config", "none"), |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(KernelConfig::default())));
+            vm.run(&[b"fib".to_vec(), b"b".to_vec()])
+        })
+    });
+    for (name, instrumented) in [
+        ("two_branches", {
+            let mut v = vec![false; n];
+            // Instrument the two option tests (after the argc guard).
+            if n > 2 {
+                v[1] = true;
+                v[2] = true;
+            }
+            v
+        }),
+        ("all_branches", vec![true; n]),
+    ] {
+        let plan = Plan {
+            method: Method::AllBranches,
+            instrumented,
+            log_syscalls: true,
+        };
+        group.bench_function(BenchmarkId::new("config", name), |b| {
+            b.iter(|| {
+                let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan.clone());
+                let mut vm = Vm::new(&cp, host);
+                vm.run(&[b"fib".to_vec(), b"b".to_vec()])
+            })
+        });
+    }
+    group.finish();
+
+    // The counter loop at a measurable scale (M1's wall-clock twin).
+    let cp_loop = Program::MicroLoop.build().expect("micro compiles");
+    let nl = cp_loop.n_branches();
+    let mut group = c.benchmark_group("micro_loop_20k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("none", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&cp_loop, OsHost::new(Kernel::new(KernelConfig::default())));
+            vm.run(&[b"micro".to_vec(), b"20000".to_vec()])
+        })
+    });
+    group.bench_function("all_branches", |b| {
+        let plan = Plan {
+            method: Method::AllBranches,
+            instrumented: vec![true; nl],
+            log_syscalls: false,
+        };
+        b.iter(|| {
+            let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan.clone());
+            let mut vm = Vm::new(&cp_loop, host);
+            vm.run(&[b"micro".to_vec(), b"20000".to_vec()])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

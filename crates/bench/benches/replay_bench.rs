@@ -1,0 +1,75 @@
+//! Criterion: end-to-end guided replay latency (the Table 1/3 quantity
+//! as wall time) on the guarded-crash pattern at two instrumentation
+//! levels.
+
+use concolic::{realize, InputSpec, InputVars};
+use criterion::{criterion_group, criterion_main, Criterion};
+use instrument::{BugReport, DynLabel, LoggingHost, Method, Plan};
+use minic::vm::Vm;
+use oskit::{Kernel, KernelConfig};
+use replay::{assignment_from_input, InputParts, ReplayConfig, ReplayEngine};
+use solver::ExprArena;
+
+const SRC: &str = r#"
+    int main(int argc, char **argv) {
+        char *s = argv[1];
+        if (s[0] == 'c') {
+            if (s[1] == 'r') {
+                if (s[2] == '8') {
+                    int *p = 0;
+                    return *p;
+                }
+            }
+        }
+        return 0;
+    }
+"#;
+
+fn capture(cp: &minic::CompiledProgram, plan: &Plan) -> BugReport {
+    let spec = InputSpec::argv_symbolic("prog", 1, 3);
+    let parts = InputParts {
+        argv_sym: vec![b"cr8".to_vec()],
+        ..InputParts::default()
+    };
+    let mut arena = ExprArena::new();
+    let vars = InputVars::alloc(&mut arena, &spec);
+    let assignment = assignment_from_input(&spec, &parts);
+    let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+    let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+    let mut vm = Vm::new(cp, host);
+    let crash = vm.run(&argv).crash().expect("crashes").clone();
+    BugReport::capture(vm.host, crash)
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let cp = minic::build(&[("main", SRC)]).expect("compiles");
+    let n = cp.n_branches();
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, instrument_all) in [("full_log", true), ("no_log", false)] {
+        let plan = if instrument_all {
+            Plan::build(
+                Method::AllBranches,
+                &vec![DynLabel::Unvisited; n],
+                &vec![false; n],
+                n,
+            )
+        } else {
+            Plan::none(n)
+        };
+        let report = capture(&cp, &plan);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rcfg = ReplayConfig::new(InputSpec::argv_symbolic("prog", 1, 3));
+                rcfg.budget.max_runs = 400;
+                ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

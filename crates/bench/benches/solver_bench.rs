@@ -1,0 +1,62 @@
+//! Criterion: solver throughput on the constraint shapes the benchmarks
+//! generate (byte equalities, inequality bands, linear atoi chains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solver::{solve, ConstraintSet, ExprArena, Lit, Op, SolveCfg, VarInfo};
+
+fn byte_equalities(n: usize) -> (ExprArena, ConstraintSet) {
+    let mut arena = ExprArena::new();
+    let mut cs = ConstraintSet::new();
+    for i in 0..n {
+        let (_, v) = arena.fresh_var(VarInfo::byte());
+        let c = arena.constant((i as i64 * 31) % 256);
+        let e = arena.bin(Op::Eq, v, c);
+        cs.push(Lit {
+            expr: e,
+            positive: true,
+        });
+    }
+    (arena, cs)
+}
+
+fn atoi_chain(digits: usize, target: i64) -> (ExprArena, ConstraintSet) {
+    let mut arena = ExprArena::new();
+    let mut acc = arena.constant(0);
+    for _ in 0..digits {
+        let (_, d) = arena.fresh_var(VarInfo::byte());
+        let ten = arena.constant(10);
+        let zero = arena.constant(b'0' as i64);
+        let t = arena.bin(Op::Mul, acc, ten);
+        let dv = arena.bin(Op::Sub, d, zero);
+        acc = arena.bin(Op::Add, t, dv);
+    }
+    let c = arena.constant(target);
+    let e = arena.bin(Op::Eq, acc, c);
+    let mut cs = ConstraintSet::new();
+    cs.push(Lit {
+        expr: e,
+        positive: true,
+    });
+    (arena, cs)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [8usize, 32, 64] {
+        let (arena, cs) = byte_equalities(n);
+        group.bench_function(format!("byte_eq_{n}"), |b| {
+            b.iter(|| solve(&arena, &cs, None, &SolveCfg::default()))
+        });
+    }
+    let (arena, cs) = atoi_chain(3, 421);
+    group.bench_function("atoi_3digit", |b| {
+        b.iter(|| solve(&arena, &cs, None, &SolveCfg::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: the coverage knob — the paper's central tradeoff as one
+//! frontier.
+//!
+//! §1: "The time that the symbolic execution engine is allowed to execute
+//! gives the developer an additional tuning knob in the tradeoff."
+//! Sweeps the dynamic-analysis budget and reports, for the dynamic and
+//! combined methods: instrumented locations, user-site overhead, and
+//! developer-site replay effort on a uServer crash scenario.
+
+use instrument::Method;
+use retrace_bench::experiments::{replay_one, userver_analysis_bench};
+use retrace_bench::render;
+use retrace_bench::setup::userver_experiments;
+
+fn main() {
+    let replay_budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let abench = userver_analysis_bench(42);
+    let scenario = userver_experiments(42).remove(1); // exp 2
+    let benign = &abench.parts;
+
+    let mut rows = Vec::new();
+    for budget in [1usize, 2, 4, 8, 16, 32, 64] {
+        let bundle = abench.wb.analyze(budget);
+        for method in [Method::Dynamic, Method::DynamicStatic] {
+            let plan = scenario.wb.plan(method, &bundle);
+            let over = abench.wb.overhead(method.name(), &plan, benign);
+            let (row, stats, _) = replay_one(&scenario, method.name(), 2, &plan, replay_budget);
+            rows.push(vec![
+                budget.to_string(),
+                method.name().to_string(),
+                format!("{:.0}%", bundle.coverage_pct()),
+                plan.n_instrumented().to_string(),
+                format!("{:.1}", over.cpu_pct),
+                if row.reproduced {
+                    row.runs.to_string()
+                } else {
+                    "∞".into()
+                },
+                stats.unlogged_cell(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render::table(
+            "Ablation: analysis budget vs overhead vs replay effort (uServer exp 2)",
+            &[
+                "budget",
+                "method",
+                "coverage",
+                "locations",
+                "cpu %",
+                "replay runs",
+                "sym not logged"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "expected frontier: dynamic's overhead grows and replay effort falls as the\n\
+         budget grows; combined starts near-static and sheds overhead instead"
+    );
+}

@@ -1,0 +1,85 @@
+//! F4 — Figure 4: CPU time (a) and storage per request (b) of the
+//! uServer under the six configurations, plus the §5.3 compression note.
+//!
+//! Paper shapes: all-branches and static carry large overheads (static
+//! barely better — it logs every library branch); dynamic ≈ 17% and
+//! dynamic+static ≈ 20% overhead; storage ≈ 50 bytes/request for the
+//! dynamic configurations; gzip compresses logs 10–20×.
+
+use retrace_bench::experiments::{
+    analyze_coverages, log_compression_ratio, overhead_six, six_configs, userver_analysis_bench,
+};
+use retrace_bench::render;
+use retrace_bench::setup::userver_load;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    // Labels come from the standard analysis workload; overheads are
+    // measured under the saturation load.
+    let abench = userver_analysis_bench(42);
+    let bundles = analyze_coverages(&abench.wb);
+    let exp = userver_load(n, 7);
+    let rows = overhead_six(&exp, &bundles);
+
+    let cpu: Vec<(String, f64)> = rows.iter().map(|o| (o.config.clone(), o.cpu_pct)).collect();
+    println!(
+        "{}",
+        render::bar_chart(
+            &format!("Figure 4(a): uServer CPU time, {n} requests (normalized %)"),
+            &cpu,
+            "%"
+        )
+    );
+    let storage: Vec<(String, f64)> = rows
+        .iter()
+        .map(|o| (o.config.clone(), o.storage_per_request()))
+        .collect();
+    println!(
+        "{}",
+        render::bar_chart("Figure 4(b): storage per request (bytes)", &storage, "B")
+    );
+    let detail: Vec<Vec<String>> = rows
+        .iter()
+        .map(|o| {
+            vec![
+                o.config.clone(),
+                format!("{:.1}", o.cpu_pct),
+                o.instrumented_execs.to_string(),
+                o.log_bytes.to_string(),
+                o.syscall_log_bytes.to_string(),
+                o.requests.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "details",
+            &[
+                "config",
+                "cpu %",
+                "logged execs",
+                "log bytes",
+                "syscall log",
+                "requests"
+            ],
+            &detail,
+        )
+    );
+
+    // Compression ratio of an all-branches crash log (§5.3's gzip note).
+    let mut crash_exp = userver_load(n, 7);
+    crash_exp.wb.kernel.signal_plan = Some(oskit::SignalPlan {
+        sig: 11,
+        after_all_conns_served: true,
+        after_n_syscalls: None,
+    });
+    let (name, method, cov) = six_configs().pop().expect("six configs");
+    let _ = (name, cov);
+    let plan = crash_exp.wb.plan(method, &bundles.hc);
+    let ratio = log_compression_ratio(&crash_exp, &plan);
+    println!("branch-log compression ratio (LZSS): {ratio:.1}x  (paper: 10-20x with gzip)");
+}

@@ -1,0 +1,34 @@
+//! F5 — Figure 5: CPU time of diff under the four configurations.
+//!
+//! Paper: dynamic and dynamic+static best at ~135%; diff's
+//! input-intensive branching makes even the good configurations pay.
+
+use retrace_bench::experiments::{analysis_summary, analyze_coverages, overhead_four};
+use retrace_bench::render;
+use retrace_bench::setup::diff_experiment;
+
+fn main() {
+    let exp = diff_experiment(2);
+    let bundles = analyze_coverages(&exp.wb);
+    println!("{}", analysis_summary("diff dynamic analysis", &bundles.hc));
+    let dyn_n = bundles
+        .hc
+        .dyn_labels
+        .iter()
+        .filter(|l| **l == instrument::DynLabel::Symbolic)
+        .count();
+    let stat_n = bundles.hc.static_symbolic.iter().filter(|s| **s).count();
+    println!(
+        "symbolic labels: dynamic {dyn_n}, static {stat_n}, total {} branch locations",
+        exp.wb.cp.n_branches()
+    );
+    println!("paper: dynamic 440, static 4292, dynamic+static 3432 of 8840 branches\n");
+
+    let rows = overhead_four(&exp, &bundles);
+    let chart: Vec<(String, f64)> = rows.iter().map(|o| (o.config.clone(), o.cpu_pct)).collect();
+    println!(
+        "{}",
+        render::bar_chart("Figure 5: diff CPU time (normalized %)", &chart, "%")
+    );
+    println!("paper: dynamic/dynamic+static ≈ 135%, static/all higher");
+}

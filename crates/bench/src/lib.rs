@@ -1,0 +1,15 @@
+//! `retrace-bench` — the evaluation harness.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), backed by
+//! shared setup ([`setup`]), drivers ([`experiments`]) and text rendering
+//! ([`render`]). Criterion micro-benchmarks live in `benches/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p retrace-bench --bin all_experiments
+//! ```
+
+pub mod experiments;
+pub mod render;
+pub mod setup;

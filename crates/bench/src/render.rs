@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders a fixed-width table with a header row.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let pad = widths.get(i).copied().unwrap_or(0);
+            line.push_str(&format!("{c:<pad$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total.min(100)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal ASCII bar chart (for the CPU-time figures).
+pub fn bar_chart(title: &str, entries: &[(String, f64)], unit: &str) -> String {
+    let max = entries.iter().map(|e| e.1).fold(1.0f64, f64::max);
+    let label_w = entries.iter().map(|e| e.0.len()).max().unwrap_or(8);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for (label, value) in entries {
+        let bar_len = ((value / max) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {} {value:.1}{unit}\n",
+            "#".repeat(bar_len.max(1))
+        ));
+    }
+    out
+}
+
+/// Renders a per-location histogram (Figures 1 and 3): gray bars are
+/// total executions, black (`@`) overlays the symbolic subset.
+pub fn branch_histogram(title: &str, totals: &[u64], symbolic: &[u64], log_scale: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let scale = |v: u64| -> usize {
+        if v == 0 {
+            0
+        } else if log_scale {
+            ((v as f64).log10() * 8.0).round() as usize + 1
+        } else {
+            let max = totals.iter().copied().max().unwrap_or(1) as f64;
+            ((v as f64 / max) * 40.0).round() as usize
+        }
+    };
+    for (i, (t, s)) in totals.iter().zip(symbolic.iter()).enumerate() {
+        if *t == 0 {
+            continue;
+        }
+        let tb = scale(*t);
+        let sb = scale(*s);
+        let mut bar = String::new();
+        for k in 0..tb.max(1) {
+            bar.push(if k < sb { '@' } else { '.' });
+        }
+        out.push_str(&format!("b{i:<4} {bar} ({t} execs, {s} symbolic)\n"));
+    }
+    out.push_str("legend: '.' executions, '@' symbolic executions; ");
+    out.push_str(if log_scale {
+        "log scale\n"
+    } else {
+        "linear scale\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("longer"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart("cpu", &[("a".into(), 100.0), ("b".into(), 200.0)], "%");
+        let a_bar = c.lines().find(|l| l.starts_with('a')).unwrap();
+        let b_bar = c.lines().find(|l| l.starts_with('b')).unwrap();
+        let count = |s: &str| s.chars().filter(|c| *c == '#').count();
+        assert!(count(b_bar) > count(a_bar));
+    }
+
+    #[test]
+    fn histogram_overlays_symbolic() {
+        let h = branch_histogram("f", &[10, 0, 4], &[10, 0, 0], false);
+        assert!(h.contains("b0"));
+        assert!(!h.contains("b1 "), "zero-exec locations are skipped");
+        let b0 = h.lines().find(|l| l.starts_with("b0")).unwrap();
+        assert!(b0.contains('@'), "fully symbolic location is black");
+    }
+}

@@ -1,0 +1,506 @@
+//! The concolic exploration engine (the paper's dynamic analysis).
+//!
+//! Implements §2.1: start from a random concrete input, execute while
+//! collecting the path condition, negate one branch condition, solve for
+//! a new input, repeat — labeling every executed branch location
+//! `Symbolic` or `Concrete` along the way. Exploration is depth-first
+//! over the pending constraint sets, with path-signature deduplication.
+//!
+//! The analysis budget ([`Budget::max_runs`]) is the reproduction's
+//! deterministic stand-in for the paper's wall-clock budgets (the 1-hour
+//! LC and 2-hour HC configurations of §5.3).
+
+use crate::input::{realize, InputSpec, InputVars};
+use crate::label::{LabelMap, Profile};
+use crate::shadow::{PathStep, StepOrigin, SymHost};
+use minic::cost::Meter;
+use minic::memory::pack;
+use minic::vm::{CrashInfo, RunOutcome, Vm};
+use minic::CompiledProgram;
+use oskit::{Kernel, KernelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use solver::{ConstraintSet, ExprArena, Lit, SolveCfg, VarId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Exploration budget. `max_runs` is the primary (deterministic) knob —
+/// the LC/HC axis of the paper; the others are safety caps.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Maximum concolic runs (path explorations).
+    pub max_runs: usize,
+    /// Instruction budget per run.
+    pub fuel_per_run: u64,
+    /// Optional wall-clock cap in milliseconds (0 = none).
+    pub max_wall_ms: u64,
+    /// Pending constraint sets scheduled per run, deepest-first. Bounds
+    /// the otherwise-quadratic prefix copying on long paths.
+    pub max_pendings_per_run: usize,
+    /// Pending sets longer than this many literals are skipped (too deep
+    /// to solve within interactive budgets).
+    pub max_pending_lits: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_runs: 64,
+            fuel_per_run: 20_000_000,
+            max_wall_ms: 0,
+            max_pendings_per_run: 64,
+            max_pending_lits: 4000,
+        }
+    }
+}
+
+/// Full configuration of one analysis session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Input shape (what is symbolic).
+    pub spec: InputSpec,
+    /// Base kernel configuration (seed, signal plan, concrete files...).
+    pub kernel: KernelConfig,
+    /// Exploration budget.
+    pub budget: Budget,
+    /// Seed for the initial input and the solver.
+    pub seed: u64,
+    /// Solver configuration.
+    pub solve: SolveCfg,
+}
+
+impl SessionConfig {
+    /// A default session over the given input shape.
+    pub fn new(spec: InputSpec) -> Self {
+        SessionConfig {
+            spec,
+            kernel: KernelConfig::default(),
+            budget: Budget::default(),
+            seed: 7,
+            solve: SolveCfg::default(),
+        }
+    }
+}
+
+/// Everything recorded about one concolic run.
+pub struct RunRecord {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The collected path condition.
+    pub path: Vec<PathStep>,
+    /// Observed values of per-run non-determinism variables.
+    pub nondet: Vec<(VarId, i64)>,
+    /// Execution counters.
+    pub meter: Meter,
+    /// The argv this run used.
+    pub argv: Vec<Vec<u8>>,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Labels observed in this run alone.
+    pub labels: LabelMap,
+    /// Profile of this run alone.
+    pub profile: Profile,
+}
+
+/// A crash discovered during analysis (pre-ship bug finding).
+#[derive(Debug, Clone)]
+pub struct FoundCrash {
+    /// Crash site and kind.
+    pub info: CrashInfo,
+    /// The argv that triggered it.
+    pub argv: Vec<Vec<u8>>,
+    /// The controllable input assignment that triggered it.
+    pub assignment: Vec<i64>,
+}
+
+/// The output of [`Engine::analyze`].
+pub struct AnalysisResult {
+    /// Merged branch labels (the dynamic method instruments `Symbolic`).
+    pub labels: LabelMap,
+    /// Merged execution profile.
+    pub profile: Profile,
+    /// Number of runs performed.
+    pub runs: usize,
+    /// Number of solver invocations.
+    pub solver_calls: usize,
+    /// Solver calls that found a model.
+    pub solver_sat: usize,
+    /// Crashes discovered.
+    pub crashes: Vec<FoundCrash>,
+    /// Expression-arena size at the end (diagnostics).
+    pub arena_nodes: usize,
+    /// Total instructions executed across runs.
+    pub total_instrs: u64,
+}
+
+/// The concolic engine for one program + input shape.
+pub struct Engine<'p> {
+    cp: &'p CompiledProgram,
+    cfg: SessionConfig,
+}
+
+/// Marks every symbolic argv byte of a prepared VM with its variable.
+pub fn mark_argv_symbolic(vm: &mut Vm<'_, SymHost>) {
+    let objs: Vec<_> = vm.argv_objects().to_vec();
+    let argv_vars = vm.host.vars.argv.clone();
+    for (ai, arg_vars) in argv_vars.iter().enumerate() {
+        for (bi, vid) in arg_vars.iter().enumerate() {
+            let e = vm.host.arena.var_expr(*vid);
+            vm.mem
+                .set_shadow(pack(objs[ai], bi as u32), Some(e))
+                .expect("argv bytes exist");
+        }
+    }
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine.
+    pub fn new(cp: &'p CompiledProgram, cfg: SessionConfig) -> Self {
+        Engine { cp, cfg }
+    }
+
+    /// The initial (seeded random, printable) controllable assignment.
+    pub fn initial_assignment(&self) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        (0..self.cfg.spec.n_symbolic_bytes())
+            .map(|_| rng.gen_range(0x20..0x7f) as i64)
+            .collect()
+    }
+
+    /// Executes one concolic run under `assignment`, threading the arena
+    /// through (it accumulates interned expressions session-wide).
+    pub fn run_once(
+        &self,
+        arena: ExprArena,
+        vars: &InputVars,
+        assignment: &[i64],
+    ) -> (RunRecord, ExprArena) {
+        let (argv, kcfg) = realize(&self.cfg.spec, vars, assignment, &self.cfg.kernel);
+        let host = SymHost::new(arena, Kernel::new(kcfg), vars.clone(), self.cp.n_branches());
+        let mut vm = Vm::new(self.cp, host);
+        vm.fuel = self.cfg.budget.fuel_per_run;
+        vm.prepare(&argv);
+        mark_argv_symbolic(&mut vm);
+        let outcome = vm.resume();
+        let meter = vm.meter.clone();
+        let host = vm.host;
+        (
+            RunRecord {
+                outcome,
+                path: host.path,
+                nondet: host.nondet_values,
+                meter,
+                argv,
+                stdout: host.stdout,
+                labels: host.labels,
+                profile: host.profile,
+            },
+            host.arena,
+        )
+    }
+
+    /// One profiled run with the initial input (Figures 1 and 3: per
+    /// branch location, total vs. symbolic executions).
+    pub fn profile_run(&self) -> (RunRecord, ExprArena) {
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
+        let assignment = self.initial_assignment();
+        self.run_once(arena, &vars, &assignment)
+    }
+
+    /// Full exploration: runs until the budget is exhausted or no
+    /// unexplored pending constraint set remains.
+    pub fn analyze(&self) -> AnalysisResult {
+        let start = std::time::Instant::now();
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
+        let mut labels = LabelMap::new(self.cp.n_branches());
+        let mut profile = Profile::new(self.cp.n_branches());
+        let mut crashes = Vec::new();
+        let mut solver_calls = 0usize;
+        let mut solver_sat = 0usize;
+        let mut total_instrs = 0u64;
+
+        let mut assignment = self.initial_assignment();
+        let mut stack: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut runs = 0usize;
+
+        loop {
+            let (record, arena_back) = self.run_once(arena, &vars, &assignment);
+            arena = arena_back;
+            labels.merge(&record.labels);
+            profile.merge(&record.profile);
+            total_instrs += record.meter.instrs;
+            if let RunOutcome::Crashed(info) = &record.outcome {
+                crashes.push(FoundCrash {
+                    info: info.clone(),
+                    argv: record.argv.clone(),
+                    assignment: assignment.clone(),
+                });
+            }
+            runs += 1;
+            if runs >= self.cfg.budget.max_runs {
+                break;
+            }
+            if self.cfg.budget.max_wall_ms > 0
+                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+            {
+                break;
+            }
+
+            // Schedule pending sets: substitute this run's nondeterminism,
+            // then negate branch literals (deepest first, capped to bound
+            // the quadratic prefix copying on long paths).
+            let pin: HashMap<VarId, i64> = record.nondet.iter().copied().collect();
+            let exprs: Vec<_> = record.path.iter().map(|s| s.lit.expr).collect();
+            let substituted_exprs = arena.substitute_many(&exprs, &pin);
+            let substituted: Vec<Lit> = record
+                .path
+                .iter()
+                .zip(&substituted_exprs)
+                .map(|(step, expr)| Lit {
+                    expr: *expr,
+                    positive: step.lit.positive,
+                })
+                .collect();
+            let seed_controllables: Vec<i64> = assignment[..vars.n_controllable as usize].to_vec();
+            let mut scheduled_this_run = 0usize;
+            let mut new_pendings: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
+            for i in (0..substituted.len()).rev() {
+                if scheduled_this_run >= self.cfg.budget.max_pendings_per_run {
+                    break;
+                }
+                // Prefixes beyond the lit cap are skipped (but shallower
+                // candidates lower down are still considered).
+                if i + 1 > self.cfg.budget.max_pending_lits {
+                    continue;
+                }
+                if !matches!(record.path[i].origin, StepOrigin::Branch(_)) {
+                    continue;
+                }
+                // Skip conditions that no controllable input influences.
+                if arena.support(substituted[i].expr).is_empty() {
+                    continue;
+                }
+                let mut cs = ConstraintSet::new();
+                for lit in &substituted[..i] {
+                    cs.push(*lit);
+                }
+                cs.push(substituted[i].negated());
+                let mut h = DefaultHasher::new();
+                for l in &cs.lits {
+                    (l.expr.0, l.positive).hash(&mut h);
+                }
+                if seen.insert(h.finish()) {
+                    new_pendings.push((cs, seed_controllables.clone()));
+                    scheduled_this_run += 1;
+                }
+            }
+            // Deepest-first DFS: push shallow ones first so the deepest
+            // ends up on top of the stack.
+            stack.extend(new_pendings.into_iter().rev());
+
+            // Depth-first: solve pending sets until one is satisfiable.
+            let mut next: Option<Vec<i64>> = None;
+            while let Some((cs, seed)) = stack.pop() {
+                solver_calls += 1;
+                let cfg = SolveCfg {
+                    seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
+                    ..self.cfg.solve.clone()
+                };
+                if let Some(model) = solver::solve(&arena, &cs, Some(&seed), &cfg) {
+                    solver_sat += 1;
+                    next = Some(model[..vars.n_controllable as usize].to_vec());
+                    break;
+                }
+                if self.cfg.budget.max_wall_ms > 0
+                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+                {
+                    break;
+                }
+            }
+            match next {
+                Some(model) => assignment = model,
+                None => break, // exploration exhausted
+            }
+        }
+
+        AnalysisResult {
+            labels,
+            profile,
+            runs,
+            solver_calls,
+            solver_sat,
+            crashes,
+            arena_nodes: arena.len(),
+            total_instrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputSpec;
+    use crate::label::BranchLabel;
+    use minic::build;
+
+    fn analyze(src: &str, spec: InputSpec, max_runs: usize) -> AnalysisResult {
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = SessionConfig::new(spec);
+        cfg.budget.max_runs = max_runs;
+        Engine::new(&cp, cfg).analyze()
+    }
+
+    #[test]
+    fn explores_both_sides_of_an_input_branch() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'a') { return 1; }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 1));
+        let r = Engine::new(&cp, cfg).analyze();
+        // Both directions need at least two runs; the branch is symbolic.
+        assert!(r.runs >= 2);
+        assert_eq!(r.labels.count(BranchLabel::Symbolic), 1);
+        assert!(r.solver_sat >= 1);
+    }
+
+    #[test]
+    fn finds_the_guarded_crash() {
+        // The classic concolic motivating example: a crash behind a
+        // specific input comparison chain.
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'b') {
+                    if (argv[1][1] == 'u') {
+                        if (argv[1][2] == 'g') {
+                            int *p = 0;
+                            return *p;
+                        }
+                    }
+                }
+                return 0;
+            }
+        "#;
+        let r = analyze(src, InputSpec::argv_symbolic("p", 1, 3), 40);
+        assert!(
+            !r.crashes.is_empty(),
+            "crash behind 'bug' must be found within budget (runs={})",
+            r.runs
+        );
+        let c = &r.crashes[0];
+        assert_eq!(&c.argv[1][..3], b"bug");
+    }
+
+    #[test]
+    fn concrete_program_needs_one_run() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int s = 0;
+                for (int i = 0; i < 10; i++) { s += i; }
+                if (s > 100) { return 1; }
+                return 0;
+            }
+        "#;
+        let r = analyze(src, InputSpec::argv_symbolic("p", 1, 2), 16);
+        assert_eq!(r.runs, 1, "no symbolic branches, nothing to explore");
+        assert_eq!(r.labels.count(BranchLabel::Symbolic), 0);
+        assert_eq!(r.labels.count(BranchLabel::Concrete), 2);
+    }
+
+    #[test]
+    fn coverage_grows_with_budget() {
+        // A chain of equality guards: each solved negation uncovers one
+        // more nested branch.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                int depth = 0;
+                if (s[0] == 'x') {
+                    depth = 1;
+                    if (s[1] == 'y') {
+                        depth = 2;
+                        if (s[2] == 'z') { depth = 3; }
+                    }
+                }
+                if (depth == 3) { return 1; }
+                return 0;
+            }
+        "#;
+        let small = analyze(src, InputSpec::argv_symbolic("p", 1, 3), 2);
+        let large = analyze(src, InputSpec::argv_symbolic("p", 1, 3), 32);
+        let visited_small = small.labels.len() - small.labels.count(BranchLabel::Unvisited);
+        let visited_large = large.labels.len() - large.labels.count(BranchLabel::Unvisited);
+        assert!(visited_large >= visited_small);
+        assert_eq!(
+            large.labels.count(BranchLabel::Unvisited),
+            0,
+            "full budget visits every branch"
+        );
+    }
+
+    #[test]
+    fn library_style_loop_branches_get_labeled() {
+        let src = r#"
+            int my_strlen(char *s) {
+                int n = 0;
+                while (s[n]) { n++; }
+                return n;
+            }
+            int main(int argc, char **argv) {
+                if (my_strlen(argv[1]) > 2) { return 1; }
+                return 0;
+            }
+        "#;
+        let r = analyze(src, InputSpec::argv_symbolic("p", 1, 4), 24);
+        // The while condition reads symbolic bytes directly: symbolic.
+        // The length count is only *control*-dependent on input — data
+        // flow tainting (what concolic engines track) leaves it concrete,
+        // so the `if` stays concrete. This under-approximation is exactly
+        // why the paper's dynamic method can miss symbolic branches.
+        assert_eq!(r.labels.count(BranchLabel::Symbolic), 1);
+        assert_eq!(r.labels.count(BranchLabel::Concrete), 1);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'q') { return 1; }
+                if (argv[1][1] > 'm') { return 2; }
+                return 0;
+            }
+        "#;
+        let run = || {
+            let cp = build(&[("main", src)]).unwrap();
+            let cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 2));
+            let r = Engine::new(&cp, cfg).analyze();
+            (r.runs, r.solver_calls, r.profile.total_execs())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profile_counts_symbolic_subset() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int n = 0;
+                for (int i = 0; i < 5; i++) { n += i; }     // concrete loop
+                if (argv[1][0] == 'a') { n++; }             // symbolic
+                return n;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 1));
+        let (record, _) = Engine::new(&cp, cfg).profile_run();
+        assert_eq!(record.profile.symbolic_locations(), 1);
+        assert_eq!(record.profile.executed_locations(), 2);
+        assert!(record.profile.total_execs() > record.profile.symbolic_execs());
+    }
+}

@@ -1,0 +1,353 @@
+//! Symbolic input specification and realization.
+//!
+//! An [`InputSpec`] fixes the *shape* of a program's input (how many
+//! argv arguments of what length, which files, which client packets) and
+//! leaves the *contents* symbolic. The engine allocates one byte-domain
+//! solver variable per content byte; realizing a variable assignment
+//! yields concrete argv plus a [`KernelConfig`] for one run.
+//!
+//! This mirrors the paper's setups: "up to 10 arguments, each 100 bytes
+//! long" (coreutils, §5.2), "200 bytes of symbolic memory for each
+//! accepted connection" (uServer, §5.3), symbolic file contents (diff,
+//! §5.4).
+
+use oskit::{ClientScript, KernelConfig, SimFs, StreamSource};
+use solver::{ExprArena, VarId, VarInfo};
+use std::collections::HashMap;
+
+/// One argv argument: fixed bytes or a symbolic run of bytes.
+#[derive(Debug, Clone)]
+pub enum ArgSpec {
+    /// A concrete argument (e.g. the program name).
+    Fixed(Vec<u8>),
+    /// `len` symbolic bytes.
+    Symbolic(usize),
+}
+
+/// A file whose contents are symbolic input.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Absolute path the program will open.
+    pub path: String,
+    /// Number of symbolic content bytes.
+    pub len: usize,
+}
+
+/// A scripted client whose packet contents are symbolic.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Length of each packet.
+    pub packet_lens: Vec<usize>,
+    /// Whether the client closes after its last packet.
+    pub close_after: bool,
+}
+
+/// The full input shape of one analysis session.
+#[derive(Debug, Clone, Default)]
+pub struct InputSpec {
+    /// argv, in order (argv\[0\] is typically `Fixed`).
+    pub argv: Vec<ArgSpec>,
+    /// Symbolic bytes available on stdin.
+    pub stdin_len: usize,
+    /// Files with symbolic contents.
+    pub files: Vec<FileSpec>,
+    /// Clients with symbolic packet contents.
+    pub clients: Vec<ClientSpec>,
+}
+
+impl InputSpec {
+    /// A spec with only concrete argv (no symbolic input at all).
+    pub fn concrete_argv(argv: &[&[u8]]) -> Self {
+        InputSpec {
+            argv: argv.iter().map(|a| ArgSpec::Fixed(a.to_vec())).collect(),
+            ..InputSpec::default()
+        }
+    }
+
+    /// The coreutils shape: `prog` plus `n_args` symbolic arguments of
+    /// `arg_len` bytes each (paper §5.2).
+    pub fn argv_symbolic(prog: &str, n_args: usize, arg_len: usize) -> Self {
+        let mut argv = vec![ArgSpec::Fixed(prog.as_bytes().to_vec())];
+        for _ in 0..n_args {
+            argv.push(ArgSpec::Symbolic(arg_len));
+        }
+        InputSpec {
+            argv,
+            ..InputSpec::default()
+        }
+    }
+
+    /// Total number of symbolic (controllable) bytes.
+    pub fn n_symbolic_bytes(&self) -> usize {
+        let argv: usize = self
+            .argv
+            .iter()
+            .map(|a| match a {
+                ArgSpec::Fixed(_) => 0,
+                ArgSpec::Symbolic(n) => *n,
+            })
+            .sum();
+        let files: usize = self.files.iter().map(|f| f.len).sum();
+        let clients: usize = self
+            .clients
+            .iter()
+            .map(|c| c.packet_lens.iter().sum::<usize>())
+            .sum();
+        argv + self.stdin_len + files + clients
+    }
+}
+
+/// The variable tables of one session: maps every symbolic input byte to
+/// its solver variable.
+#[derive(Debug, Clone)]
+pub struct InputVars {
+    /// Per argv argument: the variable of each byte (empty for fixed).
+    pub argv: Vec<Vec<VarId>>,
+    /// Stdin byte variables.
+    pub stdin: Vec<VarId>,
+    /// Per file (keyed by normalized path bytes): byte variables.
+    pub files: HashMap<Vec<u8>, Vec<VarId>>,
+    /// Per client: byte variables across all packets, concatenated.
+    pub clients: Vec<Vec<VarId>>,
+    /// Variables with id below this are controllable program input;
+    /// variables allocated later are per-run non-determinism.
+    pub n_controllable: u32,
+}
+
+impl InputVars {
+    /// Allocates variables for every symbolic byte of `spec`.
+    pub fn alloc(arena: &mut ExprArena, spec: &InputSpec) -> Self {
+        let mut argv = Vec::new();
+        for a in &spec.argv {
+            match a {
+                ArgSpec::Fixed(_) => argv.push(Vec::new()),
+                ArgSpec::Symbolic(n) => argv.push(
+                    (0..*n)
+                        .map(|_| arena.fresh_var(VarInfo::byte()).0)
+                        .collect(),
+                ),
+            }
+        }
+        let stdin = (0..spec.stdin_len)
+            .map(|_| arena.fresh_var(VarInfo::byte()).0)
+            .collect();
+        let mut files = HashMap::new();
+        for f in &spec.files {
+            let vars: Vec<VarId> = (0..f.len)
+                .map(|_| arena.fresh_var(VarInfo::byte()).0)
+                .collect();
+            files.insert(normalize_path(f.path.as_bytes()), vars);
+        }
+        let mut clients = Vec::new();
+        for c in &spec.clients {
+            let total: usize = c.packet_lens.iter().sum();
+            clients.push(
+                (0..total)
+                    .map(|_| arena.fresh_var(VarInfo::byte()).0)
+                    .collect(),
+            );
+        }
+        InputVars {
+            argv,
+            stdin,
+            files,
+            clients,
+            n_controllable: arena.n_vars() as u32,
+        }
+    }
+
+    /// The variable carrying byte `offset` of `stream`, if it is a
+    /// declared symbolic input byte.
+    pub fn var_for(&self, stream: &StreamSource, offset: usize) -> Option<VarId> {
+        match stream {
+            StreamSource::Stdin => self.stdin.get(offset).copied(),
+            StreamSource::File(path) => self
+                .files
+                .get(&normalize_path(path))
+                .and_then(|v| v.get(offset).copied()),
+            StreamSource::Conn(idx) => self.clients.get(*idx).and_then(|v| v.get(offset).copied()),
+        }
+    }
+
+    /// True if the variable is controllable program input.
+    pub fn is_controllable(&self, v: VarId) -> bool {
+        v.0 < self.n_controllable
+    }
+}
+
+fn normalize_path(path: &[u8]) -> Vec<u8> {
+    if path.first() == Some(&b'/') {
+        path.to_vec()
+    } else {
+        let mut p = vec![b'/'];
+        p.extend_from_slice(path);
+        p
+    }
+}
+
+fn byte_of(v: VarId, assignment: &[i64]) -> u8 {
+    (assignment.get(v.0 as usize).copied().unwrap_or(0) & 0xff) as u8
+}
+
+/// Builds concrete argv and a kernel configuration from an assignment.
+///
+/// `base` supplies everything the spec does not control (seed, signal
+/// plan, arrival window, pre-existing concrete files).
+pub fn realize(
+    spec: &InputSpec,
+    vars: &InputVars,
+    assignment: &[i64],
+    base: &KernelConfig,
+) -> (Vec<Vec<u8>>, KernelConfig) {
+    let mut argv = Vec::new();
+    for (i, a) in spec.argv.iter().enumerate() {
+        match a {
+            ArgSpec::Fixed(bytes) => argv.push(bytes.clone()),
+            ArgSpec::Symbolic(n) => argv.push(
+                (0..*n)
+                    .map(|j| byte_of(vars.argv[i][j], assignment))
+                    .collect(),
+            ),
+        }
+    }
+    let mut cfg = base.clone();
+    cfg.stdin = vars.stdin.iter().map(|v| byte_of(*v, assignment)).collect();
+    let mut fs = base.fs.clone();
+    ensure_parents(&mut fs, spec);
+    for f in &spec.files {
+        let key = normalize_path(f.path.as_bytes());
+        let content: Vec<u8> = vars.files[&key]
+            .iter()
+            .map(|v| byte_of(*v, assignment))
+            .collect();
+        fs.install_file(std::str::from_utf8(&key).expect("paths are ASCII"), content);
+    }
+    cfg.fs = fs;
+    let mut clients = Vec::new();
+    for (ci, c) in spec.clients.iter().enumerate() {
+        let all: Vec<u8> = vars.clients[ci]
+            .iter()
+            .map(|v| byte_of(*v, assignment))
+            .collect();
+        let mut packets = Vec::new();
+        let mut pos = 0;
+        for len in &c.packet_lens {
+            packets.push(all[pos..pos + len].to_vec());
+            pos += len;
+        }
+        clients.push(ClientScript {
+            packets,
+            close_after: c.close_after,
+        });
+    }
+    cfg.clients = clients;
+    (argv, cfg)
+}
+
+fn ensure_parents(fs: &mut SimFs, spec: &InputSpec) {
+    for f in &spec.files {
+        let key = normalize_path(f.path.as_bytes());
+        let path = String::from_utf8_lossy(&key).to_string();
+        let mut acc = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            acc.push('/');
+            acc.push_str(comp);
+            if acc != path {
+                fs.install_dir(&acc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_one_var_per_symbolic_byte() {
+        let mut arena = ExprArena::new();
+        let spec = InputSpec {
+            argv: vec![ArgSpec::Fixed(b"prog".to_vec()), ArgSpec::Symbolic(3)],
+            stdin_len: 2,
+            files: vec![FileSpec {
+                path: "/f".into(),
+                len: 4,
+            }],
+            clients: vec![ClientSpec {
+                packet_lens: vec![5, 5],
+                close_after: true,
+            }],
+        };
+        let vars = InputVars::alloc(&mut arena, &spec);
+        assert_eq!(spec.n_symbolic_bytes(), 3 + 2 + 4 + 10);
+        assert_eq!(arena.n_vars(), spec.n_symbolic_bytes());
+        assert_eq!(vars.n_controllable as usize, arena.n_vars());
+        assert_eq!(vars.argv[0].len(), 0);
+        assert_eq!(vars.argv[1].len(), 3);
+    }
+
+    #[test]
+    fn var_for_resolves_streams() {
+        let mut arena = ExprArena::new();
+        let spec = InputSpec {
+            argv: vec![],
+            stdin_len: 2,
+            files: vec![FileSpec {
+                path: "/data/in".into(),
+                len: 3,
+            }],
+            clients: vec![ClientSpec {
+                packet_lens: vec![2],
+                close_after: true,
+            }],
+        };
+        let vars = InputVars::alloc(&mut arena, &spec);
+        assert_eq!(vars.var_for(&StreamSource::Stdin, 0), Some(vars.stdin[0]));
+        assert_eq!(
+            vars.var_for(&StreamSource::File(b"/data/in".to_vec()), 2),
+            Some(vars.files[&b"/data/in".to_vec()][2])
+        );
+        assert_eq!(
+            vars.var_for(&StreamSource::Conn(0), 1),
+            Some(vars.clients[0][1])
+        );
+        assert_eq!(vars.var_for(&StreamSource::Conn(0), 99), None);
+        assert_eq!(vars.var_for(&StreamSource::Conn(7), 0), None);
+    }
+
+    #[test]
+    fn realize_builds_argv_and_kernel() {
+        let mut arena = ExprArena::new();
+        let spec = InputSpec {
+            argv: vec![ArgSpec::Fixed(b"prog".to_vec()), ArgSpec::Symbolic(2)],
+            stdin_len: 1,
+            files: vec![FileSpec {
+                path: "/in/a".into(),
+                len: 2,
+            }],
+            clients: vec![ClientSpec {
+                packet_lens: vec![2, 1],
+                close_after: false,
+            }],
+        };
+        let vars = InputVars::alloc(&mut arena, &spec);
+        // Assignment: argv bytes 'h','i'; stdin 'X'; file [1,2]; conn "abc".
+        let assignment: Vec<i64> = vec![
+            b'h' as i64,
+            b'i' as i64,
+            b'X' as i64,
+            1,
+            2,
+            b'a' as i64,
+            b'b' as i64,
+            b'c' as i64,
+        ];
+        let (argv, cfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+        assert_eq!(argv, vec![b"prog".to_vec(), b"hi".to_vec()]);
+        assert_eq!(cfg.stdin, b"X");
+        assert_eq!(cfg.fs.open_read(b"/in/a").unwrap(), vec![1, 2]);
+        assert_eq!(cfg.clients.len(), 1);
+        assert_eq!(cfg.clients[0].packets, vec![b"ab".to_vec(), b"c".to_vec()]);
+        assert!(!cfg.clients[0].close_after);
+    }
+}

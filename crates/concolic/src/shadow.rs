@@ -1,0 +1,434 @@
+//! The concolic VM host: symbolic shadows over concrete execution.
+//!
+//! [`SymHost`] mirrors every VM value that depends on program input with
+//! an expression in the solver arena. Branches on shadowed conditions
+//! append literals to the run's path (§2.1's constraint collection);
+//! symbolic pointer offsets are concretized with a pinning constraint, as
+//! concolic engines in the CUTE lineage do.
+
+use crate::input::InputVars;
+use crate::label::{LabelMap, Profile};
+use minic::ast::{BinOp, UnOp};
+use minic::cost::Meter;
+use minic::memory::Memory;
+use minic::types::Sys;
+use minic::vm::{CrashKind, Host, HostStop};
+use minic::{BranchId, Loc};
+use oskit::Kernel;
+use solver::{ExprArena, ExprRef, Lit, Op, VarId, VarInfo};
+
+/// Shadow value: `None` for concrete, `Some(expr)` for input-dependent.
+pub type SymV = Option<ExprRef>;
+
+/// Where a path literal came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOrigin {
+    /// A branch instruction (negatable during exploration).
+    Branch(BranchId),
+    /// A pinning constraint from concretizing a symbolic address.
+    Concretization,
+}
+
+/// One entry of a run's path condition.
+#[derive(Debug, Clone, Copy)]
+pub struct PathStep {
+    /// The literal asserted by this step.
+    pub lit: Lit,
+    /// Why the literal exists.
+    pub origin: StepOrigin,
+    /// The direction taken (meaningful for branch steps).
+    pub taken: bool,
+}
+
+/// Translates a VM binary operator to a solver operator.
+pub fn map_binop(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::Add,
+        BinOp::Sub => Op::Sub,
+        BinOp::Mul => Op::Mul,
+        BinOp::Div => Op::Div,
+        BinOp::Rem => Op::Rem,
+        BinOp::BitAnd => Op::And,
+        BinOp::BitOr => Op::Or,
+        BinOp::BitXor => Op::Xor,
+        BinOp::Shl => Op::Shl,
+        BinOp::Shr => Op::Shr,
+        BinOp::Eq => Op::Eq,
+        BinOp::Ne => Op::Ne,
+        BinOp::Lt => Op::Lt,
+        BinOp::Le => Op::Le,
+        BinOp::Gt => Op::Gt,
+        BinOp::Ge => Op::Ge,
+    }
+}
+
+/// Translates a VM unary operator to a solver operator.
+pub fn map_unop(op: UnOp) -> solver::UnOp {
+    match op {
+        UnOp::Neg => solver::UnOp::Neg,
+        UnOp::Not => solver::UnOp::Not,
+        UnOp::BitNot => solver::UnOp::BitNot,
+    }
+}
+
+/// The concolic host. Owns the arena, the kernel and the run's records.
+pub struct SymHost {
+    /// Expression arena (session-wide, moved in and out per run).
+    pub arena: ExprArena,
+    /// Kernel backing this run.
+    pub kernel: Kernel,
+    /// Input variable tables.
+    pub vars: InputVars,
+    /// The path condition collected this run.
+    pub path: Vec<PathStep>,
+    /// Branch labels observed this run.
+    pub labels: LabelMap,
+    /// Per-location execution counts this run.
+    pub profile: Profile,
+    /// Observed values of non-determinism variables created this run.
+    pub nondet_values: Vec<(VarId, i64)>,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Number of symbolic addresses concretized.
+    pub concretizations: u64,
+    /// Cap on path length (0 = unlimited): keeps pathological runs from
+    /// exhausting memory.
+    pub max_path_len: usize,
+    /// True while the path is still being recorded (below the cap).
+    path_overflow: bool,
+}
+
+impl SymHost {
+    /// Creates a host for one run.
+    pub fn new(arena: ExprArena, kernel: Kernel, vars: InputVars, n_branches: usize) -> Self {
+        SymHost {
+            arena,
+            kernel,
+            vars,
+            path: Vec::new(),
+            labels: LabelMap::new(n_branches),
+            profile: Profile::new(n_branches),
+            nondet_values: Vec::new(),
+            stdout: Vec::new(),
+            concretizations: 0,
+            max_path_len: 200_000,
+            path_overflow: false,
+        }
+    }
+
+    fn lift(&mut self, v: i64, s: &SymV) -> ExprRef {
+        match s {
+            Some(e) => *e,
+            None => self.arena.constant(v),
+        }
+    }
+
+    fn push_step(&mut self, step: PathStep) {
+        if self.max_path_len > 0 && self.path.len() >= self.max_path_len {
+            self.path_overflow = true;
+            return;
+        }
+        self.path.push(step);
+    }
+
+    /// True if the path was truncated at the cap.
+    pub fn path_overflowed(&self) -> bool {
+        self.path_overflow
+    }
+
+    /// Creates a fresh non-determinism variable observed at `value`.
+    fn fresh_nondet(&mut self, value: i64, lo: i64, hi: i64) -> ExprRef {
+        let (id, e) = self.arena.fresh_var(VarInfo::range(lo, hi));
+        self.nondet_values.push((id, value));
+        e
+    }
+}
+
+impl Host for SymHost {
+    type V = SymV;
+
+    fn shadow_binop(&mut self, op: BinOp, a: (i64, &SymV), b: (i64, &SymV), _out: i64) -> SymV {
+        if a.1.is_none() && b.1.is_none() {
+            return None;
+        }
+        let ea = self.lift(a.0, a.1);
+        let eb = self.lift(b.0, b.1);
+        Some(self.arena.bin(map_binop(op), ea, eb))
+    }
+
+    fn shadow_unop(&mut self, op: UnOp, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.un(map_unop(op), e))
+    }
+
+    fn shadow_mask_char(&mut self, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.mask_char(e))
+    }
+
+    fn shadow_bool(&mut self, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.boolify(e))
+    }
+
+    fn shadow_ptr_add(
+        &mut self,
+        ptr: (i64, &SymV),
+        idx: (i64, &SymV),
+        _stride: u32,
+        _out: i64,
+    ) -> SymV {
+        // Addresses stay concrete; pin any symbolic component to its
+        // observed value so solved inputs replay the same addresses.
+        for (val, sh) in [ptr, idx] {
+            if let Some(e) = sh {
+                let c = self.arena.constant(val);
+                let pin = self.arena.bin(Op::Eq, *e, c);
+                self.concretizations += 1;
+                self.push_step(PathStep {
+                    lit: Lit {
+                        expr: pin,
+                        positive: true,
+                    },
+                    origin: StepOrigin::Concretization,
+                    taken: true,
+                });
+            }
+        }
+        None
+    }
+
+    fn shadow_ptr_diff(
+        &mut self,
+        a: (i64, &SymV),
+        b: (i64, &SymV),
+        stride: u32,
+        _out: i64,
+    ) -> SymV {
+        if a.1.is_none() && b.1.is_none() {
+            return None;
+        }
+        let ea = self.lift(a.0, a.1);
+        let eb = self.lift(b.0, b.1);
+        let diff = self.arena.bin(Op::Sub, ea, eb);
+        let s = self.arena.constant(stride.max(1) as i64);
+        Some(self.arena.bin(Op::Div, diff, s))
+    }
+
+    fn on_branch(
+        &mut self,
+        bid: BranchId,
+        cond: (i64, &SymV),
+        taken: bool,
+        _loc: Loc,
+    ) -> Result<u64, HostStop> {
+        let symbolic = cond.1.is_some();
+        self.labels.observe(bid, symbolic);
+        self.profile.observe(bid, symbolic);
+        if let Some(e) = cond.1 {
+            self.push_step(PathStep {
+                lit: Lit {
+                    expr: *e,
+                    positive: taken,
+                },
+                origin: StepOrigin::Branch(bid),
+                taken,
+            });
+        }
+        Ok(0)
+    }
+
+    fn syscall(
+        &mut self,
+        sys: Sys,
+        args: &[(i64, SymV)],
+        mem: &mut Memory<SymV>,
+        _meter: &mut Meter,
+    ) -> Result<(i64, SymV), HostStop> {
+        let raw: Vec<i64> = args.iter().map(|a| a.0).collect();
+        let eff = self
+            .kernel
+            .dispatch(sys, &raw, mem)
+            .map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+        // Apply writes, attaching input shadows where the bytes map to
+        // declared symbolic input variables.
+        for w in &eff.writes {
+            for (i, v) in w.values.iter().enumerate() {
+                let shadow: SymV = if w.is_input {
+                    match &w.stream {
+                        Some((src, off)) => self
+                            .vars
+                            .var_for(src, off + i)
+                            .map(|vid| self.arena.var_expr(vid)),
+                        // Input-flagged writes without a stream are
+                        // non-deterministic kernel outputs (select ready
+                        // flags): fresh 0/1 variables.
+                        None if matches!(sys, Sys::Select) => Some(self.fresh_nondet(*v, 0, 1)),
+                        None => None,
+                    }
+                } else {
+                    None
+                };
+                mem.store(w.addr.wrapping_add(i as i64), *v, shadow)
+                    .map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+            }
+        }
+        if let Some(out) = &eff.stdout {
+            self.stdout.extend_from_slice(out);
+        }
+        if let Some(sig) = self.kernel.take_pending_signal() {
+            return Err(HostStop::Crash(CrashKind::Signal(sig)));
+        }
+        // The return values of input-returning calls are symbolic
+        // (§2.1: "the return values of any functions that return input").
+        let ret_shadow: SymV = if eff.ret_is_input {
+            let (lo, hi) = match sys {
+                Sys::Read => (-1, raw.get(2).copied().unwrap_or(0).max(0)),
+                Sys::Select => (0, raw.get(1).copied().unwrap_or(0).max(0)),
+                Sys::Time => (0, i64::MAX / 2),
+                Sys::Rand => (0, 0x7fff),
+                _ => (i64::MIN / 2, i64::MAX / 2),
+            };
+            Some(self.fresh_nondet(eff.ret, lo, hi))
+        } else {
+            None
+        };
+        Ok((eff.ret, ret_shadow))
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.stdout.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ArgSpec, InputSpec, InputVars};
+    use minic::build;
+    use minic::memory::pack;
+    use minic::vm::{RunOutcome, Vm};
+    use oskit::KernelConfig;
+
+    /// Runs a program with symbolic argv and returns the host.
+    fn run_symbolic(src: &str, argv: Vec<Vec<u8>>, sym_args: &[usize]) -> (RunOutcome, SymHost) {
+        let cp = build(&[("main", src)]).unwrap();
+        let mut arena = ExprArena::new();
+        let mut spec = InputSpec::default();
+        spec.argv.push(ArgSpec::Fixed(argv[0].clone()));
+        for (i, len) in sym_args.iter().enumerate() {
+            let _ = i;
+            spec.argv.push(ArgSpec::Symbolic(*len));
+        }
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let host = SymHost::new(
+            arena,
+            Kernel::new(KernelConfig::default()),
+            vars,
+            cp.n_branches(),
+        );
+        let mut vm = Vm::new(&cp, host);
+        vm.prepare(&argv);
+        // Mark argv bytes symbolic.
+        let objs: Vec<_> = vm.argv_objects().to_vec();
+        for (ai, arg_vars) in vm.host.vars.argv.clone().iter().enumerate() {
+            for (bi, vid) in arg_vars.iter().enumerate() {
+                let e = vm.host.arena.var_expr(*vid);
+                vm.mem
+                    .set_shadow(pack(objs[ai], bi as u32), Some(e))
+                    .unwrap();
+            }
+        }
+        let out = vm.resume();
+        (out, vm.host)
+    }
+
+    #[test]
+    fn branch_on_argv_is_symbolic() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'a') { return 1; }
+                return 0;
+            }
+        "#;
+        let (out, host) = run_symbolic(src, vec![b"p".to_vec(), b"a".to_vec()], &[1]);
+        assert_eq!(out, RunOutcome::Exited(1));
+        assert_eq!(host.path.len(), 1);
+        assert!(host.path[0].taken);
+        assert_eq!(host.labels.count(crate::label::BranchLabel::Symbolic), 1);
+        // The literal must be (in0 == 97).
+        assert_eq!(host.arena.display(host.path[0].lit.expr), "(in0 == 97)");
+    }
+
+    #[test]
+    fn branch_on_constant_is_concrete() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int x = 5;
+                if (x > 3) { return 1; }
+                return 0;
+            }
+        "#;
+        let (_, host) = run_symbolic(src, vec![b"p".to_vec(), b"a".to_vec()], &[1]);
+        assert!(host.path.is_empty());
+        assert_eq!(host.labels.count(crate::label::BranchLabel::Concrete), 1);
+        assert_eq!(host.labels.count(crate::label::BranchLabel::Symbolic), 0);
+    }
+
+    #[test]
+    fn symbolic_values_propagate_through_memory_and_arithmetic() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int stash[4];
+                stash[2] = argv[1][0] * 2 + 1;
+                int y = stash[2];
+                if (y > 100) { return 1; }
+                return 0;
+            }
+        "#;
+        let (_, host) = run_symbolic(src, vec![b"p".to_vec(), b"Z".to_vec()], &[1]);
+        assert_eq!(host.path.len(), 1);
+        let s = host.arena.display(host.path[0].lit.expr);
+        assert!(s.contains("in0"), "condition must mention the input: {s}");
+        assert!(s.contains("* 2"), "arithmetic must be recorded: {s}");
+    }
+
+    #[test]
+    fn symbolic_index_is_concretized() {
+        let src = r#"
+            int table[10];
+            int main(int argc, char **argv) {
+                int i = argv[1][0] % 10;
+                table[i] = 1;
+                return table[i];
+            }
+        "#;
+        let (_, host) = run_symbolic(src, vec![b"p".to_vec(), b"5".to_vec()], &[1]);
+        assert!(host.concretizations >= 1);
+        assert!(host
+            .path
+            .iter()
+            .any(|s| s.origin == StepOrigin::Concretization));
+    }
+
+    #[test]
+    fn short_circuit_records_both_literals() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                char c = argv[1][0];
+                if (c >= 'a' && c <= 'z') { return 1; }
+                return 0;
+            }
+        "#;
+        let (out, host) = run_symbolic(src, vec![b"p".to_vec(), b"m".to_vec()], &[1]);
+        assert_eq!(out, RunOutcome::Exited(1));
+        // Two branch steps: the && (on c >= 'a') and the if (on the
+        // boolified c <= 'z').
+        let branch_steps = host
+            .path
+            .iter()
+            .filter(|s| matches!(s.origin, StepOrigin::Branch(_)))
+            .count();
+        assert_eq!(branch_steps, 2);
+    }
+}

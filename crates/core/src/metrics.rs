@@ -1,0 +1,119 @@
+//! Experiment metrics: the quantities the paper's tables and figures
+//! report, in serializable form.
+
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation overhead of one configuration relative to the
+/// uninstrumented baseline (Figures 2, 4 and 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Configuration name (e.g. "dynamic+static (hc)").
+    pub config: String,
+    /// Normalized CPU time in percent (100 = baseline).
+    pub cpu_pct: f64,
+    /// Cost units of the instrumented run.
+    pub units: u64,
+    /// Cost units of the baseline run.
+    pub baseline_units: u64,
+    /// Executions of instrumented branches.
+    pub instrumented_execs: u64,
+    /// Branch-log bytes produced.
+    pub log_bytes: u64,
+    /// Log buffer flushes.
+    pub log_flushes: u64,
+    /// Syscall-log bytes produced.
+    pub syscall_log_bytes: u64,
+    /// Requests completed (servers; 0 otherwise).
+    pub requests: u64,
+}
+
+impl Overhead {
+    /// Branch-log storage per request (Figure 4b), when requests > 0.
+    pub fn storage_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return (self.log_bytes + self.syscall_log_bytes) as f64;
+        }
+        (self.log_bytes + self.syscall_log_bytes) as f64 / self.requests as f64
+    }
+}
+
+/// One replay-experiment outcome (Tables 1, 3, 5, 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayRow {
+    /// Configuration name.
+    pub config: String,
+    /// Scenario/experiment id.
+    pub experiment: usize,
+    /// Whether the bug was reproduced within budget.
+    pub reproduced: bool,
+    /// Replay runs used.
+    pub runs: usize,
+    /// Total instructions executed across replay runs (deterministic
+    /// work proxy for the paper's seconds).
+    pub total_instrs: u64,
+    /// Wall-clock milliseconds (machine-dependent, informational).
+    pub wall_ms: u64,
+    /// Solver invocations.
+    pub solver_calls: usize,
+}
+
+impl ReplayRow {
+    /// The table cell: work (and wall time), or ∞ on timeout.
+    pub fn cell(&self) -> String {
+        if !self.reproduced {
+            return "∞".to_string();
+        }
+        let work = if self.total_instrs >= 1_000_000 {
+            format!("{:.1}Mi", self.total_instrs as f64 / 1e6)
+        } else {
+            format!("{:.1}Ki", self.total_instrs as f64 / 1e3)
+        };
+        format!("{work} / {}ms", self.wall_ms)
+    }
+}
+
+/// Branch-location counts per configuration (Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocationRow {
+    /// Configuration name.
+    pub config: String,
+    /// Number of instrumented branch locations.
+    pub instrumented_locations: usize,
+    /// Total branch locations in the program.
+    pub total_locations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_per_request_divides() {
+        let o = Overhead {
+            config: "x".into(),
+            cpu_pct: 120.0,
+            units: 12,
+            baseline_units: 10,
+            instrumented_execs: 5,
+            log_bytes: 90,
+            log_flushes: 0,
+            syscall_log_bytes: 10,
+            requests: 10,
+        };
+        assert!((o.storage_per_request() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_cell_formats_timeout() {
+        let r = ReplayRow {
+            config: "dynamic".into(),
+            experiment: 3,
+            reproduced: false,
+            runs: 100,
+            total_instrs: 1,
+            wall_ms: 1,
+            solver_calls: 5,
+        };
+        assert_eq!(r.cell(), "∞");
+    }
+}

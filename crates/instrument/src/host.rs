@@ -1,0 +1,313 @@
+//! The instrumented deployment host: what runs at the "user site".
+//!
+//! Wraps the kernel like [`oskit::OsHost`], but additionally logs one bit
+//! per executed instrumented branch (charging the paper's 17 instructions
+//! plus periodic flush costs) and, when enabled, the results of the
+//! selected system calls. When the program crashes, [`BugReport::capture`]
+//! packages the crash site and the logs — the artifact shipped to the
+//! developer.
+
+use crate::logger::{BitLog, BranchTrace};
+use crate::plan::{Method, Plan};
+use crate::syscall_log::{is_logged, SysRecord, SyscallLog};
+use minic::cost::Meter;
+use minic::memory::Memory;
+use minic::types::Sys;
+use minic::vm::{CrashInfo, CrashKind, Host, HostStop};
+use minic::{BranchId, Loc};
+use oskit::{apply_effect, Kernel};
+use serde::{Deserialize, Serialize};
+
+/// Concrete host with branch + syscall logging per an instrumentation
+/// [`Plan`].
+#[derive(Debug)]
+pub struct LoggingHost {
+    /// The kernel backing this run.
+    pub kernel: Kernel,
+    /// The instrumentation plan (what to log).
+    pub plan: Plan,
+    /// The branch-bit log being accumulated.
+    pub log: BitLog,
+    /// The syscall-result log being accumulated.
+    pub syscalls: SyscallLog,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Executions of instrumented branches (Figure 4's count metric).
+    pub instrumented_execs: u64,
+}
+
+impl LoggingHost {
+    /// Creates a logging host.
+    pub fn new(kernel: Kernel, plan: Plan) -> Self {
+        LoggingHost {
+            kernel,
+            plan,
+            log: BitLog::new(),
+            syscalls: SyscallLog::new(),
+            stdout: Vec::new(),
+            instrumented_execs: 0,
+        }
+    }
+}
+
+impl Host for LoggingHost {
+    type V = ();
+
+    fn on_branch(
+        &mut self,
+        bid: BranchId,
+        _cond: (i64, &()),
+        taken: bool,
+        _loc: Loc,
+    ) -> Result<u64, HostStop> {
+        if self.plan.covers(bid) {
+            self.instrumented_execs += 1;
+            Ok(self.log.push(taken))
+        } else {
+            Ok(0)
+        }
+    }
+
+    fn syscall(
+        &mut self,
+        sys: Sys,
+        args: &[(i64, ())],
+        mem: &mut Memory<()>,
+        meter: &mut Meter,
+    ) -> Result<(i64, ()), HostStop> {
+        let raw: Vec<i64> = args.iter().map(|a| a.0).collect();
+        let eff = self
+            .kernel
+            .dispatch(sys, &raw, mem)
+            .map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+        apply_effect(&eff, mem).map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+        if let Some(out) = &eff.stdout {
+            self.stdout.extend_from_slice(out);
+        }
+        if self.plan.log_syscalls && is_logged(sys) {
+            // Only control metadata: return values and select's ready
+            // flags. Input bytes are never logged.
+            let flags = if sys == Sys::Select {
+                eff.writes
+                    .first()
+                    .map(|w| w.values.clone())
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let cost = self.syscalls.push(SysRecord {
+                sys,
+                ret: eff.ret,
+                flags,
+            });
+            meter.charge_instrumentation(cost);
+            meter.syscall_log_bytes = self.syscalls.bytes();
+        }
+        if let Some(sig) = self.kernel.take_pending_signal() {
+            return Err(HostStop::Crash(CrashKind::Signal(sig)));
+        }
+        Ok((eff.ret, ()))
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.stdout.extend_from_slice(bytes);
+    }
+}
+
+/// The artifact shipped from the user site to the developer (§3.1): the
+/// crash site, the branch bitvector, and the syscall-result log. The
+/// instrumented-branch *list* is not shipped — the developer retained it
+/// at build time (it is the [`Plan`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugReport {
+    /// Where and why the program crashed.
+    pub crash: CrashInfo,
+    /// The partial branch trace.
+    pub trace: BranchTrace,
+    /// Logged syscall results (empty when disabled).
+    pub syscalls: SyscallLog,
+    /// Which method produced the instrumentation (metadata).
+    pub method: Method,
+}
+
+impl BugReport {
+    /// Packages a report after a crash.
+    pub fn capture(host: LoggingHost, crash: CrashInfo) -> BugReport {
+        BugReport {
+            crash,
+            trace: host.log.finish(),
+            syscalls: host.syscalls,
+            method: host.plan.method,
+        }
+    }
+
+    /// Total transfer size in bytes before compression.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.trace.bytes() + self.syscalls.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::DynLabel;
+    use minic::build;
+    use minic::vm::{RunOutcome, Vm};
+    use oskit::{KernelConfig, SignalPlan};
+
+    const SRC: &str = r#"
+        int main(int argc, char **argv) {
+            int n = 0;
+            for (int i = 0; i < 8; i++) {       // b0: loop condition
+                if (argv[1][0] == 'x') {        // b1: input test
+                    n++;
+                }
+            }
+            sys_time();
+            return n;
+        }
+    "#;
+
+    fn run_with_plan(plan: Plan, arg: &[u8]) -> (RunOutcome, LoggingHost, Meter) {
+        let cp = build(&[("main", SRC)]).unwrap();
+        let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan);
+        let mut vm = Vm::new(&cp, host);
+        let out = vm.run(&[b"prog".to_vec(), arg.to_vec()]);
+        let meter = vm.meter.clone();
+        (out, vm.host, meter)
+    }
+
+    #[test]
+    fn all_branches_logs_every_execution() {
+        let plan = Plan::build(
+            Method::AllBranches,
+            &[DynLabel::Unvisited; 2],
+            &[false; 2],
+            2,
+        );
+        let (out, host, _) = run_with_plan(plan, b"x");
+        assert_eq!(out, RunOutcome::Exited(8));
+        // Loop: 9 evaluations (8 taken + 1 exit); if: 8 evaluations.
+        assert_eq!(host.log.len(), 17);
+        assert_eq!(host.instrumented_execs, 17);
+    }
+
+    #[test]
+    fn partial_plan_logs_subset() {
+        // Only the input-dependent branch (b1).
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented: vec![false, true],
+            log_syscalls: true,
+        };
+        let (_, host, _) = run_with_plan(plan, b"x");
+        assert_eq!(host.log.len(), 8);
+    }
+
+    #[test]
+    fn logged_bits_encode_directions() {
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented: vec![false, true],
+            log_syscalls: false,
+        };
+        let (_, host, _) = run_with_plan(plan.clone(), b"x");
+        let trace = host.log.finish();
+        // 'x' matches: all 8 bits taken.
+        assert!((0..8).all(|i| trace.get(i) == Some(true)));
+        let (_, host2, _) = run_with_plan(plan, b"y");
+        let trace2 = host2.log.finish();
+        assert!((0..8).all(|i| trace2.get(i) == Some(false)));
+    }
+
+    #[test]
+    fn instrumentation_cost_is_charged() {
+        let all = Plan::build(
+            Method::AllBranches,
+            &[DynLabel::Unvisited; 2],
+            &[false; 2],
+            2,
+        );
+        let (_, _, meter_all) = run_with_plan(all, b"x");
+        let none = Plan::none(2);
+        let (_, _, meter_none) = run_with_plan(none, b"x");
+        assert!(meter_all.units > meter_none.units);
+        assert_eq!(
+            meter_all.instrumentation_units >= 17 * 17,
+            true,
+            "17 branch executions at 17 units each"
+        );
+        assert_eq!(meter_none.instrumentation_units, 0);
+    }
+
+    #[test]
+    fn syscall_results_are_logged_when_enabled() {
+        let plan = Plan {
+            method: Method::Static,
+            instrumented: vec![true, true],
+            log_syscalls: true,
+        };
+        let (_, host, meter) = run_with_plan(plan, b"a");
+        assert_eq!(host.syscalls.len(), 1); // the sys_time call
+        assert_eq!(host.syscalls.records[0].sys, Sys::Time);
+        assert!(meter.syscall_log_bytes > 0);
+    }
+
+    #[test]
+    fn bug_report_captures_crash_and_logs() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int i;
+                for (i = 0; i < 100; i++) { sys_getuid(); }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut kcfg = KernelConfig::default();
+        kcfg.signal_plan = Some(SignalPlan {
+            sig: 11,
+            after_all_conns_served: false,
+            after_n_syscalls: Some(10),
+        });
+        let plan = Plan::build(Method::AllBranches, &[DynLabel::Unvisited], &[false], 1);
+        let host = LoggingHost::new(Kernel::new(kcfg), plan);
+        let mut vm = Vm::new(&cp, host);
+        let out = vm.run(&[b"prog".to_vec()]);
+        let crash = out.crash().expect("signal crash").clone();
+        let report = BugReport::capture(vm.host, crash.clone());
+        assert_eq!(report.crash, crash);
+        assert_eq!(report.trace.len(), 10, "10 loop evaluations before sig");
+        assert!(report.transfer_bytes() > 0);
+        // Roundtrip: the report is a serializable artifact.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BugReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_never_contains_input_bytes() {
+        // Privacy: a distinctive input string must not appear in the
+        // serialized report.
+        let plan = Plan::build(
+            Method::AllBranches,
+            &[DynLabel::Unvisited; 2],
+            &[false; 2],
+            2,
+        );
+        let cp = build(&[("main", SRC)]).unwrap();
+        let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan);
+        let mut vm = Vm::new(&cp, host);
+        let secret = b"SECRETPASSWORD";
+        vm.run(&[b"prog".to_vec(), secret.to_vec()]);
+        let report = BugReport::capture(
+            vm.host,
+            CrashInfo {
+                kind: CrashKind::Signal(11),
+                loc: Loc::default(),
+                func: "main".into(),
+            },
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("SECRETPASSWORD"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `instrument` — instrumentation methods and the user-site runtime.
+//!
+//! Everything that happens between "the developer ships the program" and
+//! "a bug report arrives" (§2.3 + §4 of the paper):
+//!
+//! - [`Plan`]: which branch locations are logged, per the four methods
+//!   (`dynamic`, `static`, `dynamic+static`, `all branches`);
+//! - [`BitLog`]/[`BranchTrace`]: the bit-per-branch log with 4 KiB
+//!   buffered flushing and its 17-instruction per-branch cost;
+//! - [`SyscallLog`]: selective syscall-result logging (`read` counts,
+//!   `select` ready sets — never input data);
+//! - [`LoggingHost`]: the instrumented execution host;
+//! - [`BugReport`]: the shippable crash artifact;
+//! - [`compress`]: transfer-time LZSS compression (the gzip 10–20×
+//!   observation).
+
+pub mod compress;
+pub mod host;
+pub mod logger;
+pub mod plan;
+pub mod syscall_log;
+
+pub use host::{BugReport, LoggingHost};
+pub use logger::{BitLog, BranchTrace, TraceCursor};
+pub use plan::{DynLabel, Method, Plan};
+pub use syscall_log::{is_logged, SysCursor, SysRecord, SyscallLog};

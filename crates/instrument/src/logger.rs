@@ -1,0 +1,295 @@
+//! The branch-log runtime: one bit per instrumented branch execution.
+//!
+//! Reproduces §4 of the paper: "The instrumentation simply uses a bit per
+//! branch in a large buffer, and flushes the buffer to disk when it is
+//! full. We use a buffer of 4KB." No online compression; no per-branch
+//! program locations (the id sequence is implied by the instrumented-
+//! branch list plus the execution path).
+
+use minic::cost::{BRANCH_LOG_COST, LOG_BUFFER_BYTES, LOG_FLUSH_COST};
+use serde::{Deserialize, Serialize};
+
+/// An append-only bit log with buffered flushing (4 KiB by default).
+#[derive(Debug, Clone)]
+pub struct BitLog {
+    bits: Vec<u8>,
+    n_bits: u64,
+    buffered_bits: usize,
+    flushes: u64,
+    buffer_bytes: usize,
+}
+
+impl Default for BitLog {
+    fn default() -> Self {
+        Self::with_buffer_size(LOG_BUFFER_BYTES)
+    }
+}
+
+impl BitLog {
+    /// Creates an empty log with the paper's 4 KiB buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a log with a custom flush-buffer size (the buffer-size
+    /// ablation; the paper chose 4 KiB "in order to avoid writing to
+    /// disk too often").
+    pub fn with_buffer_size(buffer_bytes: usize) -> Self {
+        BitLog {
+            bits: Vec::new(),
+            n_bits: 0,
+            buffered_bits: 0,
+            flushes: 0,
+            buffer_bytes: buffer_bytes.max(1),
+        }
+    }
+
+    /// Appends one branch direction, returning the cost units charged
+    /// (17 per bit, plus the flush amortization when the buffer fills).
+    pub fn push(&mut self, taken: bool) -> u64 {
+        let byte = (self.n_bits / 8) as usize;
+        if byte == self.bits.len() {
+            self.bits.push(0);
+        }
+        if taken {
+            self.bits[byte] |= 1 << (self.n_bits % 8);
+        }
+        self.n_bits += 1;
+        self.buffered_bits += 1;
+        let mut cost = BRANCH_LOG_COST;
+        if self.buffered_bits >= self.buffer_bytes * 8 {
+            self.buffered_bits = 0;
+            self.flushes += 1;
+            cost += LOG_FLUSH_COST;
+        }
+        cost
+    }
+
+    /// Number of bits recorded.
+    pub fn len(&self) -> u64 {
+        self.n_bits
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n_bits == 0
+    }
+
+    /// Bytes of storage used (the Figure 4b metric).
+    pub fn bytes(&self) -> u64 {
+        self.n_bits.div_ceil(8)
+    }
+
+    /// Buffer flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Finalizes into an immutable, shippable trace.
+    pub fn finish(self) -> BranchTrace {
+        BranchTrace {
+            bits: self.bits,
+            n_bits: self.n_bits,
+        }
+    }
+}
+
+/// The shipped branch trace: the bitvector of §3.1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BranchTrace {
+    bits: Vec<u8>,
+    n_bits: u64,
+}
+
+impl BranchTrace {
+    /// An empty trace.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from plain directions (test support).
+    pub fn from_bools(dirs: &[bool]) -> Self {
+        let mut log = BitLog::new();
+        for d in dirs {
+            log.push(*d);
+        }
+        log.finish()
+    }
+
+    /// Number of recorded bits.
+    pub fn len(&self) -> u64 {
+        self.n_bits
+    }
+
+    /// True if the trace has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.n_bits == 0
+    }
+
+    /// Size in bytes (what gets transferred to the developer).
+    pub fn bytes(&self) -> u64 {
+        self.n_bits.div_ceil(8)
+    }
+
+    /// The direction of bit `i`, if in range.
+    pub fn get(&self, i: u64) -> Option<bool> {
+        if i >= self.n_bits {
+            return None;
+        }
+        let byte = (i / 8) as usize;
+        Some(self.bits[byte] & (1 << (i % 8)) != 0)
+    }
+
+    /// The raw backing bytes (for compression experiments).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// A cursor for sequential replay consumption.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            trace: self,
+            pos: 0,
+        }
+    }
+
+    /// Truncates to the first `n` bits (failure-injection tests).
+    pub fn truncated(&self, n: u64) -> BranchTrace {
+        let n = n.min(self.n_bits);
+        let mut out = BitLog::new();
+        for i in 0..n {
+            out.push(self.get(i).expect("index in range"));
+        }
+        out.finish()
+    }
+
+    /// Flips bit `i` (corruption-injection tests).
+    pub fn corrupted(&self, i: u64) -> BranchTrace {
+        let mut c = self.clone();
+        if i < c.n_bits {
+            let byte = (i / 8) as usize;
+            c.bits[byte] ^= 1 << (i % 8);
+        }
+        c
+    }
+}
+
+/// Sequential reader over a [`BranchTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'t> {
+    trace: &'t BranchTrace,
+    pos: u64,
+}
+
+impl<'t> TraceCursor<'t> {
+    /// Takes the next recorded direction, if any remain.
+    pub fn next_bit(&mut self) -> Option<bool> {
+        let b = self.trace.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Bits consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.pos
+    }
+
+    /// True when every recorded bit has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.trace.len()
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.trace.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let dirs = [true, false, true, true, false, false, true, false, true];
+        let t = BranchTrace::from_bools(&dirs);
+        assert_eq!(t.len(), dirs.len() as u64);
+        for (i, d) in dirs.iter().enumerate() {
+            assert_eq!(t.get(i as u64), Some(*d));
+        }
+        assert_eq!(t.get(dirs.len() as u64), None);
+    }
+
+    #[test]
+    fn each_bit_costs_seventeen() {
+        let mut log = BitLog::new();
+        assert_eq!(log.push(true), BRANCH_LOG_COST);
+        assert_eq!(log.push(false), BRANCH_LOG_COST);
+    }
+
+    #[test]
+    fn flush_fires_every_buffer_of_bits() {
+        let mut log = BitLog::new();
+        let bits_per_buffer = (LOG_BUFFER_BYTES * 8) as u64;
+        let mut total = 0u64;
+        for _ in 0..bits_per_buffer * 2 {
+            total += log.push(true);
+        }
+        assert_eq!(log.flushes(), 2);
+        assert_eq!(
+            total,
+            bits_per_buffer * 2 * BRANCH_LOG_COST + 2 * LOG_FLUSH_COST
+        );
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        let t = BranchTrace::from_bools(&[true; 9]);
+        assert_eq!(t.bytes(), 2);
+    }
+
+    #[test]
+    fn cursor_consumes_in_order() {
+        let t = BranchTrace::from_bools(&[true, false, true]);
+        let mut c = t.cursor();
+        assert_eq!(c.next_bit(), Some(true));
+        assert_eq!(c.next_bit(), Some(false));
+        assert!(!c.exhausted());
+        assert_eq!(c.next_bit(), Some(true));
+        assert!(c.exhausted());
+        assert_eq!(c.next_bit(), None);
+        assert_eq!(c.consumed(), 3);
+    }
+
+    #[test]
+    fn truncation_and_corruption() {
+        let t = BranchTrace::from_bools(&[true, true, true, true]);
+        let short = t.truncated(2);
+        assert_eq!(short.len(), 2);
+        let bad = t.corrupted(1);
+        assert_eq!(bad.get(1), Some(false));
+        assert_eq!(bad.get(0), Some(true));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = BranchTrace::from_bools(&[true, false, false, true, true]);
+        let json = serde_json::to_string(&t).unwrap();
+        let u: BranchTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, u);
+    }
+
+    proptest! {
+        #[test]
+        fn trace_stores_arbitrary_sequences(dirs in proptest::collection::vec(any::<bool>(), 0..2000)) {
+            let t = BranchTrace::from_bools(&dirs);
+            prop_assert_eq!(t.len(), dirs.len() as u64);
+            let mut c = t.cursor();
+            for d in &dirs {
+                prop_assert_eq!(c.next_bit(), Some(*d));
+            }
+            prop_assert!(c.exhausted());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Instrumentation plans: which branch locations get logged.
+//!
+//! Implements the four methods of §2.3 and the combination rule of the
+//! paper's headline contribution:
+//!
+//! > "The combined method instruments the branches (1) that are labeled
+//! > symbolic by the dynamic analysis, and (2) that are labeled symbolic
+//! > by the static analysis, with the exception of those labeled concrete
+//! > by the dynamic analysis."
+
+use minic::BranchId;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic-analysis labels as the instrumentation layer consumes them.
+///
+/// Mirror of `concolic::BranchLabel`, duplicated here so `instrument`
+/// does not depend on the analysis crates (plans can be built from any
+/// label source, including hand-written ones in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DynLabel {
+    /// Not visited by the dynamic analysis.
+    #[default]
+    Unvisited,
+    /// Visited, never input-dependent.
+    Concrete,
+    /// Visited and input-dependent.
+    Symbolic,
+}
+
+/// The four instrumentation methods of the paper (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Instrument branches the dynamic analysis labeled symbolic.
+    Dynamic,
+    /// Instrument branches the static analysis labeled symbolic.
+    Static,
+    /// The combined method (see module docs).
+    DynamicStatic,
+    /// Instrument every branch location.
+    AllBranches,
+}
+
+impl Method {
+    /// All four methods, in the paper's presentation order.
+    pub const ALL: [Method; 4] = [
+        Method::Dynamic,
+        Method::DynamicStatic,
+        Method::Static,
+        Method::AllBranches,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Dynamic => "dynamic",
+            Method::Static => "static",
+            Method::DynamicStatic => "dynamic+static",
+            Method::AllBranches => "all branches",
+        }
+    }
+}
+
+/// A concrete instrumentation plan for one program build.
+///
+/// The developer retains this ("the list of instrumented branches is
+/// retained by the developer, because it is needed to reproduce the
+/// bug", §2.3); replay consumes it together with the shipped log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The method that produced this plan.
+    pub method: Method,
+    /// `instrumented[b]`: is branch location `b` logged?
+    pub instrumented: Vec<bool>,
+    /// Whether selected system-call results are logged too.
+    pub log_syscalls: bool,
+}
+
+impl Plan {
+    /// Builds a plan per §2.3 from the two analyses' outputs.
+    ///
+    /// `dynamic` and `static_symbolic` are indexed by `BranchId`; they
+    /// must cover all `n_branches` locations.
+    pub fn build(
+        method: Method,
+        dynamic: &[DynLabel],
+        static_symbolic: &[bool],
+        n_branches: usize,
+    ) -> Plan {
+        assert_eq!(dynamic.len(), n_branches, "dynamic labels cover program");
+        assert_eq!(
+            static_symbolic.len(),
+            n_branches,
+            "static labels cover program"
+        );
+        let instrumented = (0..n_branches)
+            .map(|i| match method {
+                Method::AllBranches => true,
+                Method::Dynamic => dynamic[i] == DynLabel::Symbolic,
+                Method::Static => static_symbolic[i],
+                Method::DynamicStatic => match dynamic[i] {
+                    DynLabel::Symbolic => true,
+                    DynLabel::Concrete => false, // overrides static
+                    DynLabel::Unvisited => static_symbolic[i],
+                },
+            })
+            .collect();
+        Plan {
+            method,
+            instrumented,
+            log_syscalls: true,
+        }
+    }
+
+    /// A plan that instruments nothing (the `none` baseline).
+    pub fn none(n_branches: usize) -> Plan {
+        Plan {
+            method: Method::Dynamic,
+            instrumented: vec![false; n_branches],
+            log_syscalls: false,
+        }
+    }
+
+    /// Whether a branch is instrumented.
+    pub fn covers(&self, b: BranchId) -> bool {
+        self.instrumented
+            .get(b.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of instrumented branch locations (Table 2's metric).
+    pub fn n_instrumented(&self) -> usize {
+        self.instrumented.iter().filter(|b| **b).count()
+    }
+
+    /// Ids of instrumented branch locations.
+    pub fn instrumented_branches(&self) -> Vec<BranchId> {
+        self.instrumented
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| BranchId(i as u32))
+            .collect()
+    }
+
+    /// Disables syscall-result logging (the Table 5/8 configuration).
+    pub fn without_syscall_logging(mut self) -> Plan {
+        self.log_syscalls = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> (Vec<DynLabel>, Vec<bool>) {
+        use DynLabel::*;
+        // Six branches exercising every combination rule case:
+        //   0: dyn Symbolic, static true   -> everyone but none
+        //   1: dyn Symbolic, static false  -> dynamic's certainty wins
+        //   2: dyn Concrete, static true   -> combined OVERRIDES static
+        //   3: dyn Concrete, static false  -> nobody
+        //   4: dyn Unvisited, static true  -> combined falls back to static
+        //   5: dyn Unvisited, static false -> nobody
+        (
+            vec![Symbolic, Symbolic, Concrete, Concrete, Unvisited, Unvisited],
+            vec![true, false, true, false, true, false],
+        )
+    }
+
+    #[test]
+    fn dynamic_method_instruments_only_dynamic_symbolic() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::Dynamic, &d, &s, 6);
+        assert_eq!(p.instrumented, vec![true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn static_method_follows_static_labels() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::Static, &d, &s, 6);
+        assert_eq!(p.instrumented, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn combined_method_matches_paper_rule() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::DynamicStatic, &d, &s, 6);
+        // Symbolic-by-dynamic instrumented; concrete-by-dynamic never
+        // (even when static says symbolic — case 2); unvisited follow
+        // static (case 4).
+        assert_eq!(p.instrumented, vec![true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn all_branches_instruments_everything() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::AllBranches, &d, &s, 6);
+        assert_eq!(p.n_instrumented(), 6);
+    }
+
+    #[test]
+    fn combined_is_subset_of_static_union_dynamic() {
+        let (d, s) = labels();
+        let combined = Plan::build(Method::DynamicStatic, &d, &s, 6);
+        let stat = Plan::build(Method::Static, &d, &s, 6);
+        let dynm = Plan::build(Method::Dynamic, &d, &s, 6);
+        for i in 0..6 {
+            assert!(
+                !combined.instrumented[i] || stat.instrumented[i] || dynm.instrumented[i],
+                "combined must never instrument something neither analysis flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::DynamicStatic, &d, &s, 6);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Plan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,1297 @@
+//! Name resolution, type checking, layout, and constant evaluation.
+//!
+//! Produces a [`Program`]: the AST plus the side tables the compiler and
+//! the analyses need (expression types, identifier resolutions, call
+//! targets, struct field offsets, frame slots, interned strings, and
+//! flattened constant initializers for globals).
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::span::{Span, UnitId};
+use crate::types::*;
+use std::collections::HashMap;
+
+/// Resolution of an identifier expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Res {
+    /// A local variable or parameter at a frame offset (in cells).
+    Local { offset: usize },
+    /// A global variable.
+    Global(GlobalId),
+}
+
+/// Resolution of a call expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Callee {
+    /// A user-defined function.
+    Func(FuncId),
+    /// A VM builtin (including syscalls).
+    Builtin(Builtin),
+}
+
+/// One cell of a flattened global initializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitCell {
+    /// A constant integer value.
+    Int(i64),
+    /// A pointer to an interned string (resolved to an address at load time).
+    Str(StrId),
+}
+
+/// A checked global variable.
+#[derive(Debug, Clone)]
+pub struct GlobalInfo {
+    /// Variable name.
+    pub name: String,
+    /// Resolved type.
+    pub ty: Type,
+    /// Size in cells.
+    pub size: usize,
+    /// Flattened initializer; shorter than `size` means trailing zeros.
+    pub init: Vec<InitCell>,
+    /// Defining unit.
+    pub unit: UnitId,
+}
+
+/// A checked function signature plus frame layout.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameter names and (decayed) types; one cell each.
+    pub params: Vec<(String, Type)>,
+    /// Total frame size in cells (parameters + locals).
+    pub frame_cells: usize,
+    /// Index of the definition in `ast.funcs`.
+    pub ast_index: usize,
+    /// Defining unit.
+    pub unit: UnitId,
+}
+
+/// Frame slot assigned to a local declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclSlot {
+    /// Frame offset in cells.
+    pub offset: usize,
+    /// Resolved type of the local.
+    pub ty: Type,
+}
+
+/// A fully checked program: AST plus all semantic side tables.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The underlying syntax tree (owns the branch table).
+    pub ast: Ast,
+    /// Laid-out structs, indexed by `StructId`.
+    pub structs: Vec<StructLayout>,
+    /// Checked globals, indexed by `GlobalId`.
+    pub globals: Vec<GlobalInfo>,
+    /// Checked functions, indexed by `FuncId`.
+    pub funcs: Vec<FuncInfo>,
+    /// Interned string literals, indexed by `StrId`.
+    pub strings: Vec<Vec<u8>>,
+    /// The entry point.
+    pub main: FuncId,
+    /// Expression types, indexed by `ExprId`.
+    pub expr_ty: Vec<Type>,
+    /// Identifier resolutions, indexed by `ExprId`.
+    pub res: Vec<Option<Res>>,
+    /// Call targets, indexed by `ExprId`.
+    pub callee: Vec<Option<Callee>>,
+    /// Struct field offsets (in cells), indexed by `ExprId` of `Field` exprs.
+    pub field_offset: Vec<Option<usize>>,
+    /// Interned ids for string literal expressions, indexed by `ExprId`.
+    pub str_id: Vec<Option<StrId>>,
+    /// Frame slots for local declarations, indexed by `StmtId`.
+    pub decl_slot: Vec<Option<DeclSlot>>,
+}
+
+impl Program {
+    /// Looks up a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The type of an expression.
+    pub fn ty(&self, e: &Expr) -> &Type {
+        &self.expr_ty[e.id.0 as usize]
+    }
+
+    /// Branch metadata by id.
+    pub fn branch(&self, id: BranchId) -> &BranchInfo {
+        &self.ast.branches[id.0 as usize]
+    }
+}
+
+/// Checks a parsed AST, producing a [`Program`].
+pub fn check(ast: Ast) -> Result<Program> {
+    Checker::new(ast)?.run()
+}
+
+struct Checker {
+    ast: Ast,
+    structs: Vec<StructLayout>,
+    struct_ids: HashMap<String, StructId>,
+    globals: Vec<GlobalInfo>,
+    global_ids: HashMap<String, GlobalId>,
+    funcs: Vec<FuncInfo>,
+    func_ids: HashMap<String, FuncId>,
+    strings: Vec<Vec<u8>>,
+    string_ids: HashMap<Vec<u8>, StrId>,
+    expr_ty: Vec<Type>,
+    res: Vec<Option<Res>>,
+    callee: Vec<Option<Callee>>,
+    field_offset: Vec<Option<usize>>,
+    str_id: Vec<Option<StrId>>,
+    decl_slot: Vec<Option<DeclSlot>>,
+    // Per-function state.
+    scopes: Vec<HashMap<String, (usize, Type)>>,
+    frame_next: usize,
+    cur_ret: Type,
+    loop_depth: u32,
+    switch_depth: u32,
+}
+
+impl Checker {
+    fn new(ast: Ast) -> Result<Self> {
+        let n_exprs = ast.n_exprs as usize;
+        let n_stmts = ast.n_stmts as usize;
+        Ok(Checker {
+            ast,
+            structs: Vec::new(),
+            struct_ids: HashMap::new(),
+            globals: Vec::new(),
+            global_ids: HashMap::new(),
+            funcs: Vec::new(),
+            func_ids: HashMap::new(),
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+            expr_ty: vec![Type::Void; n_exprs],
+            res: vec![None; n_exprs],
+            callee: vec![None; n_exprs],
+            field_offset: vec![None; n_exprs],
+            str_id: vec![None; n_exprs],
+            decl_slot: vec![None; n_stmts],
+            scopes: Vec::new(),
+            frame_next: 0,
+            cur_ret: Type::Void,
+            loop_depth: 0,
+            switch_depth: 0,
+        })
+    }
+
+    fn run(mut self) -> Result<Program> {
+        self.collect_structs()?;
+        self.collect_globals()?;
+        self.collect_funcs()?;
+        let bodies: Vec<usize> = (0..self.ast.funcs.len()).collect();
+        for i in bodies {
+            self.check_func(i)?;
+        }
+        let main = self
+            .func_ids
+            .get("main")
+            .copied()
+            .ok_or_else(|| Error::check(Span::default(), "program has no `main` function"))?;
+        let m = &self.funcs[main.0 as usize];
+        if m.ret != Type::Int {
+            return Err(Error::check(
+                self.ast.funcs[m.ast_index].span,
+                "`main` must return int",
+            ));
+        }
+        if !(m.params.is_empty()
+            || (m.params.len() == 2
+                && m.params[0].1 == Type::Int
+                && m.params[1].1 == Type::char_ptr().ptr_to()))
+        {
+            return Err(Error::check(
+                self.ast.funcs[m.ast_index].span,
+                "`main` must take () or (int argc, char **argv)",
+            ));
+        }
+        Ok(Program {
+            ast: self.ast,
+            structs: self.structs,
+            globals: self.globals,
+            funcs: self.funcs,
+            strings: self.strings,
+            main,
+            expr_ty: self.expr_ty,
+            res: self.res,
+            callee: self.callee,
+            field_offset: self.field_offset,
+            str_id: self.str_id,
+            decl_slot: self.decl_slot,
+        })
+    }
+
+    // ---- collection passes -------------------------------------------------
+
+    fn collect_structs(&mut self) -> Result<()> {
+        for (i, s) in self.ast.structs.iter().enumerate() {
+            if self
+                .struct_ids
+                .insert(s.name.clone(), StructId(i as u32))
+                .is_some()
+            {
+                return Err(Error::check(
+                    s.span,
+                    format!("duplicate struct `{}`", s.name),
+                ));
+            }
+        }
+        let defs = self.ast.structs.clone();
+        for (i, s) in defs.iter().enumerate() {
+            let mut fields = Vec::new();
+            let mut offset = 0usize;
+            for f in &s.fields {
+                let ty = self.resolve_type(&f.ty, false)?;
+                if let Type::Struct(sid) = strip_arrays(&ty) {
+                    if sid.0 as usize >= i {
+                        return Err(Error::check(
+                            f.span,
+                            format!(
+                                "field `{}` embeds struct `{}` before it is defined",
+                                f.name, defs[sid.0 as usize].name
+                            ),
+                        ));
+                    }
+                }
+                let size = ty.size_cells(&self.structs);
+                fields.push(FieldLayout {
+                    name: f.name.clone(),
+                    ty,
+                    offset,
+                });
+                offset += size;
+            }
+            self.structs.push(StructLayout {
+                name: s.name.clone(),
+                fields,
+                size_cells: offset,
+            });
+        }
+        Ok(())
+    }
+
+    fn collect_globals(&mut self) -> Result<()> {
+        for gi in 0..self.ast.globals.len() {
+            let g = self.ast.globals[gi].clone();
+            let mut ty = self.resolve_type(&g.ty, true)?;
+            // Infer `[]` dimensions from the initializer.
+            if let (Type::Array(elem, 0), Some(init)) = (&ty, &g.init) {
+                let n = match init {
+                    Init::List(items) => items.len(),
+                    Init::Expr(e) => match &e.kind {
+                        ExprKind::StrLit(s) => s.len() + 1,
+                        _ => {
+                            return Err(Error::check(
+                                g.span,
+                                "cannot infer array size from a scalar initializer",
+                            ))
+                        }
+                    },
+                };
+                ty = Type::Array(elem.clone(), n);
+            }
+            if matches!(ty, Type::Array(_, 0)) {
+                return Err(Error::check(g.span, "array size required"));
+            }
+            let size = ty.size_cells(&self.structs);
+            if size == 0 {
+                return Err(Error::check(g.span, "global has zero size"));
+            }
+            let mut cells = Vec::new();
+            if let Some(init) = &g.init {
+                self.flatten_init(&ty, init, g.span, &mut cells)?;
+            }
+            let id = GlobalId(self.globals.len() as u32);
+            if self.global_ids.insert(g.name.clone(), id).is_some() {
+                return Err(Error::check(
+                    g.span,
+                    format!("duplicate global `{}`", g.name),
+                ));
+            }
+            self.globals.push(GlobalInfo {
+                name: g.name.clone(),
+                ty,
+                size,
+                init: cells,
+                unit: g.unit,
+            });
+        }
+        Ok(())
+    }
+
+    fn collect_funcs(&mut self) -> Result<()> {
+        for (i, f) in self.ast.funcs.clone().iter().enumerate() {
+            if Builtin::from_name(&f.name).is_some() {
+                return Err(Error::check(
+                    f.span,
+                    format!("`{}` is a builtin and cannot be redefined", f.name),
+                ));
+            }
+            if self.global_ids.contains_key(&f.name) {
+                return Err(Error::check(
+                    f.span,
+                    format!("`{}` already defined as a global", f.name),
+                ));
+            }
+            let ret = self.resolve_type(&f.ret, false)?;
+            if !matches!(ret, Type::Void | Type::Int | Type::Char | Type::Ptr(_)) {
+                return Err(Error::check(
+                    f.span,
+                    "functions may only return scalars or void",
+                ));
+            }
+            let mut params = Vec::new();
+            for p in &f.params {
+                let ty = self.resolve_type(&p.ty, true)?.decayed();
+                if !ty.is_scalar() {
+                    return Err(Error::check(
+                        p.span,
+                        "parameters must be scalars (pass structs by pointer)",
+                    ));
+                }
+                params.push((p.name.clone(), ty));
+            }
+            let id = FuncId(i as u32);
+            if self.func_ids.insert(f.name.clone(), id).is_some() {
+                return Err(Error::check(
+                    f.span,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+            self.funcs.push(FuncInfo {
+                name: f.name.clone(),
+                ret,
+                params,
+                frame_cells: 0,
+                ast_index: i,
+                unit: f.unit,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- helpers ------------------------------------------------------------
+
+    fn resolve_type(&self, te: &TypeExpr, allow_infer: bool) -> Result<Type> {
+        let mut ty = match &te.base {
+            BaseTy::Int => Type::Int,
+            BaseTy::Char => Type::Char,
+            BaseTy::Void => Type::Void,
+            BaseTy::Struct(name) => Type::Struct(
+                *self
+                    .struct_ids
+                    .get(name)
+                    .ok_or_else(|| Error::check(te.span, format!("unknown struct `{name}`")))?,
+            ),
+        };
+        for _ in 0..te.stars {
+            ty = Type::Ptr(Box::new(ty));
+        }
+        if ty == Type::Void && te.dims.is_empty() && te.stars == 0 {
+            // Plain `void` is only valid as a return type; callers decide.
+        }
+        for dim in te.dims.iter().rev() {
+            let n = match dim {
+                Some(n) => *n,
+                None if allow_infer => 0,
+                None => return Err(Error::check(te.span, "array size required")),
+            };
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn intern(&mut self, s: &[u8]) -> StrId {
+        if let Some(id) = self.string_ids.get(s) {
+            return *id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(s.to_vec());
+        self.string_ids.insert(s.to_vec(), id);
+        id
+    }
+
+    fn const_eval(&mut self, e: &Expr) -> Result<InitCell> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(InitCell::Int(*v)),
+            ExprKind::StrLit(s) => {
+                let id = self.intern(s);
+                self.str_id[e.id.0 as usize] = Some(id);
+                Ok(InitCell::Str(id))
+            }
+            ExprKind::Unary { op, expr } => {
+                let v = match self.const_eval(expr)? {
+                    InitCell::Int(v) => v,
+                    InitCell::Str(_) => {
+                        return Err(Error::check(e.span, "cannot apply operator to string"))
+                    }
+                };
+                Ok(InitCell::Int(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::BitNot => !v,
+                }))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let (a, b) = match (self.const_eval(lhs)?, self.const_eval(rhs)?) {
+                    (InitCell::Int(a), InitCell::Int(b)) => (a, b),
+                    _ => return Err(Error::check(e.span, "string in constant arithmetic")),
+                };
+                crate::eval::binop(*op, a, b)
+                    .map(InitCell::Int)
+                    .map_err(|m| Error::check(e.span, m))
+            }
+            ExprKind::Sizeof(te) => {
+                let ty = self.resolve_type(te, false)?;
+                Ok(InitCell::Int(ty.size_cells(&self.structs) as i64))
+            }
+            _ => Err(Error::check(
+                e.span,
+                "global initializers must be constant expressions",
+            )),
+        }
+    }
+
+    fn flatten_init(
+        &mut self,
+        ty: &Type,
+        init: &Init,
+        span: Span,
+        out: &mut Vec<InitCell>,
+    ) -> Result<()> {
+        match (ty, init) {
+            // char array initialized from a string literal.
+            (Type::Array(elem, n), Init::Expr(e))
+                if **elem == Type::Char && matches!(e.kind, ExprKind::StrLit(_)) =>
+            {
+                let s = match &e.kind {
+                    ExprKind::StrLit(s) => s.clone(),
+                    _ => unreachable!(),
+                };
+                if s.len() + 1 > *n {
+                    return Err(Error::check(span, "string initializer longer than array"));
+                }
+                for b in &s {
+                    out.push(InitCell::Int(*b as i64));
+                }
+                out.push(InitCell::Int(0));
+                for _ in s.len() + 1..*n {
+                    out.push(InitCell::Int(0));
+                }
+                Ok(())
+            }
+            (t, Init::Expr(e)) if t.is_scalar() => {
+                let cell = self.const_eval(e)?;
+                if matches!(cell, InitCell::Str(_)) && t != &Type::char_ptr() {
+                    return Err(Error::check(span, "string initializer needs char* type"));
+                }
+                out.push(cell);
+                Ok(())
+            }
+            (Type::Array(elem, n), Init::List(items)) => {
+                if items.len() > *n {
+                    return Err(Error::check(span, "too many initializers for array"));
+                }
+                let elem_size = elem.size_cells(&self.structs);
+                for item in items {
+                    self.flatten_init(elem, item, span, out)?;
+                }
+                for _ in items.len() * elem_size..*n * elem_size {
+                    out.push(InitCell::Int(0));
+                }
+                Ok(())
+            }
+            (Type::Struct(sid), Init::List(items)) => {
+                let layout = self.structs[sid.0 as usize].clone();
+                if items.len() > layout.fields.len() {
+                    return Err(Error::check(span, "too many initializers for struct"));
+                }
+                for (f, item) in layout.fields.iter().zip(items) {
+                    self.flatten_init(&f.ty, item, span, out)?;
+                }
+                let filled: usize = layout
+                    .fields
+                    .iter()
+                    .take(items.len())
+                    .map(|f| f.ty.size_cells(&self.structs))
+                    .sum();
+                for _ in filled..layout.size_cells {
+                    out.push(InitCell::Int(0));
+                }
+                Ok(())
+            }
+            _ => Err(Error::check(span, "initializer shape does not match type")),
+        }
+    }
+
+    // ---- function body checking ---------------------------------------------
+
+    fn check_func(&mut self, idx: usize) -> Result<()> {
+        let def = self.ast.funcs[idx].clone();
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.frame_next = 0;
+        self.cur_ret = self.funcs[idx].ret.clone();
+        self.loop_depth = 0;
+        self.switch_depth = 0;
+        let params = self.funcs[idx].params.clone();
+        for (name, ty) in &params {
+            let off = self.frame_next;
+            self.frame_next += 1;
+            if self
+                .scopes
+                .last_mut()
+                .expect("scope stack is never empty")
+                .insert(name.clone(), (off, ty.clone()))
+                .is_some()
+            {
+                return Err(Error::check(
+                    def.span,
+                    format!("duplicate parameter `{name}`"),
+                ));
+            }
+        }
+        self.check_block(&def.body)?;
+        self.funcs[idx].frame_cells = self.frame_next;
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<(usize, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn check_block(&mut self, b: &Block) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<()> {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let ty = self.resolve_type(ty, false)?;
+                if !ty.is_scalar() && !matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                    return Err(Error::check(s.span, "local must have a sized type"));
+                }
+                let size = ty.size_cells(&self.structs);
+                if size == 0 {
+                    return Err(Error::check(s.span, "local has zero size"));
+                }
+                if let Some(e) = init {
+                    if !ty.is_scalar() {
+                        return Err(Error::check(
+                            s.span,
+                            "only scalar locals may have initializers",
+                        ));
+                    }
+                    let rhs = self.check_expr(e)?;
+                    self.check_assignable(&ty, &rhs, e.span)?;
+                }
+                let offset = self.frame_next;
+                self.frame_next += size;
+                self.decl_slot[s.id.0 as usize] = Some(DeclSlot {
+                    offset,
+                    ty: ty.clone(),
+                });
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(name.clone(), (offset, ty));
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.check_expr(e)?;
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+                ..
+            } => {
+                let t = self.check_expr(cond)?;
+                self.check_scalar(&t, cond.span)?;
+                self.check_block(then_b)?;
+                if let Some(b) = else_b {
+                    self.check_block(b)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body, .. } => {
+                let t = self.check_expr(cond)?;
+                self.check_scalar(&t, cond.span)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                let t = self.check_expr(cond)?;
+                self.check_scalar(&t, cond.span)?;
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.check_stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    let t = self.check_expr(c)?;
+                    self.check_scalar(&t, c.span)?;
+                }
+                if let Some(st) = step {
+                    self.check_expr(st)?;
+                }
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                let t = self.check_expr(scrutinee)?;
+                if !t.is_integral() {
+                    return Err(Error::check(
+                        scrutinee.span,
+                        format!("switch scrutinee must be integral, got {t}"),
+                    ));
+                }
+                let mut seen = std::collections::HashSet::new();
+                self.switch_depth += 1;
+                for c in cases {
+                    if !seen.insert(c.value) {
+                        return Err(Error::check(
+                            c.span,
+                            format!("duplicate case value {}", c.value),
+                        ));
+                    }
+                    self.scopes.push(HashMap::new());
+                    for st in &c.body {
+                        self.check_stmt(st)?;
+                    }
+                    self.scopes.pop();
+                }
+                if let Some(d) = default {
+                    self.scopes.push(HashMap::new());
+                    for st in d {
+                        self.check_stmt(st)?;
+                    }
+                    self.scopes.pop();
+                }
+                self.switch_depth -= 1;
+                Ok(())
+            }
+            StmtKind::Return(value) => match (&self.cur_ret.clone(), value) {
+                (Type::Void, None) => Ok(()),
+                (Type::Void, Some(e)) => {
+                    Err(Error::check(e.span, "void function returning a value"))
+                }
+                (t, Some(e)) => {
+                    let vt = self.check_expr(e)?;
+                    self.check_assignable(t, &vt, e.span)
+                }
+                (_, None) => Err(Error::check(
+                    s.span,
+                    "non-void function must return a value",
+                )),
+            },
+            StmtKind::Break => {
+                if self.loop_depth == 0 && self.switch_depth == 0 {
+                    return Err(Error::check(s.span, "break outside loop or switch"));
+                }
+                Ok(())
+            }
+            StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(Error::check(s.span, "continue outside loop"));
+                }
+                Ok(())
+            }
+            StmtKind::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn check_scalar(&self, t: &Type, span: Span) -> Result<()> {
+        if t.decayed().is_scalar() {
+            Ok(())
+        } else {
+            Err(Error::check(
+                span,
+                format!("expected a scalar value, got {t}"),
+            ))
+        }
+    }
+
+    /// Lenient C-style assignability: integrals interconvert, pointers
+    /// interconvert, and integral<->pointer is allowed (NULL, fd tricks).
+    fn check_assignable(&self, lhs: &Type, rhs: &Type, span: Span) -> Result<()> {
+        let l = lhs.decayed();
+        let r = rhs.decayed();
+        if l.is_scalar() && r.is_scalar() {
+            Ok(())
+        } else {
+            Err(Error::check(span, format!("cannot assign {r} to {l}")))
+        }
+    }
+
+    fn is_lvalue(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Ident(_) => self.res[e.id.0 as usize].is_some(),
+            ExprKind::Deref(_) | ExprKind::Index { .. } | ExprKind::Field { .. } => true,
+            _ => false,
+        }
+    }
+
+    fn set_ty(&mut self, e: &Expr, t: Type) -> Type {
+        self.expr_ty[e.id.0 as usize] = t.clone();
+        t
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Type> {
+        let t = self.infer_expr(e)?;
+        Ok(self.set_ty(e, t))
+    }
+
+    fn infer_expr(&mut self, e: &Expr) -> Result<Type> {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ok(Type::Int),
+            ExprKind::StrLit(s) => {
+                let id = self.intern(s);
+                self.str_id[e.id.0 as usize] = Some(id);
+                Ok(Type::char_ptr())
+            }
+            ExprKind::Ident(name) => {
+                if let Some((offset, ty)) = self.lookup(name) {
+                    self.res[e.id.0 as usize] = Some(Res::Local { offset });
+                    Ok(ty)
+                } else if let Some(gid) = self.global_ids.get(name) {
+                    self.res[e.id.0 as usize] = Some(Res::Global(*gid));
+                    Ok(self.globals[gid.0 as usize].ty.clone())
+                } else if self.func_ids.contains_key(name) {
+                    Err(Error::check(
+                        e.span,
+                        format!("function `{name}` used as a value (function pointers are not supported)"),
+                    ))
+                } else {
+                    Err(Error::check(e.span, format!("unknown identifier `{name}`")))
+                }
+            }
+            ExprKind::Unary { op, expr } => {
+                let t = self.check_expr(expr)?;
+                match op {
+                    UnOp::Not => {
+                        self.check_scalar(&t, expr.span)?;
+                        Ok(Type::Int)
+                    }
+                    UnOp::Neg | UnOp::BitNot => {
+                        if !t.is_integral() {
+                            return Err(Error::check(
+                                expr.span,
+                                format!("arithmetic on non-integral type {t}"),
+                            ));
+                        }
+                        Ok(Type::Int)
+                    }
+                }
+            }
+            ExprKind::Deref(inner) => {
+                let t = self.check_expr(inner)?.decayed();
+                match t.pointee() {
+                    Some(Type::Void) => {
+                        Err(Error::check(e.span, "cannot dereference void pointer"))
+                    }
+                    Some(p) => Ok(p.clone()),
+                    None => Err(Error::check(
+                        inner.span,
+                        format!("cannot dereference non-pointer type {t}"),
+                    )),
+                }
+            }
+            ExprKind::AddrOf(inner) => {
+                let t = self.check_expr(inner)?;
+                if !self.is_lvalue(inner) {
+                    return Err(Error::check(inner.span, "cannot take address of rvalue"));
+                }
+                // `&arr` yields a pointer to the first element, like `&arr[0]`.
+                match t {
+                    Type::Array(elem, _) => Ok(Type::Ptr(elem)),
+                    other => Ok(Type::Ptr(Box::new(other))),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?.decayed();
+                let rt = self.check_expr(rhs)?.decayed();
+                self.binary_type(*op, &lt, &rt, e.span)
+            }
+            ExprKind::Logical { lhs, rhs, .. } => {
+                let lt = self.check_expr(lhs)?;
+                self.check_scalar(&lt, lhs.span)?;
+                let rt = self.check_expr(rhs)?;
+                self.check_scalar(&rt, rhs.span)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                let ct = self.check_expr(cond)?;
+                self.check_scalar(&ct, cond.span)?;
+                let tt = self.check_expr(then_e)?.decayed();
+                let et = self.check_expr(else_e)?.decayed();
+                if tt == et {
+                    Ok(tt)
+                } else if tt.is_integral() && et.is_integral() {
+                    Ok(Type::Int)
+                } else if matches!(tt, Type::Ptr(_)) && et.is_integral() {
+                    Ok(tt)
+                } else if matches!(et, Type::Ptr(_)) && tt.is_integral() {
+                    Ok(et)
+                } else if matches!(tt, Type::Ptr(_)) && matches!(et, Type::Ptr(_)) {
+                    Ok(tt)
+                } else {
+                    Err(Error::check(
+                        e.span,
+                        format!("incompatible ternary arms: {tt} vs {et}"),
+                    ))
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?;
+                if !self.is_lvalue(lhs) {
+                    return Err(Error::check(lhs.span, "assignment target is not an lvalue"));
+                }
+                if matches!(lt, Type::Array(..) | Type::Struct(_)) {
+                    return Err(Error::check(
+                        lhs.span,
+                        "aggregate assignment is not supported (copy fields or use memcpy)",
+                    ));
+                }
+                let rt = self.check_expr(rhs)?;
+                if let Some(op) = op {
+                    let folded = self.binary_type(*op, &lt.decayed(), &rt.decayed(), e.span)?;
+                    self.check_assignable(&lt, &folded, e.span)?;
+                } else {
+                    self.check_assignable(&lt, &rt, e.span)?;
+                }
+                Ok(lt)
+            }
+            ExprKind::IncDec { expr, .. } => {
+                let t = self.check_expr(expr)?;
+                if !self.is_lvalue(expr) {
+                    return Err(Error::check(expr.span, "++/-- target is not an lvalue"));
+                }
+                if !(t.is_integral() || matches!(t, Type::Ptr(_))) {
+                    return Err(Error::check(
+                        expr.span,
+                        format!("cannot increment value of type {t}"),
+                    ));
+                }
+                Ok(t)
+            }
+            ExprKind::Call { callee, args } => self.check_call(e, callee, args),
+            ExprKind::Index { base, index } => {
+                let bt = self.check_expr(base)?;
+                let it = self.check_expr(index)?;
+                if !it.is_integral() {
+                    return Err(Error::check(index.span, "array index must be integral"));
+                }
+                match bt {
+                    Type::Array(elem, _) => Ok(*elem),
+                    Type::Ptr(p) if *p != Type::Void => Ok(*p),
+                    other => Err(Error::check(
+                        base.span,
+                        format!("cannot index value of type {other}"),
+                    )),
+                }
+            }
+            ExprKind::Field { base, field, arrow } => {
+                let bt = self.check_expr(base)?;
+                let sid = match (&bt, arrow) {
+                    (Type::Struct(sid), false) => *sid,
+                    (Type::Ptr(inner), true) => match inner.as_ref() {
+                        Type::Struct(sid) => *sid,
+                        other => {
+                            return Err(Error::check(
+                                base.span,
+                                format!("`->` on pointer to non-struct {other}"),
+                            ))
+                        }
+                    },
+                    (other, false) => {
+                        return Err(Error::check(
+                            base.span,
+                            format!("`.` on non-struct type {other}"),
+                        ))
+                    }
+                    (other, true) => {
+                        return Err(Error::check(
+                            base.span,
+                            format!("`->` on non-pointer type {other}"),
+                        ))
+                    }
+                };
+                let layout = &self.structs[sid.0 as usize];
+                let f = layout.field(field).ok_or_else(|| {
+                    Error::check(
+                        e.span,
+                        format!("struct `{}` has no field `{field}`", layout.name),
+                    )
+                })?;
+                self.field_offset[e.id.0 as usize] = Some(f.offset);
+                Ok(f.ty.clone())
+            }
+            ExprKind::Sizeof(te) => {
+                let _ = self.resolve_type(te, false)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Cast { ty, expr } => {
+                let _ = self.check_expr(expr)?;
+                let to = self.resolve_type(ty, false)?;
+                if !to.is_scalar() {
+                    return Err(Error::check(e.span, "casts may only target scalar types"));
+                }
+                Ok(to)
+            }
+        }
+    }
+
+    fn binary_type(&self, op: BinOp, lt: &Type, rt: &Type, span: Span) -> Result<Type> {
+        use BinOp::*;
+        match op {
+            Add => match (lt, rt) {
+                (Type::Ptr(p), r) if r.is_integral() => Ok(Type::Ptr(p.clone())),
+                (l, Type::Ptr(p)) if l.is_integral() => Ok(Type::Ptr(p.clone())),
+                (l, r) if l.is_integral() && r.is_integral() => Ok(Type::Int),
+                _ => Err(Error::check(span, format!("cannot add {lt} and {rt}"))),
+            },
+            Sub => match (lt, rt) {
+                (Type::Ptr(p), r) if r.is_integral() => Ok(Type::Ptr(p.clone())),
+                (Type::Ptr(a), Type::Ptr(b)) if a == b => Ok(Type::Int),
+                (l, r) if l.is_integral() && r.is_integral() => Ok(Type::Int),
+                _ => Err(Error::check(
+                    span,
+                    format!("cannot subtract {rt} from {lt}"),
+                )),
+            },
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                if lt.is_scalar() && rt.is_scalar() {
+                    Ok(Type::Int)
+                } else {
+                    Err(Error::check(span, format!("cannot compare {lt} and {rt}")))
+                }
+            }
+            Mul | Div | Rem | BitAnd | BitOr | BitXor | Shl | Shr => {
+                if lt.is_integral() && rt.is_integral() {
+                    Ok(Type::Int)
+                } else {
+                    Err(Error::check(
+                        span,
+                        format!("integer operation on {lt} and {rt}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn check_call(&mut self, e: &Expr, callee: &str, args: &[Expr]) -> Result<Type> {
+        let mut arg_tys = Vec::new();
+        for a in args {
+            let t = self.check_expr(a)?.decayed();
+            if !t.is_scalar() {
+                return Err(Error::check(
+                    a.span,
+                    format!("argument must be a scalar, got {t}"),
+                ));
+            }
+            arg_tys.push(t);
+        }
+        if let Some(fid) = self.func_ids.get(callee).copied() {
+            let f = &self.funcs[fid.0 as usize];
+            if f.params.len() != args.len() {
+                return Err(Error::check(
+                    e.span,
+                    format!(
+                        "`{callee}` expects {} arguments, got {}",
+                        f.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            self.callee[e.id.0 as usize] = Some(Callee::Func(fid));
+            return Ok(f.ret.clone());
+        }
+        if let Some(b) = Builtin::from_name(callee) {
+            match b.arity() {
+                Some(n) if n != args.len() => {
+                    return Err(Error::check(
+                        e.span,
+                        format!("`{callee}` expects {n} arguments, got {}", args.len()),
+                    ));
+                }
+                None if args.is_empty() => {
+                    return Err(Error::check(e.span, "printf needs a format string"));
+                }
+                _ => {}
+            }
+            self.callee[e.id.0 as usize] = Some(Callee::Builtin(b));
+            let ret = match b {
+                Builtin::Malloc => Type::Ptr(Box::new(Type::Void)),
+                Builtin::Free | Builtin::Exit | Builtin::Abort | Builtin::Assert => Type::Void,
+                Builtin::Printf | Builtin::Sys(_) => Type::Int,
+            };
+            return Ok(ret);
+        }
+        Err(Error::check(e.span, format!("unknown function `{callee}`")))
+    }
+}
+
+fn strip_arrays(t: &Type) -> Type {
+    match t {
+        Type::Array(inner, _) => strip_arrays(inner),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Program> {
+        check(parse(src)?)
+    }
+
+    #[test]
+    fn checks_minimal_program() {
+        let p = check_src("int main() { return 0; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.main, FuncId(0));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(check_src("int f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_main_signature() {
+        assert!(check_src("void main() { }").is_err());
+        assert!(check_src("int main(int x) { return x; }").is_err());
+    }
+
+    #[test]
+    fn accepts_argc_argv_main() {
+        let p = check_src("int main(int argc, char **argv) { return argc; }").unwrap();
+        assert_eq!(p.funcs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn resolves_locals_and_globals() {
+        let src = r#"
+            int counter = 7;
+            int main() { int x = counter; return x; }
+        "#;
+        let p = check_src(src).unwrap();
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.globals[0].init, vec![InitCell::Int(7)]);
+    }
+
+    #[test]
+    fn frame_layout_assigns_distinct_offsets() {
+        let src = r#"
+            int main() {
+                int a = 1;
+                char buf[4];
+                int b = 2;
+                return a + b + buf[0];
+            }
+        "#;
+        let p = check_src(src).unwrap();
+        let slots: Vec<_> = p.decl_slot.iter().flatten().collect();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0].offset, 0);
+        assert_eq!(slots[1].offset, 1); // buf occupies 4 cells
+        assert_eq!(slots[2].offset, 5);
+        assert_eq!(p.funcs[0].frame_cells, 6);
+    }
+
+    #[test]
+    fn struct_layout_offsets() {
+        let src = r#"
+            struct conn { int fd; char buf[8]; int used; };
+            int main() { struct conn c; c.used = 1; return c.used; }
+        "#;
+        let p = check_src(src).unwrap();
+        let s = &p.structs[0];
+        assert_eq!(s.size_cells, 10);
+        assert_eq!(s.field("used").unwrap().offset, 9);
+    }
+
+    #[test]
+    fn string_literals_are_interned_once() {
+        let src = r#"
+            int main() {
+                char *a = "hi";
+                char *b = "hi";
+                char *c = "other";
+                return a == b;
+            }
+        "#;
+        let p = check_src(src).unwrap();
+        assert_eq!(p.strings.len(), 2);
+    }
+
+    #[test]
+    fn global_array_inference_from_string() {
+        let p = check_src("char msg[] = \"abc\";\nint main() { return msg[0]; }").unwrap();
+        assert_eq!(p.globals[0].size, 4);
+        assert_eq!(p.globals[0].init.len(), 4);
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        assert!(check_src("int main() { return nope; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(check_src("int main() { return nope(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(check_src("int f(int a) { return a; } int main() { return f(); }").is_err());
+        assert!(check_src("int main() { return sys_close(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn rejects_redefining_builtin() {
+        assert!(check_src("int printf(char *f) { return 0; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_struct_assignment() {
+        let src = r#"
+            struct p { int x; };
+            int main() { struct p a; struct p b; a = b; return 0; }
+        "#;
+        assert!(check_src(src).is_err());
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(check_src("int main() { break; return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_deref_of_int() {
+        assert!(check_src("int main() { int x; return *x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_void_pointer_deref() {
+        assert!(check_src("int main() { void *p; return *p; }").is_err());
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let src = r#"
+            int main() {
+                char buf[8];
+                char *p = buf;
+                p = p + 3;
+                int d = p - buf;
+                return d;
+            }
+        "#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_address_of_rvalue() {
+        assert!(check_src("int main() { int *p = &(1 + 2); return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        let src = r#"
+            int main() {
+                switch (1) { case 1: return 1; case 1: return 2; }
+                return 0;
+            }
+        "#;
+        assert!(check_src(src).is_err());
+    }
+
+    #[test]
+    fn const_eval_arithmetic() {
+        let p = check_src("int x = 3 * 4 + 1;\nint main() { return x; }").unwrap();
+        assert_eq!(p.globals[0].init, vec![InitCell::Int(13)]);
+    }
+
+    #[test]
+    fn array_initializer_padding() {
+        let p = check_src("int t[4] = {1, 2};\nint main() { return t[3]; }").unwrap();
+        assert_eq!(
+            p.globals[0].init,
+            vec![
+                InitCell::Int(1),
+                InitCell::Int(2),
+                InitCell::Int(0),
+                InitCell::Int(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_forward_embedded_struct() {
+        let src = r#"
+            struct a { struct b inner; };
+            struct b { int x; };
+            int main() { return 0; }
+        "#;
+        assert!(check_src(src).is_err());
+    }
+
+    #[test]
+    fn allows_struct_pointer_fields() {
+        let src = r#"
+            struct node { int v; struct node *next; };
+            int main() { struct node n; n.next = 0; return n.v; }
+        "#;
+        assert!(check_src(src).is_ok());
+    }
+}

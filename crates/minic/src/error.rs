@@ -1,0 +1,101 @@
+//! Error types shared by the mini-C front end.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Result alias for front-end operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A front-end error: lexing, parsing, or semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// Source region the error refers to.
+    pub span: Span,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// The front-end phase an [`Error`] originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Check,
+    /// Bytecode compilation.
+    Compile,
+}
+
+impl Error {
+    /// Creates a lexer error.
+    pub fn lex(span: Span, msg: impl Into<String>) -> Self {
+        Error {
+            phase: Phase::Lex,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(span: Span, msg: impl Into<String>) -> Self {
+        Error {
+            phase: Phase::Parse,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    /// Creates a semantic-analysis error.
+    pub fn check(span: Span, msg: impl Into<String>) -> Self {
+        Error {
+            phase: Phase::Check,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    /// Creates a compilation error.
+    pub fn compile(span: Span, msg: impl Into<String>) -> Self {
+        Error {
+            phase: Phase::Compile,
+            span,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Compile => "compile",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, UnitId};
+
+    #[test]
+    fn display_mentions_phase_and_location() {
+        let e = Error::parse(
+            Span::point(UnitId(1), Pos::new(3, 7)),
+            "expected expression",
+        );
+        let s = e.to_string();
+        assert!(s.contains("parse error"));
+        assert!(s.contains("3:7"));
+        assert!(s.contains("expected expression"));
+    }
+}

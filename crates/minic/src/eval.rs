@@ -1,0 +1,89 @@
+//! Shared concrete evaluation of operators.
+//!
+//! Used by the constant evaluator in the checker and by the VM, so both
+//! agree exactly on arithmetic semantics (wrapping 64-bit, C-like shifts,
+//! comparisons producing 0/1).
+
+use crate::ast::{BinOp, UnOp};
+
+/// Evaluates a binary operation on concrete values.
+///
+/// Returns `Err` with a crash description for division or remainder by
+/// zero; every other operation is total (wrapping).
+pub fn binop(op: BinOp, a: i64, b: i64) -> Result<i64, &'static str> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err("division by zero");
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err("remainder by zero");
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+    })
+}
+
+/// Evaluates a unary operation on a concrete value.
+pub fn unop(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::BitNot => !a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_produce_zero_or_one() {
+        assert_eq!(binop(BinOp::Lt, 1, 2).unwrap(), 1);
+        assert_eq!(binop(BinOp::Lt, 2, 1).unwrap(), 0);
+        assert_eq!(binop(BinOp::Eq, 5, 5).unwrap(), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(binop(BinOp::Div, 1, 0).is_err());
+        assert!(binop(BinOp::Rem, 1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(binop(BinOp::Add, i64::MAX, 1).unwrap(), i64::MIN);
+        assert_eq!(binop(BinOp::Mul, i64::MAX, 2).unwrap(), -2);
+    }
+
+    #[test]
+    fn shifts_mask_the_amount() {
+        assert_eq!(binop(BinOp::Shl, 1, 64).unwrap(), 1);
+        assert_eq!(binop(BinOp::Shl, 1, 3).unwrap(), 8);
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(unop(UnOp::Neg, 5), -5);
+        assert_eq!(unop(UnOp::Not, 0), 1);
+        assert_eq!(unop(UnOp::Not, 7), 0);
+        assert_eq!(unop(UnOp::BitNot, 0), -1);
+    }
+}

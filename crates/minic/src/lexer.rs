@@ -1,0 +1,454 @@
+//! Hand-written lexer for mini-C.
+//!
+//! The lexer supports the C subset used by the benchmark programs: decimal,
+//! hexadecimal and octal integer literals, character constants, string
+//! literals with the common escapes, `//` and `/* */` comments, and the full
+//! operator set of [`crate::token::Tok`].
+
+use crate::error::{Error, Result};
+use crate::span::{Pos, Span, UnitId};
+use crate::token::{SpannedTok, Tok};
+
+/// Lexes one source unit into a token stream terminated by [`Tok::Eof`].
+pub fn lex(unit: UnitId, src: &str) -> Result<Vec<SpannedTok>> {
+    Lexer::new(unit, src).run()
+}
+
+struct Lexer<'s> {
+    unit: UnitId,
+    bytes: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<SpannedTok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(unit: UnitId, src: &'s str) -> Self {
+        Lexer {
+            unit,
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.i).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.i + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn error(&self, start: Pos, msg: impl Into<String>) -> Error {
+        Error::lex(Span::new(self.unit, start, self.pos()), msg.into())
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedTok>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos();
+            if self.i >= self.bytes.len() {
+                self.emit(start, Tok::Eof);
+                return Ok(self.out);
+            }
+            let c = self.peek();
+            match c {
+                b'0'..=b'9' => self.number(start)?,
+                b'\'' => self.char_const(start)?,
+                b'"' => self.string(start)?,
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(start),
+                _ => self.operator(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.i < self.bytes.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.i >= self.bytes.len() {
+                            return Err(self.error(start, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn emit(&mut self, start: Pos, tok: Tok) {
+        let span = Span::new(self.unit, start, self.pos());
+        self.out.push(SpannedTok { tok, span });
+    }
+
+    fn number(&mut self, start: Pos) -> Result<()> {
+        let mut value: i64 = 0;
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            while self.peek().is_ascii_hexdigit() {
+                let d = self.bump();
+                let d = match d {
+                    b'0'..=b'9' => (d - b'0') as i64,
+                    b'a'..=b'f' => (d - b'a' + 10) as i64,
+                    _ => (d - b'A' + 10) as i64,
+                };
+                value = value.wrapping_mul(16).wrapping_add(d);
+                any = true;
+            }
+            if !any {
+                return Err(self.error(start, "hex literal needs at least one digit"));
+            }
+        } else if self.peek() == b'0' && self.peek2().is_ascii_digit() {
+            // Octal, as in C.
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                let d = self.bump();
+                if d > b'7' {
+                    return Err(self.error(start, "invalid digit in octal literal"));
+                }
+                value = value.wrapping_mul(8).wrapping_add((d - b'0') as i64);
+            }
+        } else {
+            while self.peek().is_ascii_digit() {
+                let d = self.bump();
+                value = value.wrapping_mul(10).wrapping_add((d - b'0') as i64);
+            }
+        }
+        if self.peek().is_ascii_alphabetic() || self.peek() == b'_' {
+            return Err(self.error(start, "identifier may not start with a digit"));
+        }
+        self.emit(start, Tok::Int(value));
+        Ok(())
+    }
+
+    fn escape(&mut self, start: Pos) -> Result<u8> {
+        // The leading backslash has been consumed.
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'a' => 0x07,
+            b'b' => 0x08,
+            b'f' => 0x0c,
+            b'v' => 0x0b,
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                while self.peek().is_ascii_hexdigit() {
+                    let d = self.bump();
+                    let d = match d {
+                        b'0'..=b'9' => (d - b'0') as u32,
+                        b'a'..=b'f' => (d - b'a' + 10) as u32,
+                        _ => (d - b'A' + 10) as u32,
+                    };
+                    v = v * 16 + d;
+                    any = true;
+                }
+                if !any {
+                    return Err(self.error(start, "\\x escape needs hex digits"));
+                }
+                (v & 0xff) as u8
+            }
+            0 => return Err(self.error(start, "unterminated escape sequence")),
+            other => {
+                return Err(self.error(
+                    start,
+                    format!("unknown escape sequence `\\{}`", other as char),
+                ))
+            }
+        })
+    }
+
+    fn char_const(&mut self, start: Pos) -> Result<()> {
+        self.bump(); // opening quote
+        let c = match self.peek() {
+            b'\\' => {
+                self.bump();
+                self.escape(start)?
+            }
+            0 => return Err(self.error(start, "unterminated character constant")),
+            b'\'' => return Err(self.error(start, "empty character constant")),
+            _ => self.bump(),
+        };
+        if self.bump() != b'\'' {
+            return Err(self.error(start, "unterminated character constant"));
+        }
+        self.emit(start, Tok::Int(c as i64));
+        Ok(())
+    }
+
+    fn string(&mut self, start: Pos) -> Result<()> {
+        self.bump(); // opening quote
+        let mut buf = Vec::new();
+        loop {
+            match self.peek() {
+                0 => return Err(self.error(start, "unterminated string literal")),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                b'\\' => {
+                    self.bump();
+                    buf.push(self.escape(start)?);
+                }
+                b'\n' => return Err(self.error(start, "newline in string literal")),
+                _ => buf.push(self.bump()),
+            }
+        }
+        self.emit(start, Tok::Str(buf));
+        Ok(())
+    }
+
+    fn ident(&mut self, start: Pos) {
+        let begin = self.i;
+        while matches!(self.peek(), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.i])
+            .expect("identifier bytes are ASCII")
+            .to_string();
+        let tok = Tok::keyword(&text).unwrap_or(Tok::Ident(text));
+        self.emit(start, tok);
+    }
+
+    fn operator(&mut self, start: Pos) -> Result<()> {
+        let c = self.bump();
+        let n = self.peek();
+        let tok = match (c, n) {
+            (b'(', _) => Tok::LParen,
+            (b')', _) => Tok::RParen,
+            (b'{', _) => Tok::LBrace,
+            (b'}', _) => Tok::RBrace,
+            (b'[', _) => Tok::LBracket,
+            (b']', _) => Tok::RBracket,
+            (b';', _) => Tok::Semi,
+            (b',', _) => Tok::Comma,
+            (b':', _) => Tok::Colon,
+            (b'?', _) => Tok::Question,
+            (b'.', _) => Tok::Dot,
+            (b'~', _) => Tok::Tilde,
+            (b'+', b'+') => self.two(Tok::PlusPlus),
+            (b'+', b'=') => self.two(Tok::PlusAssign),
+            (b'+', _) => Tok::Plus,
+            (b'-', b'-') => self.two(Tok::MinusMinus),
+            (b'-', b'=') => self.two(Tok::MinusAssign),
+            (b'-', b'>') => self.two(Tok::Arrow),
+            (b'-', _) => Tok::Minus,
+            (b'*', b'=') => self.two(Tok::StarAssign),
+            (b'*', _) => Tok::Star,
+            (b'/', b'=') => self.two(Tok::SlashAssign),
+            (b'/', _) => Tok::Slash,
+            (b'%', b'=') => self.two(Tok::PercentAssign),
+            (b'%', _) => Tok::Percent,
+            (b'&', b'&') => self.two(Tok::AndAnd),
+            (b'&', b'=') => self.two(Tok::AmpAssign),
+            (b'&', _) => Tok::Amp,
+            (b'|', b'|') => self.two(Tok::OrOr),
+            (b'|', b'=') => self.two(Tok::PipeAssign),
+            (b'|', _) => Tok::Pipe,
+            (b'^', b'=') => self.two(Tok::CaretAssign),
+            (b'^', _) => Tok::Caret,
+            (b'!', b'=') => self.two(Tok::Ne),
+            (b'!', _) => Tok::Bang,
+            (b'=', b'=') => self.two(Tok::Eq),
+            (b'=', _) => Tok::Assign,
+            (b'<', b'<') => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    Tok::ShlAssign
+                } else {
+                    Tok::Shl
+                }
+            }
+            (b'<', b'=') => self.two(Tok::Le),
+            (b'<', _) => Tok::Lt,
+            (b'>', b'>') => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    Tok::ShrAssign
+                } else {
+                    Tok::Shr
+                }
+            }
+            (b'>', b'=') => self.two(Tok::Ge),
+            (b'>', _) => Tok::Gt,
+            _ => {
+                return Err(self.error(start, format!("unexpected character `{}`", c as char)));
+            }
+        };
+        self.emit(start, tok);
+        Ok(())
+    }
+
+    fn two(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(UnitId(0), src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_program() {
+        let toks = kinds("int main() { return 0; }");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::KwInt,
+                Tok::Ident("main".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::KwReturn,
+                Tok::Int(0),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0x1F 017 42")[..3],
+            [Tok::Int(31), Tok::Int(15), Tok::Int(42)]
+        );
+    }
+
+    #[test]
+    fn lexes_char_constants() {
+        assert_eq!(
+            kinds("'a' '\\n' '\\\\' '\\0'")[..4],
+            [Tok::Int(97), Tok::Int(10), Tok::Int(92), Tok::Int(0)]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = kinds("\"hi\\n\"");
+        assert_eq!(toks[0], Tok::Str(b"hi\n".to_vec()));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("<<= >>= -> ++ -- && || <= >= == !=")[..10],
+            [
+                Tok::ShlAssign,
+                Tok::ShrAssign,
+                Tok::Arrow,
+                Tok::PlusPlus,
+                Tok::MinusMinus,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("int /* block \n comment */ x; // line\nchar y;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::KwChar,
+                Tok::Ident("y".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex(UnitId(0), "int\nx\n;").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[2].span.start.line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex(UnitId(0), "\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex(UnitId(0), "/* abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_escape() {
+        assert!(lex(UnitId(0), "\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn hex_escape_in_string() {
+        let toks = kinds("\"\\x41\\x42\"");
+        assert_eq!(toks[0], Tok::Str(b"AB".to_vec()));
+    }
+}

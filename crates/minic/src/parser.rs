@@ -1,0 +1,1120 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! The parser is the authority on branch-location identity: every
+//! conditional construct receives a [`BranchId`] in source order, shared
+//! across all source units of a program. Analyses, instrumentation and
+//! replay all key on these ids.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::lex;
+use crate::span::{Span, UnitId};
+use crate::token::{SpannedTok, Tok};
+
+/// Parses a multi-unit program (e.g. `[("libc", LIBC_SRC), ("app", APP_SRC)]`).
+///
+/// Units share one namespace; ids (`ExprId`, `StmtId`, `BranchId`) are
+/// assigned sequentially across units in the given order, so the same
+/// sources always produce the same ids.
+pub fn parse_units(units: &[(&str, &str)]) -> Result<Ast> {
+    let mut ast = Ast::default();
+    let mut ids = IdGen::default();
+    for (i, (name, src)) in units.iter().enumerate() {
+        let unit = UnitId(i as u16);
+        ast.units.push(name.to_string());
+        let toks = lex(unit, src)?;
+        let mut p = Parser {
+            toks,
+            i: 0,
+            unit,
+            ids: &mut ids,
+            cur_func: String::new(),
+            branches: Vec::new(),
+        };
+        p.unit_decls(&mut ast)?;
+        ast.branches.append(&mut p.branches);
+    }
+    ast.n_exprs = ids.expr;
+    ast.n_stmts = ids.stmt;
+    Ok(ast)
+}
+
+/// Parses a single anonymous unit (convenience for tests and examples).
+pub fn parse(src: &str) -> Result<Ast> {
+    parse_units(&[("main", src)])
+}
+
+#[derive(Default)]
+struct IdGen {
+    expr: u32,
+    stmt: u32,
+    branch: u32,
+}
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    i: usize,
+    unit: UnitId,
+    ids: &'a mut IdGen,
+    cur_func: String,
+    branches: Vec<BranchInfo>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let j = (self.i + 1).min(self.toks.len() - 1);
+        &self.toks[j].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.i].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.i.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Span> {
+        if self.peek() == &tok {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(Error::parse(
+                self.span(),
+                format!("expected {}, found {}", tok.describe(), self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn new_expr(&mut self, kind: ExprKind, span: Span) -> Expr {
+        let id = ExprId(self.ids.expr);
+        self.ids.expr += 1;
+        Expr { id, kind, span }
+    }
+
+    fn new_stmt(&mut self, kind: StmtKind, span: Span) -> Stmt {
+        let id = StmtId(self.ids.stmt);
+        self.ids.stmt += 1;
+        Stmt { id, kind, span }
+    }
+
+    fn new_branch(&mut self, kind: BranchKind, span: Span) -> BranchId {
+        let id = BranchId(self.ids.branch);
+        self.ids.branch += 1;
+        self.branches.push(BranchInfo {
+            id,
+            kind,
+            unit: self.unit,
+            line: span.start.line,
+            col: span.start.col,
+            func: self.cur_func.clone(),
+        });
+        id
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn unit_decls(&mut self, ast: &mut Ast) -> Result<()> {
+        while self.peek() != &Tok::Eof {
+            if self.peek() == &Tok::KwStruct && self.is_struct_def() {
+                ast.structs.push(self.struct_def()?);
+                continue;
+            }
+            // `static` / `const` are accepted and ignored.
+            while matches!(self.peek(), Tok::KwStatic | Tok::KwConst) {
+                self.bump();
+            }
+            let ty = self.type_expr()?;
+            let name = self.ident()?;
+            if self.peek() == &Tok::LParen {
+                ast.funcs.push(self.func_def(ty, name)?);
+            } else {
+                ast.globals.push(self.global_def(ty, name)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinguishes `struct S { ... };` from `struct S x;` / `struct S *f()`.
+    fn is_struct_def(&self) -> bool {
+        // struct IDENT {  -> definition.
+        matches!(self.peek2(), Tok::Ident(_))
+            && self.toks.get(self.i + 2).map(|t| &t.tok) == Some(&Tok::LBrace)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef> {
+        let start = self.span();
+        self.expect(Tok::KwStruct)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            let fstart = self.span();
+            let base = self.type_expr()?;
+            let fname = self.ident()?;
+            let ty = self.with_dims(base)?;
+            fields.push(FieldDef {
+                name: fname,
+                ty,
+                span: fstart.to(self.prev_span()),
+            });
+            self.expect(Tok::Semi)?;
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.to(self.prev_span()),
+            unit: self.unit,
+        })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr> {
+        let start = self.span();
+        let base = match self.bump() {
+            Tok::KwInt => BaseTy::Int,
+            Tok::KwChar => BaseTy::Char,
+            Tok::KwVoid => BaseTy::Void,
+            Tok::KwStruct => BaseTy::Struct(self.ident()?),
+            other => return Err(Error::parse(start, format!("expected type, found {other}"))),
+        };
+        let mut stars = 0u8;
+        while self.eat(&Tok::Star) {
+            stars += 1;
+        }
+        Ok(TypeExpr {
+            base,
+            stars,
+            dims: Vec::new(),
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// Parses trailing `[N]` dimensions after a declarator name.
+    fn with_dims(&mut self, mut ty: TypeExpr) -> Result<TypeExpr> {
+        while self.eat(&Tok::LBracket) {
+            if self.eat(&Tok::RBracket) {
+                ty.dims.push(None);
+            } else {
+                let sz = match self.bump() {
+                    Tok::Int(v) if v >= 0 => v as usize,
+                    other => {
+                        return Err(Error::parse(
+                            self.prev_span(),
+                            format!("expected array size, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                ty.dims.push(Some(sz));
+            }
+        }
+        Ok(ty)
+    }
+
+    fn global_def(&mut self, base: TypeExpr, name: String) -> Result<GlobalDef> {
+        let start = base.span;
+        let ty = self.with_dims(base)?;
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDef {
+            name,
+            ty,
+            init,
+            span: start.to(self.prev_span()),
+            unit: self.unit,
+        })
+    }
+
+    fn initializer(&mut self) -> Result<Init> {
+        if self.eat(&Tok::LBrace) {
+            let mut items = Vec::new();
+            if self.peek() != &Tok::RBrace {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    if self.peek() == &Tok::RBrace {
+                        break; // trailing comma
+                    }
+                }
+            }
+            self.expect(Tok::RBrace)?;
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Expr(self.assignment()?))
+        }
+    }
+
+    fn func_def(&mut self, ret: TypeExpr, name: String) -> Result<FuncDef> {
+        let start = ret.span;
+        self.cur_func = name.clone();
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            // `void` alone means "no parameters".
+            if self.peek() == &Tok::KwVoid && self.peek2() == &Tok::RParen {
+                self.bump();
+            } else {
+                loop {
+                    let pstart = self.span();
+                    let base = self.type_expr()?;
+                    let pname = self.ident()?;
+                    let ty = self.with_dims(base)?;
+                    params.push(Param {
+                        name: pname,
+                        ty,
+                        span: pstart.to(self.prev_span()),
+                    });
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        self.cur_func.clear();
+        Ok(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            span: start.to(self.prev_span()),
+            unit: self.unit,
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block> {
+        let start = self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    /// Parses a statement; single statements after `if`/loops become blocks.
+    fn stmt_as_block(&mut self) -> Result<Block> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span;
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct | Tok::KwStatic | Tok::KwConst
+        )
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::LBrace => {
+                let b = self.block()?;
+                let span = b.span;
+                Ok(self.new_stmt(StmtKind::Block(b), span))
+            }
+            Tok::KwIf => self.if_stmt(),
+            Tok::KwWhile => self.while_stmt(),
+            Tok::KwDo => self.do_while_stmt(),
+            Tok::KwFor => self.for_stmt(),
+            Tok::KwSwitch => self.switch_stmt(),
+            Tok::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(self.new_stmt(StmtKind::Return(value), start.to(self.prev_span())))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(self.new_stmt(StmtKind::Break, start))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(self.new_stmt(StmtKind::Continue, start))
+            }
+            _ if self.is_type_start() => {
+                let s = self.decl_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect(Tok::Semi)?;
+                let span = start.to(self.prev_span());
+                Ok(self.new_stmt(StmtKind::Expr(e), span))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        while matches!(self.peek(), Tok::KwStatic | Tok::KwConst) {
+            self.bump();
+        }
+        let base = self.type_expr()?;
+        let name = self.ident()?;
+        let ty = self.with_dims(base)?;
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.assignment()?)
+        } else {
+            None
+        };
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(StmtKind::Decl { name, ty, init }, span))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(Tok::KwIf)?;
+        self.expect(Tok::LParen)?;
+        let cond_span = self.span();
+        let cond = self.expression()?;
+        self.expect(Tok::RParen)?;
+        let branch = self.new_branch(BranchKind::If, cond_span);
+        let then_b = self.stmt_as_block()?;
+        let else_b = if self.eat(&Tok::KwElse) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(
+            StmtKind::If {
+                branch,
+                cond,
+                then_b,
+                else_b,
+            },
+            span,
+        ))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(Tok::KwWhile)?;
+        self.expect(Tok::LParen)?;
+        let cond_span = self.span();
+        let cond = self.expression()?;
+        self.expect(Tok::RParen)?;
+        let branch = self.new_branch(BranchKind::While, cond_span);
+        let body = self.stmt_as_block()?;
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(StmtKind::While { branch, cond, body }, span))
+    }
+
+    fn do_while_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(Tok::KwDo)?;
+        let body = self.stmt_as_block()?;
+        self.expect(Tok::KwWhile)?;
+        self.expect(Tok::LParen)?;
+        let cond_span = self.span();
+        let cond = self.expression()?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        let branch = self.new_branch(BranchKind::DoWhile, cond_span);
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(StmtKind::DoWhile { branch, body, cond }, span))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(Tok::KwFor)?;
+        self.expect(Tok::LParen)?;
+        let init = if self.peek() == &Tok::Semi {
+            self.bump();
+            None
+        } else if self.is_type_start() {
+            let s = self.decl_stmt()?;
+            self.expect(Tok::Semi)?;
+            Some(Box::new(s))
+        } else {
+            let e = self.expression()?;
+            let span = e.span;
+            self.expect(Tok::Semi)?;
+            Some(Box::new(self.new_stmt(StmtKind::Expr(e), span)))
+        };
+        let (cond, branch) = if self.peek() == &Tok::Semi {
+            (None, None)
+        } else {
+            let cond_span = self.span();
+            let c = self.expression()?;
+            (Some(c), Some(self.new_branch(BranchKind::For, cond_span)))
+        };
+        self.expect(Tok::Semi)?;
+        let step = if self.peek() == &Tok::RParen {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect(Tok::RParen)?;
+        let body = self.stmt_as_block()?;
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(
+            StmtKind::For {
+                branch,
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        ))
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(Tok::KwSwitch)?;
+        self.expect(Tok::LParen)?;
+        let scrutinee = self.expression()?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::LBrace)?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        let mut default: Option<Vec<Stmt>> = None;
+        while self.peek() != &Tok::RBrace {
+            if self.eat(&Tok::KwCase) {
+                let cspan = self.prev_span();
+                let neg = self.eat(&Tok::Minus);
+                let value = match self.bump() {
+                    Tok::Int(v) => {
+                        if neg {
+                            -v
+                        } else {
+                            v
+                        }
+                    }
+                    other => {
+                        return Err(Error::parse(
+                            self.prev_span(),
+                            format!("expected constant case value, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::Colon)?;
+                let branch = self.new_branch(BranchKind::SwitchCase, cspan);
+                let body = self.case_body()?;
+                cases.push(SwitchCase {
+                    value,
+                    branch,
+                    body,
+                    span: cspan,
+                });
+            } else if self.eat(&Tok::KwDefault) {
+                self.expect(Tok::Colon)?;
+                if default.is_some() {
+                    return Err(Error::parse(self.prev_span(), "duplicate default label"));
+                }
+                default = Some(self.case_body()?);
+            } else {
+                return Err(Error::parse(
+                    self.span(),
+                    format!("expected case or default, found {}", self.peek()),
+                ));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        let span = start.to(self.prev_span());
+        Ok(self.new_stmt(
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            },
+            span,
+        ))
+    }
+
+    fn case_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Tok::KwCase | Tok::KwDefault | Tok::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PercentAssign => Some(BinOp::Rem),
+            Tok::AmpAssign => Some(BinOp::BitAnd),
+            Tok::PipeAssign => Some(BinOp::BitOr),
+            Tok::CaretAssign => Some(BinOp::BitXor),
+            Tok::ShlAssign => Some(BinOp::Shl),
+            Tok::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(self.new_expr(
+            ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        ))
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.logical_or()?;
+        if !self.eat(&Tok::Question) {
+            return Ok(cond);
+        }
+        let branch = self.new_branch(BranchKind::Ternary, cond.span);
+        let then_e = self.expression()?;
+        self.expect(Tok::Colon)?;
+        let else_e = self.ternary()?;
+        let span = cond.span.to(else_e.span);
+        Ok(self.new_expr(
+            ExprKind::Ternary {
+                branch,
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            },
+            span,
+        ))
+    }
+
+    fn logical_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.logical_and()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let branch = self.new_branch(BranchKind::LogicalOr, lhs.span);
+            let rhs = self.logical_and()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.new_expr(
+                ExprKind::Logical {
+                    op: LogOp::Or,
+                    branch,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_or()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let branch = self.new_branch(BranchKind::LogicalAnd, lhs.span);
+            let rhs = self.bit_or()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.new_expr(
+                ExprKind::Logical {
+                    op: LogOp::And,
+                    branch,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr>,
+        table: &[(Tok, BinOp)],
+    ) -> Result<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span.to(rhs.span);
+                    lhs = self.new_expr(
+                        ExprKind::Binary {
+                            op: *op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                        span,
+                    );
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        self.binary_level(Self::bit_xor, &[(Tok::Pipe, BinOp::BitOr)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        self.binary_level(Self::bit_and, &[(Tok::Caret, BinOp::BitXor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        self.binary_level(Self::equality, &[(Tok::Amp, BinOp::BitAnd)])
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::relational,
+            &[(Tok::Eq, BinOp::Eq), (Tok::Ne, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::shift,
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+            ],
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::additive,
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::Unary {
+                        op: UnOp::BitNot,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(ExprKind::Deref(Box::new(e)), span))
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(ExprKind::AddrOf(Box::new(e)), span))
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::IncDec {
+                        op: IncDec::PreInc,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::IncDec {
+                        op: IncDec::PreDec,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            Tok::KwSizeof => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let base = self.type_expr()?;
+                let ty = self.with_dims(base)?;
+                let end = self.expect(Tok::RParen)?;
+                Ok(self.new_expr(ExprKind::Sizeof(ty), start.to(end)))
+            }
+            // Cast: `(type) expr`.
+            Tok::LParen
+                if matches!(
+                    self.peek2(),
+                    Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct
+                ) =>
+            {
+                self.bump();
+                let ty = self.type_expr()?;
+                self.expect(Tok::RParen)?;
+                let e = self.unary()?;
+                let span = start.to(e.span);
+                Ok(self.new_expr(
+                    ExprKind::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek().clone() {
+                Tok::LParen => {
+                    let callee = match &e.kind {
+                        ExprKind::Ident(name) => name.clone(),
+                        _ => {
+                            return Err(Error::parse(
+                                e.span,
+                                "only direct calls to named functions are supported",
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.assignment()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(Tok::RParen)?;
+                    let span = e.span.to(end);
+                    e = self.new_expr(ExprKind::Call { callee, args }, span);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    let end = self.expect(Tok::RBracket)?;
+                    let span = e.span.to(end);
+                    e = self.new_expr(
+                        ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(index),
+                        },
+                        span,
+                    );
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    let span = e.span.to(self.prev_span());
+                    e = self.new_expr(
+                        ExprKind::Field {
+                            base: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                        span,
+                    );
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let field = self.ident()?;
+                    let span = e.span.to(self.prev_span());
+                    e = self.new_expr(
+                        ExprKind::Field {
+                            base: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                        span,
+                    );
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = self.new_expr(
+                        ExprKind::IncDec {
+                            op: IncDec::PostInc,
+                            expr: Box::new(e),
+                        },
+                        span,
+                    );
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = self.new_expr(
+                        ExprKind::IncDec {
+                            op: IncDec::PostDec,
+                            expr: Box::new(e),
+                        },
+                        span,
+                    );
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let start = self.span();
+        match self.bump() {
+            Tok::Int(v) => Ok(self.new_expr(ExprKind::IntLit(v), start)),
+            Tok::Str(s) => Ok(self.new_expr(ExprKind::StrLit(s), start)),
+            Tok::Ident(name) => Ok(self.new_expr(ExprKind::Ident(name), start)),
+            Tok::LParen => {
+                let e = self.expression()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(Error::parse(
+                start,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let ast = parse("int main() { return 0; }").unwrap();
+        assert_eq!(ast.funcs.len(), 1);
+        assert_eq!(ast.funcs[0].name, "main");
+        assert_eq!(ast.n_branches(), 0);
+    }
+
+    #[test]
+    fn assigns_branch_ids_in_source_order() {
+        let src = r#"
+            int f(int x) {
+                if (x > 0) { return 1; }
+                while (x < 10) { x = x + 1; }
+                for (x = 0; x < 3; x = x + 1) { }
+                return x > 1 && x < 9;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.n_branches(), 4);
+        assert_eq!(ast.branches[0].kind, BranchKind::If);
+        assert_eq!(ast.branches[1].kind, BranchKind::While);
+        assert_eq!(ast.branches[2].kind, BranchKind::For);
+        assert_eq!(ast.branches[3].kind, BranchKind::LogicalAnd);
+        assert!(ast.branches.iter().all(|b| b.func == "f"));
+    }
+
+    #[test]
+    fn parses_struct_and_globals() {
+        let src = r#"
+            struct point { int x; int y; };
+            int table[4] = {1, 2, 3, 4};
+            char *msg = "hello";
+            int main() { struct point p; p.x = 1; return p.x; }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.structs.len(), 1);
+        assert_eq!(ast.globals.len(), 2);
+        assert_eq!(ast.structs[0].fields.len(), 2);
+    }
+
+    #[test]
+    fn parses_switch_with_fallthrough() {
+        let src = r#"
+            int f(int x) {
+                switch (x) {
+                    case 1:
+                    case 2: return 10;
+                    case 3: break;
+                    default: return -1;
+                }
+                return 0;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        // Three `case` labels = three branch locations.
+        assert_eq!(ast.n_branches(), 3);
+        assert!(ast
+            .branches
+            .iter()
+            .all(|b| b.kind == BranchKind::SwitchCase));
+    }
+
+    #[test]
+    fn parses_pointer_declarations_and_arrays() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                char buf[64];
+                int *p;
+                int m[2][3];
+                p = &m[0][0];
+                buf[0] = argv[0][0];
+                return *p;
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_ternary_and_casts() {
+        let src = "int f(int x) { return x > 0 ? (char)x : -x; }";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.branches[0].kind, BranchKind::Ternary);
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let src = "int f(int x) { do { x--; } while (x > 0); return x; }";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.branches[0].kind, BranchKind::DoWhile);
+    }
+
+    #[test]
+    fn branch_ids_are_shared_across_units() {
+        let lib = "int lib_f(int x) { if (x) { return 1; } return 0; }";
+        let app = "int main() { if (lib_f(2)) { return 1; } return 0; }";
+        let ast = parse_units(&[("lib", lib), ("app", app)]).unwrap();
+        assert_eq!(ast.n_branches(), 2);
+        assert_eq!(ast.branches[0].unit.0, 0);
+        assert_eq!(ast.branches[1].unit.0, 1);
+    }
+
+    #[test]
+    fn rejects_call_through_expression() {
+        assert!(parse("int main() { (1 + 2)(); return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("int main() { return @; }").is_err());
+        assert!(parse("int main() { if }").is_err());
+    }
+
+    #[test]
+    fn for_without_condition_has_no_branch() {
+        let ast = parse("int f() { for (;;) { break; } return 0; }").unwrap();
+        assert_eq!(ast.n_branches(), 0);
+    }
+
+    #[test]
+    fn compound_assignment_parses() {
+        let ast = parse("int f(int x) { x += 2; x <<= 1; x %= 3; return x; }").unwrap();
+        assert_eq!(ast.funcs[0].body.stmts.len(), 4);
+    }
+}

@@ -1,0 +1,476 @@
+//! Pretty-printer for mini-C ASTs.
+//!
+//! Primarily a testing tool: property tests check that printing a parsed
+//! program and re-parsing it yields the same structure (and, crucially,
+//! the same branch-location count in the same order — branch ids must be
+//! stable under round-tripping for logs to stay meaningful).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole AST back to (single-unit) mini-C source.
+pub fn print_ast(ast: &Ast) -> String {
+    let mut p = Printer::default();
+    for s in &ast.structs {
+        p.struct_def(s);
+    }
+    for g in &ast.globals {
+        p.global(g);
+    }
+    for f in &ast.funcs {
+        p.func(f);
+    }
+    p.out
+}
+
+/// Renders a single expression (diagnostics, debugging).
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(e);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn ty(&self, t: &TypeExpr) -> String {
+        let mut s = match &t.base {
+            BaseTy::Int => "int".to_string(),
+            BaseTy::Char => "char".to_string(),
+            BaseTy::Void => "void".to_string(),
+            BaseTy::Struct(n) => format!("struct {n}"),
+        };
+        for _ in 0..t.stars {
+            s.push('*');
+        }
+        s
+    }
+
+    fn dims(&self, t: &TypeExpr) -> String {
+        let mut s = String::new();
+        for d in &t.dims {
+            match d {
+                Some(n) => {
+                    let _ = write!(s, "[{n}]");
+                }
+                None => s.push_str("[]"),
+            }
+        }
+        s
+    }
+
+    fn struct_def(&mut self, s: &StructDef) {
+        self.line(&format!("struct {} {{", s.name));
+        self.indent += 1;
+        for f in &s.fields {
+            let decl = format!("{} {}{};", self.ty(&f.ty), f.name, self.dims(&f.ty));
+            self.line(&decl);
+        }
+        self.indent -= 1;
+        self.line("};");
+    }
+
+    fn global(&mut self, g: &GlobalDef) {
+        let mut s = format!("{} {}{}", self.ty(&g.ty), g.name, self.dims(&g.ty));
+        if let Some(init) = &g.init {
+            s.push_str(" = ");
+            s.push_str(&self.init(init));
+        }
+        s.push(';');
+        self.line(&s);
+    }
+
+    fn init(&self, i: &Init) -> String {
+        match i {
+            Init::Expr(e) => {
+                let mut p = Printer::default();
+                p.expr(e);
+                p.out
+            }
+            Init::List(items) => {
+                let inner: Vec<String> = items.iter().map(|x| self.init(x)).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+
+    fn func(&mut self, f: &FuncDef) {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("{} {}{}", self.ty(&p.ty), p.name, self.dims(&p.ty)))
+            .collect();
+        self.line(&format!(
+            "{} {}({}) {{",
+            self.ty(&f.ret),
+            f.name,
+            params.join(", ")
+        ));
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block_body(&mut self, b: &Block) {
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let mut line = format!("{} {}{}", self.ty(ty), name, self.dims(ty));
+                if let Some(e) = init {
+                    let mut p = Printer::default();
+                    p.expr(e);
+                    let _ = write!(line, " = {}", p.out);
+                }
+                line.push(';');
+                self.line(&line);
+            }
+            StmtKind::Expr(e) => {
+                let mut p = Printer::default();
+                p.expr(e);
+                self.line(&format!("{};", p.out));
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+                ..
+            } => {
+                let mut p = Printer::default();
+                p.expr(cond);
+                self.line(&format!("if ({}) {{", p.out));
+                self.block_body(then_b);
+                if let Some(e) = else_b {
+                    self.line("} else {");
+                    self.block_body(e);
+                }
+                self.line("}");
+            }
+            StmtKind::While { cond, body, .. } => {
+                let mut p = Printer::default();
+                p.expr(cond);
+                self.line(&format!("while ({}) {{", p.out));
+                self.block_body(body);
+                self.line("}");
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                self.line("do {");
+                self.block_body(body);
+                let mut p = Printer::default();
+                p.expr(cond);
+                self.line(&format!("}} while ({});", p.out));
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let init_s = match init {
+                    Some(s) => {
+                        let mut p = Printer::default();
+                        p.stmt(s);
+                        p.out.trim_end().trim_end_matches(';').to_string()
+                    }
+                    None => String::new(),
+                };
+                let cond_s = match cond {
+                    Some(e) => {
+                        let mut p = Printer::default();
+                        p.expr(e);
+                        p.out
+                    }
+                    None => String::new(),
+                };
+                let step_s = match step {
+                    Some(e) => {
+                        let mut p = Printer::default();
+                        p.expr(e);
+                        p.out
+                    }
+                    None => String::new(),
+                };
+                self.line(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
+                self.block_body(body);
+                self.line("}");
+            }
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                let mut p = Printer::default();
+                p.expr(scrutinee);
+                self.line(&format!("switch ({}) {{", p.out));
+                self.indent += 1;
+                for c in cases {
+                    self.line(&format!("case {}:", c.value));
+                    self.indent += 1;
+                    for st in &c.body {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(d) = default {
+                    self.line("default:");
+                    self.indent += 1;
+                    for st in d {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Return(v) => match v {
+                Some(e) => {
+                    let mut p = Printer::default();
+                    p.expr(e);
+                    self.line(&format!("return {};", p.out));
+                }
+                None => self.line("return;"),
+            },
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Block(b) => {
+                self.line("{");
+                self.block_body(b);
+                self.line("}");
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::StrLit(s) => {
+                self.out.push('"');
+                for b in s {
+                    match b {
+                        b'\n' => self.out.push_str("\\n"),
+                        b'\t' => self.out.push_str("\\t"),
+                        b'\r' => self.out.push_str("\\r"),
+                        b'\\' => self.out.push_str("\\\\"),
+                        b'"' => self.out.push_str("\\\""),
+                        0 => self.out.push_str("\\0"),
+                        b if b.is_ascii_graphic() || *b == b' ' => self.out.push(*b as char),
+                        b => {
+                            let _ = write!(self.out, "\\x{b:02x}");
+                        }
+                    }
+                }
+                self.out.push('"');
+            }
+            ExprKind::Ident(n) => self.out.push_str(n),
+            ExprKind::Unary { op, expr } => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                self.out.push_str(sym);
+                self.out.push('(');
+                self.expr(expr);
+                self.out.push(')');
+            }
+            ExprKind::Deref(inner) => {
+                self.out.push_str("*(");
+                self.expr(inner);
+                self.out.push(')');
+            }
+            ExprKind::AddrOf(inner) => {
+                self.out.push_str("&(");
+                self.expr(inner);
+                self.out.push(')');
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.out.push('(');
+                self.expr(lhs);
+                let _ = write!(self.out, " {} ", bin_sym(*op));
+                self.expr(rhs);
+                self.out.push(')');
+            }
+            ExprKind::Logical { op, lhs, rhs, .. } => {
+                self.out.push('(');
+                self.expr(lhs);
+                let _ = write!(
+                    self.out,
+                    " {} ",
+                    match op {
+                        LogOp::And => "&&",
+                        LogOp::Or => "||",
+                    }
+                );
+                self.expr(rhs);
+                self.out.push(')');
+            }
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                self.out.push('(');
+                self.expr(cond);
+                self.out.push_str(" ? ");
+                self.expr(then_e);
+                self.out.push_str(" : ");
+                self.expr(else_e);
+                self.out.push(')');
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.expr(lhs);
+                match op {
+                    Some(op) => {
+                        let _ = write!(self.out, " {}= ", bin_sym(*op));
+                    }
+                    None => self.out.push_str(" = "),
+                }
+                self.expr(rhs);
+            }
+            ExprKind::IncDec { op, expr } => match op {
+                IncDec::PreInc => {
+                    self.out.push_str("++");
+                    self.expr(expr);
+                }
+                IncDec::PreDec => {
+                    self.out.push_str("--");
+                    self.expr(expr);
+                }
+                IncDec::PostInc => {
+                    self.expr(expr);
+                    self.out.push_str("++");
+                }
+                IncDec::PostDec => {
+                    self.expr(expr);
+                    self.out.push_str("--");
+                }
+            },
+            ExprKind::Call { callee, args } => {
+                self.out.push_str(callee);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+            ExprKind::Field { base, field, arrow } => {
+                self.expr(base);
+                self.out.push_str(if *arrow { "->" } else { "." });
+                self.out.push_str(field);
+            }
+            ExprKind::Sizeof(t) => {
+                let _ = write!(self.out, "sizeof({}{})", self.ty(t), self.dims(t));
+            }
+            ExprKind::Cast { ty, expr } => {
+                let _ = write!(self.out, "({})", self.ty(ty));
+                self.out.push('(');
+                self.expr(expr);
+                self.out.push(')');
+            }
+        }
+    }
+}
+
+fn bin_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_preserves_branch_count_and_kinds() {
+        let src = r#"
+            struct s { int a; char buf[4]; };
+            int g = 3;
+            char msg[] = "hi\n";
+            int helper(int x) {
+                if (x > 0 && x < 10) { return x; }
+                for (int i = 0; i < x; i++) { x--; }
+                while (x) { x = x / 2; }
+                switch (x) { case 0: return 1; default: return 2; }
+            }
+            int main() { return helper(g) ? 1 : 0; }
+        "#;
+        let a1 = parse(src).unwrap();
+        let printed = print_ast(&a1);
+        let a2 = parse(&printed).unwrap();
+        assert_eq!(a1.n_branches(), a2.n_branches());
+        for (b1, b2) in a1.branches.iter().zip(a2.branches.iter()) {
+            assert_eq!(b1.kind, b2.kind);
+            assert_eq!(b1.func, b2.func);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let src = "int main() { int x = 1; x += 2; x++; return -x; }";
+        let a1 = parse(src).unwrap();
+        let printed = print_ast(&a1);
+        let a2 = parse(&printed).unwrap();
+        assert_eq!(a1.funcs[0].body.stmts.len(), a2.funcs[0].body.stmts.len());
+    }
+
+    #[test]
+    fn prints_escapes_safely() {
+        let src = "char *s = \"a\\n\\t\\\"b\\\\\\x01\";\nint main() { return 0; }";
+        let a1 = parse(src).unwrap();
+        let printed = print_ast(&a1);
+        let a2 = parse(&printed).unwrap();
+        let (g1, g2) = (&a1.globals[0], &a2.globals[0]);
+        assert_eq!(g1.init, g2.init);
+    }
+}

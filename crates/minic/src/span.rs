@@ -1,0 +1,173 @@
+//! Source positions and spans for diagnostics, branch locations and crash sites.
+
+use std::fmt;
+
+/// A position in a source unit: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Identifier of a source unit (e.g. the application file vs. the library file).
+///
+/// Units let the profiler attribute branches to "application" vs. "library"
+/// code, reproducing the split of Figure 3 in the paper.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct UnitId(pub u16);
+
+/// A half-open region of a single source unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Which source unit this span belongs to.
+    pub unit: UnitId,
+    /// Start position (inclusive).
+    pub start: Pos,
+    /// End position (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span inside `unit` covering `start..end`.
+    pub fn new(unit: UnitId, start: Pos, end: Pos) -> Self {
+        Span { unit, start, end }
+    }
+
+    /// A span covering a single position.
+    pub fn point(unit: UnitId, pos: Pos) -> Self {
+        Span {
+            unit,
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Merges two spans into the smallest span covering both.
+    ///
+    /// Both spans must belong to the same unit; the unit of `self` wins
+    /// otherwise (merging across units only happens on malformed input).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            unit: self.unit,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}:{}", self.unit.0, self.start)
+    }
+}
+
+/// A program location used in crash reports and branch tables.
+///
+/// Locations are comparable across instrumented and uninstrumented runs of
+/// the same program, which is what lets replay verify that it reached the
+/// same crash site as the recorded execution.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Loc {
+    /// Source unit of the location.
+    pub unit: UnitId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Loc {
+    /// Creates a location from a span's start position.
+    pub fn from_span(span: Span) -> Self {
+        Loc {
+            unit: span.unit,
+            line: span.start.line,
+            col: span.start.col,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}:{}:{}", self.unit.0, self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let u = UnitId(0);
+        let a = Span::new(u, Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(u, Pos::new(2, 3), Pos::new(2, 9));
+        let m = a.to(b);
+        assert_eq!(m.start, Pos::new(1, 1));
+        assert_eq!(m.end, Pos::new(2, 9));
+    }
+
+    #[test]
+    fn loc_orders_by_unit_then_line() {
+        let a = Loc {
+            unit: UnitId(0),
+            line: 10,
+            col: 1,
+        };
+        let b = Loc {
+            unit: UnitId(1),
+            line: 1,
+            col: 1,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Loc {
+            unit: UnitId(2),
+            line: 3,
+            col: 4,
+        };
+        assert_eq!(l.to_string(), "u2:3:4");
+    }
+}

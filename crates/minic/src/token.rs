@@ -1,0 +1,230 @@
+//! Token definitions for the mini-C lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// Integer literal (decimal, hex `0x`, octal `0`, or char constant).
+    Int(i64),
+    /// String literal, with escapes already processed.
+    Str(Vec<u8>),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwSizeof,
+    KwStatic,
+    KwConst,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+
+    // Operators.
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Returns the keyword token for `s`, if `s` is a keyword.
+    pub fn keyword(s: &str) -> Option<Tok> {
+        Some(match s {
+            "int" => Tok::KwInt,
+            "char" => Tok::KwChar,
+            "void" => Tok::KwVoid,
+            "struct" => Tok::KwStruct,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "for" => Tok::KwFor,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "switch" => Tok::KwSwitch,
+            "case" => Tok::KwCase,
+            "default" => Tok::KwDefault,
+            "sizeof" => Tok::KwSizeof,
+            "static" => Tok::KwStatic,
+            "const" => Tok::KwConst,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling of punctuation/keyword tokens.
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::KwInt => "int",
+            Tok::KwChar => "char",
+            Tok::KwVoid => "void",
+            Tok::KwStruct => "struct",
+            Tok::KwIf => "if",
+            Tok::KwElse => "else",
+            Tok::KwWhile => "while",
+            Tok::KwFor => "for",
+            Tok::KwDo => "do",
+            Tok::KwReturn => "return",
+            Tok::KwBreak => "break",
+            Tok::KwContinue => "continue",
+            Tok::KwSwitch => "switch",
+            Tok::KwCase => "case",
+            Tok::KwDefault => "default",
+            Tok::KwSizeof => "sizeof",
+            Tok::KwStatic => "static",
+            Tok::KwConst => "const",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::AmpAssign => "&=",
+            Tok::PipeAssign => "|=",
+            Tok::CaretAssign => "^=",
+            Tok::ShlAssign => "<<=",
+            Tok::ShrAssign => ">>=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Bang => "!",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Eq => "==",
+            Tok::Ne => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Int(_) | Tok::Str(_) | Tok::Ident(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token kind.
+    pub tok: Tok,
+    /// Where the token appeared.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Tok::keyword("while"), Some(Tok::KwWhile));
+        assert_eq!(Tok::keyword("sizeof"), Some(Tok::KwSizeof));
+        assert_eq!(Tok::keyword("banana"), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(Tok::Arrow.describe(), "`->`");
+        assert_eq!(Tok::Int(42).describe(), "integer `42`");
+        assert_eq!(Tok::Eof.describe(), "end of input");
+    }
+}

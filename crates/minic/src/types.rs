@@ -1,0 +1,366 @@
+//! Resolved types, struct layouts, and the builtin-function table.
+//!
+//! The abstract machine is cell-based: every scalar (int, char, pointer)
+//! occupies one 64-bit cell; arrays and structs are contiguous cell runs.
+//! `sizeof` is measured in cells. Pointers are packed `(object, offset)`
+//! pairs stored in a cell (see [`crate::memory`]).
+
+use std::fmt;
+
+/// Identifier of a struct definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructId(pub u32);
+
+/// Identifier of a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Identifier of a user-defined function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifier of an interned string literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StrId(pub u32);
+
+/// A fully resolved type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` — only valid as a return type or behind a pointer.
+    Void,
+    /// 64-bit signed integer.
+    Int,
+    /// One byte, widened to `i64` on load, masked on store.
+    Char,
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// A named struct.
+    Struct(StructId),
+}
+
+impl Type {
+    /// Pointer-to-char, the type of string literals.
+    pub fn char_ptr() -> Type {
+        Type::Ptr(Box::new(Type::Char))
+    }
+
+    /// Pointer to this type.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// True for types that fit in one cell and can be computed with.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+
+    /// True for integer-like scalars.
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+
+    /// The pointee of a pointer type.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The element type of an array.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay; other types unchanged.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(t, _) => Type::Ptr(t.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Size in cells, given the struct layout table.
+    pub fn size_cells(&self, structs: &[StructLayout]) -> usize {
+        match self {
+            Type::Void => 0,
+            Type::Int | Type::Char | Type::Ptr(_) => 1,
+            Type::Array(t, n) => t.size_cells(structs) * n,
+            Type::Struct(id) => structs[id.0 as usize].size_cells,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::Char => write!(f, "char"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(id) => write!(f, "struct#{}", id.0),
+        }
+    }
+}
+
+/// A laid-out struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Offset from the start of the struct, in cells.
+    pub offset: usize,
+}
+
+/// A laid-out struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructLayout {
+    /// Struct tag name.
+    pub name: String,
+    /// Fields in declaration order with computed offsets.
+    pub fields: Vec<FieldLayout>,
+    /// Total size in cells.
+    pub size_cells: usize,
+}
+
+impl StructLayout {
+    /// Finds a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// System calls exposed to mini-C programs.
+///
+/// These mirror the slice of POSIX the paper's benchmarks exercise. All of
+/// them are dispatched through the VM's host, so the kernel simulation, the
+/// logging layer and the replay models each see every call.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Sys {
+    /// `int sys_open(char *path, int flags)` — flags: 0 read, 1 write/create.
+    Open,
+    /// `int sys_close(int fd)`.
+    Close,
+    /// `int sys_read(int fd, char *buf, int n)` — returns bytes read, 0 EOF, -1 error.
+    Read,
+    /// `int sys_write(int fd, char *buf, int n)`.
+    Write,
+    /// `int sys_socket()` — creates a passive socket.
+    Socket,
+    /// `int sys_bind(int fd, int port)`.
+    Bind,
+    /// `int sys_listen(int fd, int backlog)`.
+    Listen,
+    /// `int sys_accept(int fd)` — returns a connection fd or -1.
+    Accept,
+    /// `int sys_select(int *fds, int n, int *ready)` — fills `ready[i]` with
+    /// 0/1 readiness flags, returns the count of ready descriptors.
+    Select,
+    /// `int sys_mkdir(char *path, int mode)`.
+    Mkdir,
+    /// `int sys_mknod(char *path, int mode, int dev)`.
+    Mknod,
+    /// `int sys_mkfifo(char *path, int mode)`.
+    Mkfifo,
+    /// `int sys_stat(char *path)` — 0 if the path exists, -1 otherwise.
+    Stat,
+    /// `int sys_unlink(char *path)`.
+    Unlink,
+    /// `int sys_getuid()`.
+    Getuid,
+    /// `int sys_time()` — a non-deterministic clock.
+    Time,
+    /// `int sys_rand()` — a non-deterministic random value.
+    Rand,
+}
+
+impl Sys {
+    /// All syscalls, for iteration in tables and tests.
+    pub const ALL: [Sys; 17] = [
+        Sys::Open,
+        Sys::Close,
+        Sys::Read,
+        Sys::Write,
+        Sys::Socket,
+        Sys::Bind,
+        Sys::Listen,
+        Sys::Accept,
+        Sys::Select,
+        Sys::Mkdir,
+        Sys::Mknod,
+        Sys::Mkfifo,
+        Sys::Stat,
+        Sys::Unlink,
+        Sys::Getuid,
+        Sys::Time,
+        Sys::Rand,
+    ];
+
+    /// The mini-C identifier of the syscall builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sys::Open => "sys_open",
+            Sys::Close => "sys_close",
+            Sys::Read => "sys_read",
+            Sys::Write => "sys_write",
+            Sys::Socket => "sys_socket",
+            Sys::Bind => "sys_bind",
+            Sys::Listen => "sys_listen",
+            Sys::Accept => "sys_accept",
+            Sys::Select => "sys_select",
+            Sys::Mkdir => "sys_mkdir",
+            Sys::Mknod => "sys_mknod",
+            Sys::Mkfifo => "sys_mkfifo",
+            Sys::Stat => "sys_stat",
+            Sys::Unlink => "sys_unlink",
+            Sys::Getuid => "sys_getuid",
+            Sys::Time => "sys_time",
+            Sys::Rand => "sys_rand",
+        }
+    }
+
+    /// Number of arguments the syscall takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Sys::Socket | Sys::Getuid | Sys::Time | Sys::Rand => 0,
+            Sys::Close | Sys::Accept | Sys::Stat | Sys::Unlink => 1,
+            Sys::Open | Sys::Bind | Sys::Listen | Sys::Mkdir | Sys::Mkfifo => 2,
+            Sys::Read | Sys::Write | Sys::Select | Sys::Mknod => 3,
+        }
+    }
+
+    /// True if the call returns user input or non-determinism, i.e. its
+    /// results must be treated as symbolic by the analyses (the paper's
+    /// "functions that return input").
+    pub fn returns_input(self) -> bool {
+        matches!(
+            self,
+            Sys::Read | Sys::Select | Sys::Accept | Sys::Time | Sys::Rand
+        )
+    }
+
+    /// Resolves a mini-C identifier to a syscall.
+    pub fn from_name(name: &str) -> Option<Sys> {
+        Sys::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+/// Non-syscall builtins interpreted directly by the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `int printf(char *fmt, ...)` — returns chars written.
+    Printf,
+    /// `void *malloc(int cells)`.
+    Malloc,
+    /// `void free(void *p)`.
+    Free,
+    /// `void exit(int code)`.
+    Exit,
+    /// `void abort()` — crashes the program.
+    Abort,
+    /// `void assert(int cond)` — crashes when `cond == 0`.
+    Assert,
+    /// A system call.
+    Sys(Sys),
+}
+
+impl Builtin {
+    /// Resolves a mini-C identifier to a builtin.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "printf" => Builtin::Printf,
+            "malloc" => Builtin::Malloc,
+            "free" => Builtin::Free,
+            "exit" => Builtin::Exit,
+            "abort" => Builtin::Abort,
+            "assert" => Builtin::Assert,
+            _ => Builtin::Sys(Sys::from_name(name)?),
+        })
+    }
+
+    /// Expected argument count; `None` means variadic.
+    pub fn arity(self) -> Option<usize> {
+        Some(match self {
+            Builtin::Printf => return None,
+            Builtin::Malloc => 1,
+            Builtin::Free => 1,
+            Builtin::Exit => 1,
+            Builtin::Abort => 0,
+            Builtin::Assert => 1,
+            Builtin::Sys(s) => s.arity(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_in_cells() {
+        let structs = vec![StructLayout {
+            name: "pair".into(),
+            fields: vec![
+                FieldLayout {
+                    name: "a".into(),
+                    ty: Type::Int,
+                    offset: 0,
+                },
+                FieldLayout {
+                    name: "b".into(),
+                    ty: Type::Array(Box::new(Type::Char), 8),
+                    offset: 1,
+                },
+            ],
+            size_cells: 9,
+        }];
+        assert_eq!(Type::Int.size_cells(&structs), 1);
+        assert_eq!(Type::char_ptr().size_cells(&structs), 1);
+        assert_eq!(
+            Type::Array(Box::new(Type::Struct(StructId(0))), 3).size_cells(&structs),
+            27
+        );
+    }
+
+    #[test]
+    fn decay_turns_arrays_into_pointers() {
+        let a = Type::Array(Box::new(Type::Char), 16);
+        assert_eq!(a.decayed(), Type::char_ptr());
+        assert_eq!(Type::Int.decayed(), Type::Int);
+    }
+
+    #[test]
+    fn builtin_resolution() {
+        assert_eq!(Builtin::from_name("printf"), Some(Builtin::Printf));
+        assert_eq!(
+            Builtin::from_name("sys_read"),
+            Some(Builtin::Sys(Sys::Read))
+        );
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_syscall_roundtrips_by_name() {
+        for s in Sys::ALL {
+            assert_eq!(Sys::from_name(s.name()), Some(s));
+            assert!(s.arity() <= 3);
+        }
+    }
+
+    #[test]
+    fn input_returning_syscalls() {
+        assert!(Sys::Read.returns_input());
+        assert!(!Sys::Write.returns_input());
+        assert!(Sys::Rand.returns_input());
+    }
+}

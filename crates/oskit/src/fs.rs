@@ -1,0 +1,316 @@
+//! The simulated filesystem.
+//!
+//! A path-keyed tree of directories, regular files, FIFOs and device
+//! nodes — enough POSIX surface for the coreutils benchmarks (`mkdir`,
+//! `mknod`, `mkfifo`, `paste`) and the diff experiments. Errors are
+//! returned as negative errno values so programs can branch on the same
+//! error space real coreutils do.
+
+use std::collections::BTreeMap;
+
+/// Negative errno values returned by filesystem calls.
+pub mod errno {
+    /// No such file or directory.
+    pub const ENOENT: i64 = -2;
+    /// File exists.
+    pub const EEXIST: i64 = -17;
+    /// Not a directory.
+    pub const ENOTDIR: i64 = -20;
+    /// Is a directory.
+    pub const EISDIR: i64 = -21;
+    /// Invalid argument.
+    pub const EINVAL: i64 = -22;
+    /// Permission denied.
+    pub const EACCES: i64 = -13;
+}
+
+/// What a filesystem node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsNode {
+    /// A directory.
+    Dir,
+    /// A regular file with contents.
+    File(Vec<u8>),
+    /// A named pipe.
+    Fifo,
+    /// A device node with the given `dev` number.
+    Device(i64),
+}
+
+/// The simulated filesystem state.
+#[derive(Debug, Clone)]
+pub struct SimFs {
+    nodes: BTreeMap<String, FsNode>,
+    /// When false, mutating operations fail with `EACCES` (models running
+    /// as an unprivileged user where relevant for `mknod`).
+    pub allow_mknod: bool,
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), FsNode::Dir);
+        nodes.insert("/tmp".to_string(), FsNode::Dir);
+        SimFs {
+            nodes,
+            allow_mknod: true,
+        }
+    }
+}
+
+fn normalize(path: &[u8]) -> Option<String> {
+    if path.is_empty() || path.len() > 4096 {
+        return None;
+    }
+    let s = String::from_utf8_lossy(path).to_string();
+    let mut out = String::from("/");
+    for comp in s.split('/') {
+        if comp.is_empty() || comp == "." {
+            continue;
+        }
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        out.push_str(comp);
+    }
+    Some(out)
+}
+
+fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+impl SimFs {
+    /// Creates a filesystem with the default root layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a regular file (creating no intermediate directories —
+    /// configure parents explicitly).
+    pub fn install_file(&mut self, path: &str, data: Vec<u8>) {
+        self.nodes.insert(path.to_string(), FsNode::File(data));
+    }
+
+    /// Installs a directory.
+    pub fn install_dir(&mut self, path: &str) {
+        self.nodes.insert(path.to_string(), FsNode::Dir);
+    }
+
+    /// Looks up a node.
+    pub fn get(&self, path: &[u8]) -> Option<&FsNode> {
+        let p = normalize(path)?;
+        self.nodes.get(&p)
+    }
+
+    /// `mkdir` — 0 on success, negative errno otherwise.
+    pub fn mkdir(&mut self, path: &[u8], _mode: i64) -> i64 {
+        let Some(p) = normalize(path) else {
+            return errno::EINVAL;
+        };
+        if self.nodes.contains_key(&p) {
+            return errno::EEXIST;
+        }
+        match self.nodes.get(&parent_of(&p)) {
+            Some(FsNode::Dir) => {
+                self.nodes.insert(p, FsNode::Dir);
+                0
+            }
+            Some(_) => errno::ENOTDIR,
+            None => errno::ENOENT,
+        }
+    }
+
+    /// `mknod` — creates a device node.
+    pub fn mknod(&mut self, path: &[u8], _mode: i64, dev: i64) -> i64 {
+        if !self.allow_mknod {
+            return errno::EACCES;
+        }
+        let Some(p) = normalize(path) else {
+            return errno::EINVAL;
+        };
+        if self.nodes.contains_key(&p) {
+            return errno::EEXIST;
+        }
+        match self.nodes.get(&parent_of(&p)) {
+            Some(FsNode::Dir) => {
+                self.nodes.insert(p, FsNode::Device(dev));
+                0
+            }
+            Some(_) => errno::ENOTDIR,
+            None => errno::ENOENT,
+        }
+    }
+
+    /// `mkfifo` — creates a named pipe.
+    pub fn mkfifo(&mut self, path: &[u8], _mode: i64) -> i64 {
+        let Some(p) = normalize(path) else {
+            return errno::EINVAL;
+        };
+        if self.nodes.contains_key(&p) {
+            return errno::EEXIST;
+        }
+        match self.nodes.get(&parent_of(&p)) {
+            Some(FsNode::Dir) => {
+                self.nodes.insert(p, FsNode::Fifo);
+                0
+            }
+            Some(_) => errno::ENOTDIR,
+            None => errno::ENOENT,
+        }
+    }
+
+    /// `stat` — 0 if the path exists, `ENOENT` otherwise.
+    pub fn stat(&self, path: &[u8]) -> i64 {
+        match self.get(path) {
+            Some(_) => 0,
+            None => errno::ENOENT,
+        }
+    }
+
+    /// `unlink` — removes a non-directory node.
+    pub fn unlink(&mut self, path: &[u8]) -> i64 {
+        let Some(p) = normalize(path) else {
+            return errno::EINVAL;
+        };
+        match self.nodes.get(&p) {
+            Some(FsNode::Dir) => errno::EISDIR,
+            Some(_) => {
+                self.nodes.remove(&p);
+                0
+            }
+            None => errno::ENOENT,
+        }
+    }
+
+    /// Opens for reading: returns the file contents.
+    pub fn open_read(&self, path: &[u8]) -> Result<Vec<u8>, i64> {
+        match self.get(path) {
+            Some(FsNode::File(d)) => Ok(d.clone()),
+            Some(FsNode::Dir) => Err(errno::EISDIR),
+            Some(_) => Err(errno::EINVAL),
+            None => Err(errno::ENOENT),
+        }
+    }
+
+    /// Opens for writing: creates or truncates, returns 0 or errno.
+    pub fn open_write(&mut self, path: &[u8]) -> Result<(), i64> {
+        let Some(p) = normalize(path) else {
+            return Err(errno::EINVAL);
+        };
+        match self.nodes.get(&parent_of(&p)) {
+            Some(FsNode::Dir) => match self.nodes.get(&p) {
+                Some(FsNode::Dir) => Err(errno::EISDIR),
+                _ => {
+                    self.nodes.insert(p, FsNode::File(Vec::new()));
+                    Ok(())
+                }
+            },
+            Some(_) => Err(errno::ENOTDIR),
+            None => Err(errno::ENOENT),
+        }
+    }
+
+    /// Appends bytes to an existing file.
+    pub fn append(&mut self, path: &[u8], bytes: &[u8]) -> i64 {
+        let Some(p) = normalize(path) else {
+            return errno::EINVAL;
+        };
+        match self.nodes.get_mut(&p) {
+            Some(FsNode::File(d)) => {
+                d.extend_from_slice(bytes);
+                bytes.len() as i64
+            }
+            Some(_) => errno::EINVAL,
+            None => errno::ENOENT,
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the default layout exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdir_succeeds_and_detects_duplicates() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.mkdir(b"/a", 0o755), 0);
+        assert_eq!(fs.mkdir(b"/a", 0o755), errno::EEXIST);
+        assert_eq!(fs.mkdir(b"/a/b", 0o755), 0);
+    }
+
+    #[test]
+    fn mkdir_requires_parent() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.mkdir(b"/no/such/dir", 0o755), errno::ENOENT);
+    }
+
+    #[test]
+    fn mkdir_parent_must_be_dir() {
+        let mut fs = SimFs::new();
+        fs.install_file("/f", b"x".to_vec());
+        assert_eq!(fs.mkdir(b"/f/sub", 0o755), errno::ENOTDIR);
+    }
+
+    #[test]
+    fn mknod_respects_permission() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.mknod(b"/dev0", 0o644, 5), 0);
+        fs.allow_mknod = false;
+        assert_eq!(fs.mknod(b"/dev1", 0o644, 5), errno::EACCES);
+    }
+
+    #[test]
+    fn mkfifo_and_stat() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.stat(b"/p"), errno::ENOENT);
+        assert_eq!(fs.mkfifo(b"/p", 0o644), 0);
+        assert_eq!(fs.stat(b"/p"), 0);
+        assert_eq!(fs.mkfifo(b"/p", 0o644), errno::EEXIST);
+    }
+
+    #[test]
+    fn unlink_removes_files_not_dirs() {
+        let mut fs = SimFs::new();
+        fs.install_file("/f", b"data".to_vec());
+        assert_eq!(fs.unlink(b"/f"), 0);
+        assert_eq!(fs.unlink(b"/f"), errno::ENOENT);
+        assert_eq!(fs.unlink(b"/tmp"), errno::EISDIR);
+    }
+
+    #[test]
+    fn open_read_write_roundtrip() {
+        let mut fs = SimFs::new();
+        fs.open_write(b"/out").unwrap();
+        assert_eq!(fs.append(b"/out", b"hello"), 5);
+        assert_eq!(fs.open_read(b"/out").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn path_normalization() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.mkdir(b"a", 0o755), 0); // relative = /a
+        assert_eq!(fs.stat(b"/a"), 0);
+        assert_eq!(fs.stat(b"//a/"), 0);
+        assert_eq!(fs.stat(b"./a"), 0);
+    }
+
+    #[test]
+    fn empty_path_is_invalid() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.mkdir(b"", 0o755), errno::EINVAL);
+    }
+}

@@ -1,0 +1,232 @@
+//! VM host adapters over the kernel.
+//!
+//! [`OsHost`] is the plain concrete host: it dispatches syscalls to a
+//! [`Kernel`], applies the resulting memory writes, forwards stdout, and
+//! delivers scheduled signals as crashes. Concolic and logging hosts in
+//! other crates wrap the same kernel and reuse [`apply_effect`].
+
+use crate::kernel::{Kernel, SysEffect};
+use minic::cost::Meter;
+use minic::memory::Memory;
+use minic::types::Sys;
+use minic::vm::{CrashKind, Host, HostStop};
+
+/// Applies a syscall's memory writes with default shadows.
+///
+/// Concolic hosts do their own application so input cells receive
+/// symbolic shadows; everyone else uses this.
+pub fn apply_effect<V: Clone + Default>(
+    eff: &SysEffect,
+    mem: &mut Memory<V>,
+) -> Result<(), minic::memory::MemFault> {
+    for w in &eff.writes {
+        for (i, v) in w.values.iter().enumerate() {
+            mem.store(w.addr.wrapping_add(i as i64), *v, V::default())?;
+        }
+    }
+    Ok(())
+}
+
+/// Concrete host: kernel-backed syscalls, captured stdout, signal
+/// delivery.
+#[derive(Debug)]
+pub struct OsHost {
+    /// The kernel instance backing this run.
+    pub kernel: Kernel,
+    /// Captured program output (printf and stdout writes).
+    pub stdout: Vec<u8>,
+}
+
+impl OsHost {
+    /// Creates a host over a booted kernel.
+    pub fn new(kernel: Kernel) -> Self {
+        OsHost {
+            kernel,
+            stdout: Vec::new(),
+        }
+    }
+}
+
+impl Host for OsHost {
+    type V = ();
+
+    fn syscall(
+        &mut self,
+        sys: Sys,
+        args: &[(i64, ())],
+        mem: &mut Memory<()>,
+        _meter: &mut Meter,
+    ) -> Result<(i64, ()), HostStop> {
+        let raw: Vec<i64> = args.iter().map(|a| a.0).collect();
+        let eff = self
+            .kernel
+            .dispatch(sys, &raw, mem)
+            .map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+        apply_effect(&eff, mem).map_err(|f| HostStop::Crash(CrashKind::Mem(f)))?;
+        if let Some(out) = &eff.stdout {
+            self.stdout.extend_from_slice(out);
+        }
+        if let Some(sig) = self.kernel.take_pending_signal() {
+            return Err(HostStop::Crash(CrashKind::Signal(sig)));
+        }
+        Ok((eff.ret, ()))
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.stdout.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelConfig, SignalPlan};
+    use crate::net::ClientScript;
+    use minic::build;
+    use minic::vm::{RunOutcome, Vm};
+
+    #[test]
+    fn program_reads_a_file_through_the_kernel() {
+        let src = r#"
+            int main() {
+                char buf[32];
+                int fd = sys_open("/etc/motd", 0);
+                if (fd < 0) { return -1; }
+                int n = sys_read(fd, buf, 32);
+                sys_close(fd);
+                return n;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = KernelConfig::default();
+        cfg.fs.install_dir("/etc");
+        cfg.fs.install_file("/etc/motd", b"welcome".to_vec());
+        let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
+        assert_eq!(vm.run(&[]), RunOutcome::Exited(7));
+    }
+
+    #[test]
+    fn program_read_buffer_contains_file_data() {
+        let src = r#"
+            int main() {
+                char buf[8];
+                int fd = sys_open("/f", 0);
+                sys_read(fd, buf, 8);
+                return buf[0] * 100 + buf[2];
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = KernelConfig::default();
+        cfg.fs.install_file("/f", vec![1, 2, 3]);
+        let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
+        assert_eq!(vm.run(&[]), RunOutcome::Exited(103));
+    }
+
+    #[test]
+    fn echo_server_round_trip() {
+        let src = r#"
+            int main() {
+                char buf[64];
+                int fds[2];
+                int ready[2];
+                int sock = sys_socket();
+                sys_bind(sock, 8080);
+                sys_listen(sock, 4);
+                int served = 0;
+                while (served < 2) {
+                    fds[0] = sock;
+                    int n = sys_select(fds, 1, ready);
+                    if (n < 1) { continue; }
+                    int conn = sys_accept(sock);
+                    if (conn < 0) { continue; }
+                    int got = 0;
+                    while (got <= 0) {
+                        fds[1] = conn;
+                        sys_select(fds, 2, ready);
+                        got = sys_read(conn, buf, 64);
+                    }
+                    sys_write(conn, buf, got);
+                    sys_close(conn);
+                    served++;
+                }
+                return served;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = KernelConfig::default();
+        cfg.clients = vec![
+            ClientScript::oneshot(b"ping".to_vec()),
+            ClientScript::oneshot(b"pong".to_vec()),
+        ];
+        cfg.arrival_window = 1;
+        let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
+        assert_eq!(vm.run(&[]), RunOutcome::Exited(2));
+        assert_eq!(vm.host.kernel.conn_outbox(0), Some(&b"ping"[..]));
+        assert_eq!(vm.host.kernel.conn_outbox(1), Some(&b"pong"[..]));
+        assert_eq!(vm.host.kernel.stats().requests_completed, 2);
+    }
+
+    #[test]
+    fn injected_signal_crashes_at_syscall_site() {
+        let src = r#"
+            int main() {
+                int i;
+                for (i = 0; i < 100; i++) {
+                    sys_getuid();
+                }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = KernelConfig::default();
+        cfg.signal_plan = Some(SignalPlan {
+            sig: 11,
+            after_all_conns_served: false,
+            after_n_syscalls: Some(5),
+        });
+        let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
+        let out = vm.run(&[]);
+        let crash = out.crash().expect("signal crash");
+        assert_eq!(crash.kind, CrashKind::Signal(11));
+        assert_eq!(crash.func, "main");
+    }
+
+    #[test]
+    fn signal_crash_site_is_stable_across_runs() {
+        let src = r#"
+            int main() {
+                int i;
+                for (i = 0; i < 50; i++) { sys_time(); }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let crash_loc = |seed: u64| {
+            let mut cfg = KernelConfig::default();
+            cfg.seed = seed;
+            cfg.signal_plan = Some(SignalPlan {
+                sig: 11,
+                after_all_conns_served: false,
+                after_n_syscalls: Some(10),
+            });
+            let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
+            vm.run(&[]).crash().expect("crash").loc
+        };
+        assert_eq!(crash_loc(1), crash_loc(2));
+    }
+
+    #[test]
+    fn stdout_writes_are_captured() {
+        let src = r#"
+            int main() {
+                printf("hi ");
+                sys_write(1, "there", 5);
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(KernelConfig::default())));
+        vm.run(&[]);
+        assert_eq!(vm.host.stdout, b"hi there");
+    }
+}

@@ -1,0 +1,795 @@
+//! The kernel: file descriptors, syscall dispatch, signals, nondeterminism.
+//!
+//! One [`Kernel`] instance backs one program execution. It owns the
+//! simulated filesystem, the scripted network, the fd table, the
+//! deterministic "clock" and PRNG, and the signal plan used to reproduce
+//! the paper's externally injected SEGFAULT (§5.3: "We crash the server by
+//! sending it a SEGFAULT signal after sending it the input").
+
+use crate::fs::{errno, SimFs};
+use crate::net::{ClientScript, NetState};
+use minic::memory::MemFault;
+use minic::types::Sys;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reads VM memory on behalf of the kernel (paths, write buffers).
+///
+/// Implemented by [`minic::memory::Memory`] for every shadow type, so the
+/// kernel is oblivious to whether the run is concrete or concolic.
+pub trait MemAccess {
+    /// Reads `n` byte-cells at `addr`.
+    fn mem_read_bytes(&self, addr: i64, n: usize) -> Result<Vec<u8>, MemFault>;
+    /// Reads a NUL-terminated string at `addr` (bounded).
+    fn mem_read_cstr(&self, addr: i64, max: usize) -> Result<Vec<u8>, MemFault>;
+}
+
+impl<V: Clone + Default> MemAccess for minic::memory::Memory<V> {
+    fn mem_read_bytes(&self, addr: i64, n: usize) -> Result<Vec<u8>, MemFault> {
+        self.read_bytes(addr, n)
+    }
+
+    fn mem_read_cstr(&self, addr: i64, max: usize) -> Result<Vec<u8>, MemFault> {
+        self.read_cstr(addr, max)
+    }
+}
+
+/// Which input stream a range of bytes came from.
+///
+/// Lets the concolic engine map delivered input bytes back to the
+/// symbolic variables it pre-allocated for that stream position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamSource {
+    /// Standard input.
+    Stdin,
+    /// A regular file, by normalized-ish path bytes as opened.
+    File(Vec<u8>),
+    /// An accepted connection, by connection index.
+    Conn(usize),
+}
+
+/// One range of cells a syscall writes back into VM memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellWrite {
+    /// Destination address of the first cell.
+    pub addr: i64,
+    /// Cell values (bytes are stored widened).
+    pub values: Vec<i64>,
+    /// True if these cells carry *program input* (socket/stdin/file
+    /// data) that analyses must treat as symbolic.
+    pub is_input: bool,
+    /// Origin stream and starting byte offset within it, for input data.
+    pub stream: Option<(StreamSource, usize)>,
+}
+
+/// The result of dispatching one syscall.
+#[derive(Debug, Clone, Default)]
+pub struct SysEffect {
+    /// Return value.
+    pub ret: i64,
+    /// True if the return value itself is input/non-determinism (e.g.
+    /// `read`'s byte count) that replay must model or log.
+    pub ret_is_input: bool,
+    /// Memory writes to apply.
+    pub writes: Vec<CellWrite>,
+    /// Bytes for the program's stdout, if any.
+    pub stdout: Option<Vec<u8>>,
+}
+
+/// When to deliver the scripted crash signal.
+#[derive(Debug, Clone, Default)]
+pub struct SignalPlan {
+    /// Signal number to deliver (e.g. 11 for SIGSEGV).
+    pub sig: i32,
+    /// Deliver once every scripted client has been fully served.
+    pub after_all_conns_served: bool,
+    /// Deliver after this many syscalls, regardless of progress.
+    pub after_n_syscalls: Option<u64>,
+}
+
+/// Kernel configuration: workload script plus nondeterminism knobs.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// PRNG seed for all kernel nondeterminism.
+    pub seed: u64,
+    /// Initial filesystem.
+    pub fs: SimFs,
+    /// Bytes available on stdin (fd 0).
+    pub stdin: Vec<u8>,
+    /// Scripted clients for the listening socket.
+    pub clients: Vec<ClientScript>,
+    /// How many clients may be pending connection simultaneously.
+    pub arrival_window: usize,
+    /// Upper bound on bytes returned by one `read` (0 = no extra split);
+    /// actual chunk sizes are drawn from the seeded PRNG, modelling
+    /// short reads.
+    pub max_read_chunk: usize,
+    /// Scripted signal delivery.
+    pub signal_plan: Option<SignalPlan>,
+    /// `sys_getuid` result.
+    pub uid: i64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            seed: 42,
+            fs: SimFs::new(),
+            stdin: Vec::new(),
+            clients: Vec::new(),
+            arrival_window: 2,
+            max_read_chunk: 0,
+            signal_plan: None,
+            uid: 1000,
+        }
+    }
+}
+
+/// Counters the evaluation harness reads after a run.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// `read` calls.
+    pub reads: u64,
+    /// `write` calls.
+    pub writes: u64,
+    /// `select` calls.
+    pub selects: u64,
+    /// `accept` calls that returned a connection.
+    pub accepts: u64,
+    /// Total bytes delivered to the program.
+    pub bytes_read: u64,
+    /// Total bytes written by the program.
+    pub bytes_written: u64,
+    /// Connections fully served (the "requests" of Figure 4b).
+    pub requests_completed: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Fd {
+    Closed,
+    Stdin {
+        pos: usize,
+    },
+    Stdout,
+    FileRead {
+        path: Vec<u8>,
+        data: Vec<u8>,
+        pos: usize,
+    },
+    FileWrite {
+        path: Vec<u8>,
+    },
+    Listener {
+        bound: bool,
+        listening: bool,
+    },
+    Conn {
+        idx: usize,
+    },
+}
+
+/// The simulated kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    fs: SimFs,
+    net: NetState,
+    fds: Vec<Fd>,
+    rng: StdRng,
+    clock: i64,
+    syscall_count: u64,
+    stdin_pos: usize,
+    pending_signal: Option<i32>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Boots a kernel from a configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let fs = cfg.fs.clone();
+        let net = NetState::new(cfg.clients.clone(), cfg.arrival_window);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Kernel {
+            cfg,
+            fs,
+            net,
+            fds: vec![Fd::Stdin { pos: 0 }, Fd::Stdout, Fd::Stdout],
+            rng,
+            clock: 1_300_000_000,
+            syscall_count: 0,
+            stdin_pos: 0,
+            pending_signal: None,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Takes the pending signal, if one was scheduled.
+    pub fn take_pending_signal(&mut self) -> Option<i32> {
+        self.pending_signal.take()
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The filesystem (inspection after a run).
+    pub fn fs(&self) -> &SimFs {
+        &self.fs
+    }
+
+    /// Captured response bytes per connection (verification support).
+    pub fn conn_outbox(&self, idx: usize) -> Option<&[u8]> {
+        self.net.conns.get(idx).map(|c| &c.outbox[..])
+    }
+
+    /// True when every scripted client has been served.
+    pub fn all_clients_served(&self) -> bool {
+        self.net.all_served()
+    }
+
+    fn alloc_fd(&mut self, fd: Fd) -> i64 {
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if matches!(slot, Fd::Closed) {
+                *slot = fd;
+                return i as i64;
+            }
+        }
+        self.fds.push(fd);
+        (self.fds.len() - 1) as i64
+    }
+
+    fn check_signal_plan(&mut self) {
+        if self.pending_signal.is_some() {
+            return;
+        }
+        let Some(plan) = &self.cfg.signal_plan else {
+            return;
+        };
+        let fire = (plan.after_all_conns_served && self.net.all_served())
+            || plan
+                .after_n_syscalls
+                .is_some_and(|n| self.syscall_count >= n);
+        if fire {
+            self.pending_signal = Some(plan.sig);
+        }
+    }
+
+    /// Dispatches one syscall. Memory faults from bad program pointers
+    /// propagate as `Err` and become crashes in the host.
+    pub fn dispatch(
+        &mut self,
+        sys: Sys,
+        args: &[i64],
+        mem: &impl MemAccess,
+    ) -> Result<SysEffect, MemFault> {
+        self.syscall_count += 1;
+        let arg = |i: usize| args.get(i).copied().unwrap_or(0);
+        let eff = match sys {
+            Sys::Open => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                let flags = arg(1);
+                if flags == 0 {
+                    match self.fs.open_read(&path) {
+                        Ok(data) => {
+                            let fd = self.alloc_fd(Fd::FileRead {
+                                path: path.clone(),
+                                data,
+                                pos: 0,
+                            });
+                            SysEffect {
+                                ret: fd,
+                                ..SysEffect::default()
+                            }
+                        }
+                        Err(e) => SysEffect {
+                            ret: e,
+                            ..SysEffect::default()
+                        },
+                    }
+                } else {
+                    match self.fs.open_write(&path) {
+                        Ok(()) => {
+                            let fd = self.alloc_fd(Fd::FileWrite { path });
+                            SysEffect {
+                                ret: fd,
+                                ..SysEffect::default()
+                            }
+                        }
+                        Err(e) => SysEffect {
+                            ret: e,
+                            ..SysEffect::default()
+                        },
+                    }
+                }
+            }
+            Sys::Close => {
+                let fd = arg(0);
+                let ret = self.close_fd(fd);
+                SysEffect {
+                    ret,
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Read => self.sys_read(arg(0), arg(1), arg(2))?,
+            Sys::Write => self.sys_write(arg(0), arg(1), arg(2), mem)?,
+            Sys::Socket => {
+                let fd = self.alloc_fd(Fd::Listener {
+                    bound: false,
+                    listening: false,
+                });
+                SysEffect {
+                    ret: fd,
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Bind => {
+                let ret = match self.fds.get_mut(arg(0) as usize) {
+                    Some(Fd::Listener { bound, .. }) => {
+                        *bound = true;
+                        0
+                    }
+                    _ => errno::EINVAL,
+                };
+                SysEffect {
+                    ret,
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Listen => {
+                let ret = match self.fds.get_mut(arg(0) as usize) {
+                    Some(Fd::Listener {
+                        bound: true,
+                        listening,
+                    }) => {
+                        *listening = true;
+                        0
+                    }
+                    _ => errno::EINVAL,
+                };
+                SysEffect {
+                    ret,
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Accept => {
+                let ok = matches!(
+                    self.fds.get(arg(0) as usize),
+                    Some(Fd::Listener {
+                        listening: true,
+                        ..
+                    })
+                );
+                if !ok {
+                    SysEffect {
+                        ret: errno::EINVAL,
+                        ..SysEffect::default()
+                    }
+                } else {
+                    match self.net.accept() {
+                        Some(idx) => {
+                            self.stats.accepts += 1;
+                            let fd = self.alloc_fd(Fd::Conn { idx });
+                            SysEffect {
+                                ret: fd,
+                                ..SysEffect::default()
+                            }
+                        }
+                        None => SysEffect {
+                            ret: -1,
+                            ..SysEffect::default()
+                        },
+                    }
+                }
+            }
+            Sys::Select => self.sys_select(arg(0), arg(1), arg(2), mem)?,
+            Sys::Mkdir => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                SysEffect {
+                    ret: self.fs.mkdir(&path, arg(1)),
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Mknod => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                SysEffect {
+                    ret: self.fs.mknod(&path, arg(1), arg(2)),
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Mkfifo => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                SysEffect {
+                    ret: self.fs.mkfifo(&path, arg(1)),
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Stat => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                SysEffect {
+                    ret: self.fs.stat(&path),
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Unlink => {
+                let path = mem.mem_read_cstr(arg(0), 4096)?;
+                SysEffect {
+                    ret: self.fs.unlink(&path),
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Getuid => SysEffect {
+                ret: self.cfg.uid,
+                ..SysEffect::default()
+            },
+            Sys::Time => {
+                self.clock += 1 + (self.rng.gen::<u8>() % 3) as i64;
+                SysEffect {
+                    ret: self.clock,
+                    ret_is_input: true,
+                    ..SysEffect::default()
+                }
+            }
+            Sys::Rand => SysEffect {
+                ret: (self.rng.gen::<u16>() & 0x7fff) as i64,
+                ret_is_input: true,
+                ..SysEffect::default()
+            },
+        };
+        self.check_signal_plan();
+        Ok(eff)
+    }
+
+    fn close_fd(&mut self, fd: i64) -> i64 {
+        match self.fds.get(fd as usize) {
+            Some(Fd::Conn { idx }) => {
+                let idx = *idx;
+                if self.net.close(idx) {
+                    self.stats.requests_completed += 1;
+                }
+                self.fds[fd as usize] = Fd::Closed;
+                0
+            }
+            Some(Fd::Closed) | None => errno::EINVAL,
+            Some(_) => {
+                self.fds[fd as usize] = Fd::Closed;
+                0
+            }
+        }
+    }
+
+    fn chunked(&mut self, want: usize) -> usize {
+        if self.cfg.max_read_chunk == 0 || want <= 1 {
+            return want;
+        }
+        let cap = self.cfg.max_read_chunk.min(want);
+        1 + self.rng.gen_range(0..cap)
+    }
+
+    fn sys_read(&mut self, fd: i64, buf: i64, n: i64) -> Result<SysEffect, MemFault> {
+        self.stats.reads += 1;
+        let n = n.max(0) as usize;
+        let take_n = self.chunked(n);
+        let (ret, bytes, stream): (i64, Vec<u8>, Option<(StreamSource, usize)>) =
+            match self.fds.get_mut(fd as usize) {
+                Some(Fd::Stdin { pos }) => {
+                    let data = &self.cfg.stdin;
+                    let start = (*pos).min(data.len());
+                    let take = take_n.min(data.len() - start);
+                    *pos += take;
+                    self.stdin_pos = *pos;
+                    (
+                        take as i64,
+                        data[start..start + take].to_vec(),
+                        Some((StreamSource::Stdin, start)),
+                    )
+                }
+                Some(Fd::FileRead { path, data, pos }) => {
+                    let start = (*pos).min(data.len());
+                    let take = take_n.min(data.len() - start);
+                    *pos += take;
+                    (
+                        take as i64,
+                        data[start..start + take].to_vec(),
+                        Some((StreamSource::File(path.clone()), start)),
+                    )
+                }
+                Some(Fd::Conn { idx }) => {
+                    let idx = *idx;
+                    let start = self.net.conns[idx].consumed;
+                    match self.net.conns[idx].read(take_n) {
+                        Some(bytes) => (
+                            bytes.len() as i64,
+                            bytes,
+                            Some((StreamSource::Conn(idx), start)),
+                        ),
+                        None => (-1, Vec::new(), None),
+                    }
+                }
+                _ => (errno::EINVAL, Vec::new(), None),
+            };
+        let mut eff = SysEffect {
+            ret,
+            ret_is_input: true,
+            ..SysEffect::default()
+        };
+        if !bytes.is_empty() {
+            self.stats.bytes_read += bytes.len() as u64;
+            eff.writes.push(CellWrite {
+                addr: buf,
+                values: bytes.iter().map(|b| *b as i64).collect(),
+                is_input: true,
+                stream,
+            });
+        }
+        Ok(eff)
+    }
+
+    fn sys_write(
+        &mut self,
+        fd: i64,
+        buf: i64,
+        n: i64,
+        mem: &impl MemAccess,
+    ) -> Result<SysEffect, MemFault> {
+        self.stats.writes += 1;
+        let n = n.clamp(0, 1 << 20) as usize;
+        let bytes = mem.mem_read_bytes(buf, n)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        match self.fds.get_mut(fd as usize) {
+            Some(Fd::Stdout) => Ok(SysEffect {
+                ret: n as i64,
+                stdout: Some(bytes),
+                ..SysEffect::default()
+            }),
+            Some(Fd::Conn { idx }) => {
+                let idx = *idx;
+                self.net.conns[idx].outbox.extend_from_slice(&bytes);
+                Ok(SysEffect {
+                    ret: n as i64,
+                    ..SysEffect::default()
+                })
+            }
+            Some(Fd::FileWrite { path }) => {
+                let path = path.clone();
+                let ret = self.fs.append(&path, &bytes);
+                Ok(SysEffect {
+                    ret,
+                    ..SysEffect::default()
+                })
+            }
+            _ => Ok(SysEffect {
+                ret: errno::EINVAL,
+                ..SysEffect::default()
+            }),
+        }
+    }
+
+    fn sys_select(
+        &mut self,
+        fds_ptr: i64,
+        nfds: i64,
+        ready_ptr: i64,
+        mem: &impl MemAccess,
+    ) -> Result<SysEffect, MemFault> {
+        self.stats.selects += 1;
+        // Pump the network: arrivals + packet delivery happen "during the
+        // wait".
+        self.net.pump();
+        let n = nfds.clamp(0, 64) as usize;
+        let mut ready_flags = Vec::with_capacity(n);
+        let mut count = 0i64;
+        for i in 0..n {
+            // fd numbers are full cells, not bytes; read them as cells via
+            // read_bytes would truncate. Use a dedicated path below.
+            let fd = self.read_cell(mem, fds_ptr + i as i64)?;
+            let ready = self.fd_ready(fd);
+            ready_flags.push(ready as i64);
+            count += ready as i64;
+        }
+        self.check_signal_plan();
+        Ok(SysEffect {
+            ret: count,
+            ret_is_input: true,
+            writes: vec![CellWrite {
+                addr: ready_ptr,
+                values: ready_flags,
+                is_input: true,
+                stream: None,
+            }],
+            ..SysEffect::default()
+        })
+    }
+
+    /// Reads a full (non-byte) cell through the byte interface.
+    ///
+    /// `MemAccess` exposes byte reads for buffer data; fd arrays store
+    /// small non-negative integers, which survive the byte masking as
+    /// long as fds stay below 256 (the fd table is far smaller).
+    fn read_cell(&self, mem: &impl MemAccess, addr: i64) -> Result<i64, MemFault> {
+        let b = mem.mem_read_bytes(addr, 1)?;
+        Ok(b[0] as i64)
+    }
+
+    fn fd_ready(&self, fd: i64) -> bool {
+        match self.fds.get(fd as usize) {
+            Some(Fd::Listener {
+                listening: true, ..
+            }) => !self.net.arrived.is_empty(),
+            Some(Fd::Conn { idx }) => self.net.conns[*idx].is_readable(),
+            Some(Fd::Stdin { pos }) => *pos < self.cfg.stdin.len(),
+            Some(Fd::FileRead { .. }) | Some(Fd::Stdout) | Some(Fd::FileWrite { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::memory::{Memory, ObjKind};
+
+    fn mem_with_buf(n: usize) -> (Memory<()>, i64) {
+        let mut m: Memory<()> = Memory::new();
+        let obj = m.alloc(ObjKind::External, n);
+        (m, minic::memory::pack(obj, 0))
+    }
+
+    #[test]
+    fn open_read_missing_file_fails() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let (mut m, buf) = mem_with_buf(64);
+        m.write_bytes(buf, b"/nope\0").unwrap();
+        let eff = k.dispatch(Sys::Open, &[buf, 0], &m).unwrap();
+        assert_eq!(eff.ret, errno::ENOENT);
+    }
+
+    #[test]
+    fn file_read_roundtrip() {
+        let mut cfg = KernelConfig::default();
+        cfg.fs.install_file("/data", b"hello".to_vec());
+        let mut k = Kernel::new(cfg);
+        let (mut m, path) = mem_with_buf(16);
+        m.write_bytes(path, b"/data\0").unwrap();
+        let fd = k.dispatch(Sys::Open, &[path, 0], &m).unwrap().ret;
+        assert!(fd >= 3);
+        let (m2, buf) = mem_with_buf(16);
+        let _ = m2;
+        let eff = k.dispatch(Sys::Read, &[fd, buf, 16], &m).unwrap();
+        assert_eq!(eff.ret, 5);
+        assert_eq!(eff.writes.len(), 1);
+        assert!(eff.writes[0].is_input);
+        assert_eq!(eff.writes[0].values, vec![104, 101, 108, 108, 111]);
+    }
+
+    #[test]
+    fn mkdir_via_dispatch() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let (mut m, path) = mem_with_buf(16);
+        m.write_bytes(path, b"/newdir\0").unwrap();
+        assert_eq!(k.dispatch(Sys::Mkdir, &[path, 0o755], &m).unwrap().ret, 0);
+        assert_eq!(
+            k.dispatch(Sys::Mkdir, &[path, 0o755], &m).unwrap().ret,
+            errno::EEXIST
+        );
+    }
+
+    #[test]
+    fn socket_lifecycle_and_accept() {
+        let mut cfg = KernelConfig::default();
+        cfg.clients = vec![ClientScript::oneshot(b"ping".to_vec())];
+        let mut k = Kernel::new(cfg);
+        let (m, _) = mem_with_buf(4);
+        let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;
+        assert_eq!(k.dispatch(Sys::Bind, &[sock, 8080], &m).unwrap().ret, 0);
+        assert_eq!(k.dispatch(Sys::Listen, &[sock, 16], &m).unwrap().ret, 0);
+        // Nothing arrived before the first select pump.
+        assert_eq!(k.dispatch(Sys::Accept, &[sock], &m).unwrap().ret, -1);
+        // Select pumps arrivals.
+        let (mut m2, fds) = mem_with_buf(8);
+        m2.store(fds, sock, ()).unwrap();
+        let (m3, ready) = mem_with_buf(8);
+        let _ = m3;
+        let eff = k.dispatch(Sys::Select, &[fds, 1, ready], &m2).unwrap();
+        assert_eq!(eff.ret, 1);
+        let conn = k.dispatch(Sys::Accept, &[sock], &m2).unwrap().ret;
+        assert!(conn >= 3);
+    }
+
+    #[test]
+    fn signal_fires_after_all_served() {
+        let mut cfg = KernelConfig::default();
+        cfg.clients = vec![ClientScript::oneshot(b"x".to_vec())];
+        cfg.signal_plan = Some(SignalPlan {
+            sig: 11,
+            after_all_conns_served: true,
+            after_n_syscalls: None,
+        });
+        let mut k = Kernel::new(cfg);
+        let (m, buf) = mem_with_buf(8);
+        let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;
+        k.dispatch(Sys::Bind, &[sock, 80], &m).unwrap();
+        k.dispatch(Sys::Listen, &[sock, 4], &m).unwrap();
+        k.dispatch(Sys::Select, &[buf, 0, buf], &m).unwrap();
+        let conn = k.dispatch(Sys::Accept, &[sock], &m).unwrap().ret;
+        assert!(k.take_pending_signal().is_none());
+        k.dispatch(Sys::Select, &[buf, 0, buf], &m).unwrap();
+        k.dispatch(Sys::Read, &[conn, buf, 8], &m).unwrap();
+        k.dispatch(Sys::Close, &[conn], &m).unwrap();
+        // All clients served: next dispatch schedules the signal.
+        k.dispatch(Sys::Getuid, &[], &m).unwrap();
+        assert_eq!(k.take_pending_signal(), Some(11));
+    }
+
+    #[test]
+    fn signal_fires_after_n_syscalls() {
+        let mut cfg = KernelConfig::default();
+        cfg.signal_plan = Some(SignalPlan {
+            sig: 11,
+            after_all_conns_served: false,
+            after_n_syscalls: Some(3),
+        });
+        let mut k = Kernel::new(cfg);
+        let (m, _) = mem_with_buf(4);
+        k.dispatch(Sys::Getuid, &[], &m).unwrap();
+        k.dispatch(Sys::Getuid, &[], &m).unwrap();
+        assert!(k.take_pending_signal().is_none());
+        k.dispatch(Sys::Getuid, &[], &m).unwrap();
+        assert_eq!(k.take_pending_signal(), Some(11));
+    }
+
+    #[test]
+    fn reads_are_chunked_deterministically() {
+        let mut cfg = KernelConfig::default();
+        cfg.fs.install_file("/big", vec![b'a'; 100]);
+        cfg.max_read_chunk = 10;
+        cfg.seed = 7;
+        let sizes1 = read_all(&cfg);
+        let sizes2 = read_all(&cfg);
+        assert_eq!(sizes1, sizes2, "same seed, same chunks");
+        assert!(sizes1.iter().all(|s| *s >= 1 && *s <= 10));
+        assert_eq!(sizes1.iter().sum::<i64>(), 100);
+    }
+
+    fn read_all(cfg: &KernelConfig) -> Vec<i64> {
+        let mut k = Kernel::new(cfg.clone());
+        let (mut m, path) = mem_with_buf(16);
+        m.write_bytes(path, b"/big\0").unwrap();
+        let fd = k.dispatch(Sys::Open, &[path, 0], &m).unwrap().ret;
+        let (m2, buf) = mem_with_buf(128);
+        let _ = m2;
+        let mut sizes = Vec::new();
+        loop {
+            let r = k.dispatch(Sys::Read, &[fd, buf, 100], &m).unwrap().ret;
+            if r <= 0 {
+                break;
+            }
+            sizes.push(r);
+        }
+        sizes
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let mut cfg = KernelConfig::default();
+        cfg.clients = vec![
+            ClientScript::oneshot(b"a".to_vec()),
+            ClientScript::oneshot(b"b".to_vec()),
+        ];
+        cfg.arrival_window = 1;
+        let mut k = Kernel::new(cfg);
+        let (m, buf) = mem_with_buf(8);
+        let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;
+        k.dispatch(Sys::Bind, &[sock, 80], &m).unwrap();
+        k.dispatch(Sys::Listen, &[sock, 4], &m).unwrap();
+        for _ in 0..2 {
+            k.dispatch(Sys::Select, &[buf, 0, buf], &m).unwrap();
+            let conn = k.dispatch(Sys::Accept, &[sock], &m).unwrap().ret;
+            k.dispatch(Sys::Select, &[buf, 0, buf], &m).unwrap();
+            k.dispatch(Sys::Read, &[conn, buf, 8], &m).unwrap();
+            k.dispatch(Sys::Close, &[conn], &m).unwrap();
+        }
+        assert_eq!(k.stats().requests_completed, 2);
+        assert!(k.all_clients_served());
+    }
+}

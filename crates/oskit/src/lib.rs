@@ -1,0 +1,31 @@
+//! `oskit` — the simulated operating system under the benchmarks.
+//!
+//! The paper's programs run on Linux; this reproduction runs them on a
+//! deterministic kernel simulation that reproduces exactly the syscall
+//! behaviours the paper's techniques care about:
+//!
+//! - **value non-determinism**: how many bytes `read` returns (seeded
+//!   short reads), which descriptors `select` reports ready, clock and
+//!   PRNG results — the targets of the paper's selective syscall logging;
+//! - **a filesystem** with the errno surface the coreutils bugs branch on;
+//! - **scripted client connections** with packet-at-a-time arrival, so an
+//!   event-driven server executes the same select/accept/read dance as on
+//!   a real socket stack;
+//! - **signal injection** reproducing the paper's "crash the server with
+//!   a SEGFAULT after the input" methodology (§5.3).
+//!
+//! Everything is seeded and replayable: the same [`KernelConfig`] always
+//! produces the same execution, which is what makes recorded branch logs
+//! meaningful across runs.
+
+pub mod fs;
+pub mod host;
+pub mod kernel;
+pub mod net;
+
+pub use fs::{errno, FsNode, SimFs};
+pub use host::{apply_effect, OsHost};
+pub use kernel::{
+    CellWrite, Kernel, KernelConfig, KernelStats, MemAccess, SignalPlan, StreamSource, SysEffect,
+};
+pub use net::{ClientScript, Conn, NetState};

@@ -1,0 +1,363 @@
+//! The bug-reproduction engine (§3).
+//!
+//! Drives replay runs guided by the partial branch trace: each run
+//! executes the program on a candidate input; divergence from the log
+//! aborts the run and queues a pending constraint set; the solver turns
+//! pending sets into new candidate inputs. Reproduction succeeds when a
+//! run reaches the recorded crash site (same source location, whole log
+//! consumed) or crashes with the recorded crash itself.
+//!
+//! "We currently use a simple depth-first approach" (§3.2) — pending sets
+//! live on a stack, with 2(b) forced-direction sets pushed last (tried
+//! first), which is what makes the log *guide* the search.
+
+use crate::env::{realize_streams, ReplayEnv, SyscallMode};
+use crate::host::{ReplayHost, BRANCH_DIVERGENCE, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE};
+use concolic::{InputSpec, InputVars, StepOrigin};
+use instrument::{BugReport, Plan};
+use minic::memory::pack;
+use minic::vm::{RunOutcome, Vm};
+use minic::CompiledProgram;
+use oskit::SimFs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use solver::{ConstraintSet, ExprArena, Lit, SolveCfg};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Budget for one reproduction attempt. `max_runs` is the deterministic
+/// stand-in for the paper's 1-hour replay timeout.
+#[derive(Debug, Clone)]
+pub struct ReplayBudget {
+    /// Maximum replay runs before declaring failure (the "∞" rows).
+    pub max_runs: usize,
+    /// Instruction budget per run.
+    pub fuel_per_run: u64,
+    /// Optional wall-clock cap in milliseconds (0 = none).
+    pub max_wall_ms: u64,
+    /// Pending constraint sets scheduled per run, deepest-first.
+    pub max_pendings_per_run: usize,
+    /// Pending sets longer than this many literals are skipped.
+    pub max_pending_lits: usize,
+}
+
+impl Default for ReplayBudget {
+    fn default() -> Self {
+        ReplayBudget {
+            max_runs: 512,
+            fuel_per_run: 20_000_000,
+            max_wall_ms: 0,
+            max_pendings_per_run: 64,
+            max_pending_lits: 4000,
+        }
+    }
+}
+
+/// Configuration of a reproduction attempt.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The input shape the developer replays against (same shape as the
+    /// deployment workload; contents are searched for).
+    pub spec: InputSpec,
+    /// Replica of the deployment filesystem (concrete parts).
+    pub base_fs: SimFs,
+    /// Search budget.
+    pub budget: ReplayBudget,
+    /// Solver configuration.
+    pub solve: SolveCfg,
+    /// Seed for the initial candidate input.
+    pub seed: u64,
+}
+
+impl ReplayConfig {
+    /// Default configuration over an input shape.
+    pub fn new(spec: InputSpec) -> Self {
+        ReplayConfig {
+            spec,
+            base_fs: SimFs::new(),
+            budget: ReplayBudget::default(),
+            solve: SolveCfg::default(),
+            seed: 11,
+        }
+    }
+}
+
+/// Outcome of a reproduction attempt.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// True if the bug was reproduced within budget.
+    pub reproduced: bool,
+    /// Replay runs performed.
+    pub runs: usize,
+    /// Solver invocations.
+    pub solver_calls: usize,
+    /// Total VM instructions across runs (deterministic work metric).
+    pub total_instrs: u64,
+    /// Total cost units across runs.
+    pub total_units: u64,
+    /// Wall-clock milliseconds spent.
+    pub wall_ms: u64,
+    /// The reproducing argv, if found.
+    pub witness_argv: Option<Vec<Vec<u8>>>,
+    /// The full reproducing assignment (inputs + model values).
+    pub witness_assignment: Option<Vec<i64>>,
+    /// True if the budget ran out (the paper's ∞ entries).
+    pub timed_out: bool,
+    /// Aggregate per-run stats of the last (or successful) run.
+    pub last_run_stats: crate::host::ReplayRunStats,
+}
+
+/// The reproduction engine.
+pub struct ReplayEngine<'p> {
+    cp: &'p CompiledProgram,
+    plan: Plan,
+    report: BugReport,
+    cfg: ReplayConfig,
+}
+
+impl<'p> ReplayEngine<'p> {
+    /// Creates an engine from the developer-retained plan and the
+    /// shipped bug report.
+    pub fn new(cp: &'p CompiledProgram, plan: Plan, report: BugReport, cfg: ReplayConfig) -> Self {
+        ReplayEngine {
+            cp,
+            plan,
+            report,
+            cfg,
+        }
+    }
+
+    fn initial_assignment(&self, n: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        (0..n).map(|_| rng.gen_range(0x20..0x7f) as i64).collect()
+    }
+
+    /// Runs the guided search to completion or budget exhaustion.
+    pub fn reproduce(&self) -> ReplayResult {
+        let start = std::time::Instant::now();
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
+        let n_controllable = vars.n_controllable as usize;
+        let mut assignment = self.initial_assignment(n_controllable);
+
+        let mut stack: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut runs = 0usize;
+        let mut solver_calls = 0usize;
+        let mut total_instrs = 0u64;
+        let mut total_units = 0u64;
+        #[allow(unused_assignments)]
+        let mut last_stats = crate::host::ReplayRunStats::default();
+
+        let syscall_mode = if self.report.syscalls.is_empty() {
+            SyscallMode::Modeled
+        } else {
+            SyscallMode::Logged(self.report.syscalls.clone())
+        };
+
+        loop {
+            // ---- one replay run -------------------------------------------
+            let streams = realize_streams(&self.cfg.spec, &vars, &assignment);
+            let nondet_assign: Vec<i64> = assignment
+                .get(n_controllable..)
+                .map(|s| s.to_vec())
+                .unwrap_or_default();
+            let env = ReplayEnv::new(
+                streams,
+                self.cfg.base_fs.clone(),
+                syscall_mode.clone(),
+                nondet_assign,
+            );
+            let argv = env.argv().to_vec();
+            let host = ReplayHost::new(
+                arena,
+                env,
+                self.plan.clone(),
+                self.report.trace.clone(),
+                vars.clone(),
+                self.report.crash.loc,
+            );
+            let mut vm = Vm::new(self.cp, host);
+            vm.fuel = self.cfg.budget.fuel_per_run;
+            vm.watch_loc = Some(self.report.crash.loc);
+            vm.prepare(&argv);
+            // Mark symbolic argv bytes.
+            let objs: Vec<_> = vm.argv_objects().to_vec();
+            for (ai, arg_vars) in vm.host.vars.argv.clone().iter().enumerate() {
+                for (bi, vid) in arg_vars.iter().enumerate() {
+                    let e = vm.host.arena.var_expr(*vid);
+                    vm.mem
+                        .set_shadow(pack(objs[ai], bi as u32), Some(e))
+                        .expect("argv bytes exist");
+                }
+            }
+            let outcome = vm.resume();
+            runs += 1;
+            total_instrs += vm.meter.instrs;
+            total_units += vm.meter.units;
+            let host = vm.host;
+            arena = host.arena;
+            last_stats = host.stats.clone();
+            let path = host.path;
+            let log_exhausted = host.bit_pos >= self.report.trace.len();
+
+            // ---- success checks --------------------------------------------
+            let success = match &outcome {
+                RunOutcome::Aborted(r) if r == REACHED_CRASH_SITE => true,
+                RunOutcome::Crashed(c)
+                    if c.loc == self.report.crash.loc
+                        && c.kind == self.report.crash.kind
+                        && log_exhausted =>
+                {
+                    true
+                }
+                _ => false,
+            };
+            if success {
+                return ReplayResult {
+                    reproduced: true,
+                    runs,
+                    solver_calls,
+                    total_instrs,
+                    total_units,
+                    wall_ms: start.elapsed().as_millis() as u64,
+                    witness_argv: Some(argv),
+                    witness_assignment: Some(assignment),
+                    timed_out: false,
+                    last_run_stats: last_stats,
+                };
+            }
+            if runs >= self.cfg.budget.max_runs
+                || (self.cfg.budget.max_wall_ms > 0
+                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms)
+            {
+                return self.failed(
+                    runs,
+                    solver_calls,
+                    total_instrs,
+                    total_units,
+                    start,
+                    last_stats,
+                );
+            }
+
+            // ---- schedule pending sets -------------------------------------
+            let forced = matches!(&outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
+            let _syscall_div =
+                matches!(&outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
+
+            let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
+            // Standard pending sets: negate branch literals, deepest
+            // first, capped (the caps bound quadratic prefix copying on
+            // long server paths).
+            let mut scheduled = 0usize;
+            let mut new_pendings: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
+            for i in (0..lits.len()).rev() {
+                if scheduled >= self.cfg.budget.max_pendings_per_run {
+                    break;
+                }
+                if i + 1 > self.cfg.budget.max_pending_lits {
+                    continue;
+                }
+                if !matches!(path[i].origin, StepOrigin::Branch(_)) {
+                    continue;
+                }
+                // In a 2(b) abort the final literal is already forced;
+                // don't negate it.
+                if forced && i == lits.len() - 1 {
+                    continue;
+                }
+                if arena.support(lits[i].expr).is_empty() {
+                    continue;
+                }
+                let mut cs = ConstraintSet::new();
+                for l in &lits[..i] {
+                    cs.push(*l);
+                }
+                cs.push(lits[i].negated());
+                if remember(&mut seen, &cs) {
+                    new_pendings.push((cs, assignment.clone()));
+                    scheduled += 1;
+                }
+            }
+            // Deepest-first DFS ordering.
+            stack.extend(new_pendings.into_iter().rev());
+            // The 2(b) forced set (whole path, last literal already
+            // pointing the recorded way) is pushed LAST: tried first.
+            if forced {
+                let mut cs = ConstraintSet::new();
+                for l in &lits {
+                    cs.push(*l);
+                }
+                if remember(&mut seen, &cs) {
+                    stack.push((cs, assignment.clone()));
+                }
+            }
+
+            // ---- pick and solve the next pending set -----------------------
+            let mut next = None;
+            while let Some((cs, seed)) = stack.pop() {
+                solver_calls += 1;
+                let scfg = SolveCfg {
+                    seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
+                    ..self.cfg.solve.clone()
+                };
+                if let Some(model) = solver::solve(&arena, &cs, Some(&seed), &scfg) {
+                    next = Some(model);
+                    break;
+                }
+                if self.cfg.budget.max_wall_ms > 0
+                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+                {
+                    break;
+                }
+            }
+            match next {
+                Some(model) => assignment = model,
+                None => {
+                    return self.failed(
+                        runs,
+                        solver_calls,
+                        total_instrs,
+                        total_units,
+                        start,
+                        last_stats,
+                    )
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn failed(
+        &self,
+        runs: usize,
+        solver_calls: usize,
+        total_instrs: u64,
+        total_units: u64,
+        start: std::time::Instant,
+        last_stats: crate::host::ReplayRunStats,
+    ) -> ReplayResult {
+        ReplayResult {
+            reproduced: false,
+            runs,
+            solver_calls,
+            total_instrs,
+            total_units,
+            wall_ms: start.elapsed().as_millis() as u64,
+            witness_argv: None,
+            witness_assignment: None,
+            timed_out: true,
+            last_run_stats: last_stats,
+        }
+    }
+}
+
+fn remember(seen: &mut HashSet<u64>, cs: &ConstraintSet) -> bool {
+    let mut h = DefaultHasher::new();
+    for l in &cs.lits {
+        (l.expr.0, l.positive).hash(&mut h);
+    }
+    seen.insert(h.finish())
+}

@@ -1,0 +1,387 @@
+//! The replay host: log-guided symbolic execution (§3.1).
+//!
+//! A concolic host (like the analysis engine's) that additionally follows
+//! the shipped branch bitvector. At every executed branch the four cases
+//! of §3.1 apply:
+//!
+//! 1. **symbolic, not instrumented** — record the constraint, keep going
+//!    (the engine may later negate it: pending set);
+//! 2. **symbolic, instrumented** — compare against the next log bit; on
+//!    mismatch, abort the run and queue the prefix plus the constraint
+//!    *forcing the recorded direction*;
+//! 3. **concrete, instrumented** — compare; mismatch aborts (an earlier
+//!    uninstrumented symbolic branch went the wrong way);
+//! 4. **concrete, not instrumented** — proceed, log untouched.
+
+use crate::env::{ReplayEnv, SyscallDivergence};
+use concolic::{map_binop, map_unop, InputVars, PathStep, StepOrigin, SymV};
+use instrument::{BranchTrace, Plan};
+use minic::ast::{BinOp, UnOp};
+use minic::cost::Meter;
+use minic::memory::Memory;
+use minic::types::Sys;
+use minic::vm::{CrashKind, Host, HostStop};
+use minic::{BranchId, Loc};
+use solver::{ExprArena, ExprRef, Lit, Op, VarId, VarInfo};
+
+/// Host abort reason marking successful arrival at the crash site.
+pub const REACHED_CRASH_SITE: &str = "__reached_crash_site__";
+
+/// Host abort reason for branch-direction divergence (cases 2b/3b).
+pub const BRANCH_DIVERGENCE: &str = "branch direction diverges from log";
+
+/// Host abort reason for syscall-order divergence.
+pub const SYSCALL_DIVERGENCE: &str = "syscall order diverges from log";
+
+/// Per-run statistics of a replay attempt.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayRunStats {
+    /// Log bits consumed.
+    pub bits_consumed: u64,
+    /// Symbolic branch executions that were instrumented.
+    pub sym_logged_execs: u64,
+    /// Symbolic branch executions that were not instrumented (each one
+    /// is a potential fork point for the search).
+    pub sym_unlogged_execs: u64,
+    /// Concrete instrumented executions (consume bits, catch divergence).
+    pub concrete_logged_execs: u64,
+    /// Whether the run ended in a 2(b) forced-direction abort.
+    pub forced_abort: bool,
+}
+
+/// The replay host.
+pub struct ReplayHost {
+    /// Expression arena (session-wide).
+    pub arena: ExprArena,
+    /// The developer-site environment.
+    pub env: ReplayEnv,
+    /// The instrumentation plan (retained by the developer).
+    pub plan: Plan,
+    /// The shipped bitvector.
+    pub trace: BranchTrace,
+    /// Next unconsumed bit.
+    pub bit_pos: u64,
+    /// Input variable tables.
+    pub vars: InputVars,
+    /// Path condition of this run.
+    pub path: Vec<PathStep>,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Run statistics.
+    pub stats: ReplayRunStats,
+    /// The crash site to reach.
+    pub crash_loc: Loc,
+}
+
+impl ReplayHost {
+    /// Creates a replay host for one run.
+    pub fn new(
+        arena: ExprArena,
+        env: ReplayEnv,
+        plan: Plan,
+        trace: BranchTrace,
+        vars: InputVars,
+        crash_loc: Loc,
+    ) -> Self {
+        ReplayHost {
+            arena,
+            env,
+            plan,
+            trace,
+            bit_pos: 0,
+            vars,
+            path: Vec::new(),
+            stdout: Vec::new(),
+            stats: ReplayRunStats::default(),
+            crash_loc,
+        }
+    }
+
+    fn lift(&mut self, v: i64, s: &SymV) -> ExprRef {
+        match s {
+            Some(e) => *e,
+            None => self.arena.constant(v),
+        }
+    }
+
+    fn next_bit(&mut self) -> Option<bool> {
+        let b = self.trace.get(self.bit_pos)?;
+        self.bit_pos += 1;
+        self.stats.bits_consumed += 1;
+        Some(b)
+    }
+
+    /// True once every shipped bit has been consumed.
+    pub fn log_exhausted(&self) -> bool {
+        self.bit_pos >= self.trace.len()
+    }
+
+    /// The solver variable backing model event `k` (allocated on first
+    /// use; event order is stable across runs with a common prefix, which
+    /// gives the variables cross-run identity).
+    fn model_var(&mut self, k: usize, lo: i64, hi: i64) -> ExprRef {
+        let idx = self.vars.n_controllable as usize + k;
+        while self.arena.n_vars() <= idx {
+            self.arena.fresh_var(VarInfo::range(lo, hi));
+        }
+        self.arena.var_expr(VarId(idx as u32))
+    }
+
+    fn divergence(&self) -> HostStop {
+        HostStop::Abort(BRANCH_DIVERGENCE.to_string())
+    }
+}
+
+impl Host for ReplayHost {
+    type V = SymV;
+
+    fn shadow_binop(&mut self, op: BinOp, a: (i64, &SymV), b: (i64, &SymV), _out: i64) -> SymV {
+        if a.1.is_none() && b.1.is_none() {
+            return None;
+        }
+        let ea = self.lift(a.0, a.1);
+        let eb = self.lift(b.0, b.1);
+        Some(self.arena.bin(map_binop(op), ea, eb))
+    }
+
+    fn shadow_unop(&mut self, op: UnOp, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.un(map_unop(op), e))
+    }
+
+    fn shadow_mask_char(&mut self, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.mask_char(e))
+    }
+
+    fn shadow_bool(&mut self, a: (i64, &SymV), _out: i64) -> SymV {
+        let e = (*a.1)?;
+        Some(self.arena.boolify(e))
+    }
+
+    fn shadow_ptr_add(
+        &mut self,
+        ptr: (i64, &SymV),
+        idx: (i64, &SymV),
+        _stride: u32,
+        _out: i64,
+    ) -> SymV {
+        for (val, sh) in [ptr, idx] {
+            if let Some(e) = sh {
+                let c = self.arena.constant(val);
+                let pin = self.arena.bin(Op::Eq, *e, c);
+                self.path.push(PathStep {
+                    lit: Lit {
+                        expr: pin,
+                        positive: true,
+                    },
+                    origin: StepOrigin::Concretization,
+                    taken: true,
+                });
+            }
+        }
+        None
+    }
+
+    fn shadow_ptr_diff(
+        &mut self,
+        a: (i64, &SymV),
+        b: (i64, &SymV),
+        stride: u32,
+        _out: i64,
+    ) -> SymV {
+        if a.1.is_none() && b.1.is_none() {
+            return None;
+        }
+        let ea = self.lift(a.0, a.1);
+        let eb = self.lift(b.0, b.1);
+        let diff = self.arena.bin(Op::Sub, ea, eb);
+        let s = self.arena.constant(stride.max(1) as i64);
+        Some(self.arena.bin(Op::Div, diff, s))
+    }
+
+    fn on_branch(
+        &mut self,
+        bid: BranchId,
+        cond: (i64, &SymV),
+        taken: bool,
+        _loc: Loc,
+    ) -> Result<u64, HostStop> {
+        let symbolic = cond.1.is_some();
+        let instrumented = self.plan.covers(bid);
+        match (symbolic, instrumented) {
+            // Case 1: symbolic, not instrumented.
+            (true, false) => {
+                self.stats.sym_unlogged_execs += 1;
+                let e = cond.1.expect("symbolic condition has a shadow");
+                self.path.push(PathStep {
+                    lit: Lit {
+                        expr: e,
+                        positive: taken,
+                    },
+                    origin: StepOrigin::Branch(bid),
+                    taken,
+                });
+                Ok(0)
+            }
+            // Case 2: symbolic, instrumented.
+            (true, true) => {
+                self.stats.sym_logged_execs += 1;
+                let e = *cond.1.as_ref().expect("symbolic condition has a shadow");
+                match self.next_bit() {
+                    // Log exhausted (recording stopped at the crash):
+                    // explore freely from here on.
+                    None => {
+                        self.path.push(PathStep {
+                            lit: Lit {
+                                expr: e,
+                                positive: taken,
+                            },
+                            origin: StepOrigin::Branch(bid),
+                            taken,
+                        });
+                        Ok(0)
+                    }
+                    Some(recorded) if recorded == taken => {
+                        // Case 2(a): agreement.
+                        self.path.push(PathStep {
+                            lit: Lit {
+                                expr: e,
+                                positive: taken,
+                            },
+                            origin: StepOrigin::Branch(bid),
+                            taken,
+                        });
+                        Ok(0)
+                    }
+                    Some(recorded) => {
+                        // Case 2(b): mismatch — append the constraint
+                        // forcing the *recorded* direction and abort; the
+                        // engine queues this path as a pending set.
+                        self.path.push(PathStep {
+                            lit: Lit {
+                                expr: e,
+                                positive: recorded,
+                            },
+                            origin: StepOrigin::Branch(bid),
+                            taken: recorded,
+                        });
+                        self.stats.forced_abort = true;
+                        Err(self.divergence())
+                    }
+                }
+            }
+            // Case 3: concrete, instrumented.
+            (false, true) => {
+                self.stats.concrete_logged_execs += 1;
+                match self.next_bit() {
+                    None => Ok(0),
+                    Some(recorded) if recorded == taken => Ok(0),
+                    Some(_) => {
+                        // Case 3(b): an earlier uninstrumented symbolic
+                        // branch went the wrong way — abort, backtrack.
+                        Err(self.divergence())
+                    }
+                }
+            }
+            // Case 4: concrete, not instrumented.
+            (false, false) => Ok(0),
+        }
+    }
+
+    fn on_watch_loc(&mut self, _loc: Loc) -> Result<(), HostStop> {
+        // Reaching the crash site with the whole branch log AND syscall
+        // log consumed is the success criterion for externally crashed
+        // executions (the crash happened after the last logged event).
+        if self.log_exhausted() && self.env.log_exhausted() {
+            Err(HostStop::Abort(REACHED_CRASH_SITE.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn syscall(
+        &mut self,
+        sys: Sys,
+        args: &[(i64, SymV)],
+        mem: &mut Memory<SymV>,
+        _meter: &mut Meter,
+    ) -> Result<(i64, SymV), HostStop> {
+        let a = |i: usize| args.get(i).map(|x| x.0).unwrap_or(0);
+        let div = |_e: SyscallDivergence| HostStop::Abort(SYSCALL_DIVERGENCE.to_string());
+        let mem_fault = |f: minic::memory::MemFault| HostStop::Crash(CrashKind::Mem(f));
+        match sys {
+            Sys::Read => {
+                let r = self.env.read(a(0), a(2)).map_err(div)?;
+                if let Some((kind, start)) = &r.stream {
+                    for (i, b) in r.bytes.iter().enumerate() {
+                        let shadow: SymV = self
+                            .vars
+                            .var_for(kind, start + i)
+                            .map(|vid| self.arena.var_expr(vid));
+                        mem.store(a(1).wrapping_add(i as i64), *b as i64, shadow)
+                            .map_err(mem_fault)?;
+                    }
+                }
+                let ret_shadow: SymV = r.model_event.map(|(k, lo, hi)| self.model_var(k, lo, hi));
+                Ok((r.ret, ret_shadow))
+            }
+            Sys::Select => {
+                let n = a(1).clamp(0, 64) as usize;
+                let mut fds = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (v, _) = mem.load(a(0).wrapping_add(i as i64)).map_err(mem_fault)?;
+                    fds.push(v);
+                }
+                let r = self.env.select(&fds).map_err(div)?;
+                for (i, flag) in r.flags.iter().enumerate() {
+                    let shadow: SymV = r
+                        .flag_events
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .map(|(k, lo, hi)| self.model_var(k, lo, hi));
+                    mem.store(a(2).wrapping_add(i as i64), *flag, shadow)
+                        .map_err(mem_fault)?;
+                }
+                let ret_shadow: SymV = r.ret_event.map(|(k, lo, hi)| self.model_var(k, lo, hi));
+                Ok((r.ret, ret_shadow))
+            }
+            Sys::Accept => {
+                let fd = self.env.accept().map_err(div)?;
+                Ok((fd, None))
+            }
+            Sys::Socket => Ok((self.env.socket(), None)),
+            Sys::Bind | Sys::Listen => Ok((0, None)),
+            Sys::Open => {
+                let path = mem.read_cstr(a(0), 4096).map_err(mem_fault)?;
+                Ok((self.env.open(&path, a(1)), None))
+            }
+            Sys::Close => Ok((self.env.close(a(0)), None)),
+            Sys::Write => {
+                let n = a(2).clamp(0, 1 << 20) as usize;
+                let bytes = mem.read_bytes(a(1), n).map_err(mem_fault)?;
+                Ok((self.env.write(a(0), &bytes), None))
+            }
+            Sys::Mkdir | Sys::Mknod | Sys::Mkfifo | Sys::Stat | Sys::Unlink => {
+                let path = mem.read_cstr(a(0), 4096).map_err(mem_fault)?;
+                Ok((self.env.fs_call(sys, &path, a(1), a(2)), None))
+            }
+            Sys::Getuid => Ok((self.env.getuid(), None)),
+            Sys::Time => {
+                let (v, ev) = self.env.time().map_err(div)?;
+                let sh: SymV = ev.map(|(k, lo, hi)| self.model_var(k, lo, hi));
+                Ok((v, sh))
+            }
+            Sys::Rand => {
+                let (v, ev) = self.env.rand().map_err(div)?;
+                let sh: SymV = ev.map(|(k, lo, hi)| self.model_var(k, lo, hi));
+                Ok((v, sh))
+            }
+        }
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.stdout.extend_from_slice(bytes);
+    }
+}

@@ -1,0 +1,191 @@
+//! Logged/unlogged symbolic-branch statistics (Tables 4, 7 and 8).
+//!
+//! The paper correlates replay time with "the number of symbolic branch
+//! locations NOT logged". These helpers compute, for a given plan and the
+//! *true* buggy execution, how many symbolic branch locations (and
+//! executions) were covered by the log versus left for the search.
+
+use concolic::{InputSpec, Profile};
+use instrument::Plan;
+use serde::{Deserialize, Serialize};
+
+/// Logged/unlogged split of the symbolic branches of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Symbolic branch locations covered by the plan.
+    pub logged_locs: usize,
+    /// Executions of those locations.
+    pub logged_execs: u64,
+    /// Symbolic branch locations not covered by the plan.
+    pub unlogged_locs: usize,
+    /// Executions of those locations.
+    pub unlogged_execs: u64,
+}
+
+impl LogStats {
+    /// Splits a (true-execution) profile by a plan's coverage.
+    pub fn from_profile(profile: &Profile, plan: &Plan) -> LogStats {
+        let mut s = LogStats::default();
+        for (i, sym_execs) in profile.symbolic.iter().enumerate() {
+            if *sym_execs == 0 {
+                continue;
+            }
+            let covered = plan.instrumented.get(i).copied().unwrap_or(false);
+            if covered {
+                s.logged_locs += 1;
+                s.logged_execs += sym_execs;
+            } else {
+                s.unlogged_locs += 1;
+                s.unlogged_execs += sym_execs;
+            }
+        }
+        s
+    }
+
+    /// Formats like the paper's table cells: `locs / execs`.
+    pub fn logged_cell(&self) -> String {
+        format!("{} / {}", self.logged_locs, self.logged_execs)
+    }
+
+    /// Formats the not-logged cell.
+    pub fn unlogged_cell(&self) -> String {
+        if self.unlogged_locs == 0 {
+            "0".to_string()
+        } else {
+            format!("{} / {}", self.unlogged_locs, self.unlogged_execs)
+        }
+    }
+}
+
+/// The concrete content of every symbolic input slot of a spec, used to
+/// build the assignment of the *true* (recorded) execution.
+#[derive(Debug, Clone, Default)]
+pub struct InputParts {
+    /// Bytes of each symbolic argv argument, in argv order.
+    pub argv_sym: Vec<Vec<u8>>,
+    /// stdin bytes.
+    pub stdin: Vec<u8>,
+    /// File contents, in spec order.
+    pub files: Vec<Vec<u8>>,
+    /// Per-connection bytes (packets flattened), in spec order.
+    pub conns: Vec<Vec<u8>>,
+}
+
+/// Flattens concrete input parts into a solver assignment, following the
+/// allocation order of `InputVars::alloc` (argv, stdin, files, conns).
+/// Short parts are zero-padded to the spec's lengths; long parts are
+/// truncated.
+pub fn assignment_from_input(spec: &InputSpec, parts: &InputParts) -> Vec<i64> {
+    let mut out = Vec::with_capacity(spec.n_symbolic_bytes());
+    let mut sym_arg = 0usize;
+    for a in &spec.argv {
+        if let concolic::ArgSpec::Symbolic(n) = a {
+            let bytes = parts.argv_sym.get(sym_arg).cloned().unwrap_or_default();
+            for i in 0..*n {
+                out.push(bytes.get(i).copied().unwrap_or(0) as i64);
+            }
+            sym_arg += 1;
+        }
+    }
+    for i in 0..spec.stdin_len {
+        out.push(parts.stdin.get(i).copied().unwrap_or(0) as i64);
+    }
+    for (fi, f) in spec.files.iter().enumerate() {
+        let bytes = parts.files.get(fi).cloned().unwrap_or_default();
+        for i in 0..f.len {
+            out.push(bytes.get(i).copied().unwrap_or(0) as i64);
+        }
+    }
+    for (ci, c) in spec.clients.iter().enumerate() {
+        let total: usize = c.packet_lens.iter().sum();
+        let bytes = parts.conns.get(ci).cloned().unwrap_or_default();
+        for i in 0..total {
+            out.push(bytes.get(i).copied().unwrap_or(0) as i64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concolic::ArgSpec;
+    use instrument::Method;
+    use minic::BranchId;
+
+    #[test]
+    fn splits_profile_by_plan() {
+        let mut p = Profile::new(4);
+        p.observe(BranchId(0), true); // symbolic, will be logged
+        p.observe(BranchId(0), true);
+        p.observe(BranchId(1), true); // symbolic, not logged
+        p.observe(BranchId(2), false); // concrete: ignored entirely
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented: vec![true, false, true, false],
+            log_syscalls: true,
+        };
+        let s = LogStats::from_profile(&p, &plan);
+        assert_eq!(s.logged_locs, 1);
+        assert_eq!(s.logged_execs, 2);
+        assert_eq!(s.unlogged_locs, 1);
+        assert_eq!(s.unlogged_execs, 1);
+        assert_eq!(s.logged_cell(), "1 / 2");
+        assert_eq!(s.unlogged_cell(), "1 / 1");
+    }
+
+    #[test]
+    fn assignment_layout_matches_alloc_order() {
+        let spec = InputSpec {
+            argv: vec![ArgSpec::Fixed(b"p".to_vec()), ArgSpec::Symbolic(2)],
+            stdin_len: 1,
+            files: vec![concolic::FileSpec {
+                path: "/f".into(),
+                len: 2,
+            }],
+            clients: vec![concolic::ClientSpec {
+                packet_lens: vec![1, 1],
+                close_after: true,
+            }],
+        };
+        let parts = InputParts {
+            argv_sym: vec![b"ab".to_vec()],
+            stdin: b"S".to_vec(),
+            files: vec![b"fg".to_vec()],
+            conns: vec![b"xy".to_vec()],
+        };
+        let a = assignment_from_input(&spec, &parts);
+        assert_eq!(
+            a,
+            vec![
+                b'a' as i64,
+                b'b' as i64,
+                b'S' as i64,
+                b'f' as i64,
+                b'g' as i64,
+                b'x' as i64,
+                b'y' as i64
+            ]
+        );
+    }
+
+    #[test]
+    fn padding_and_truncation() {
+        let spec = InputSpec {
+            argv: vec![ArgSpec::Symbolic(4)],
+            ..InputSpec::default()
+        };
+        let parts = InputParts {
+            argv_sym: vec![b"hello-too-long".to_vec()],
+            ..InputParts::default()
+        };
+        let a = assignment_from_input(&spec, &parts);
+        assert_eq!(a.len(), 4);
+        let short = InputParts {
+            argv_sym: vec![b"x".to_vec()],
+            ..InputParts::default()
+        };
+        let b = assignment_from_input(&spec, &short);
+        assert_eq!(b, vec![b'x' as i64, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,632 @@
+//! Hash-consed expression arena.
+//!
+//! Symbolic expressions form a DAG interned in one arena per analysis
+//! session. Interning gives (1) cheap `Copy` handles that can shadow every
+//! VM cell, (2) structural sharing across the millions of shadow
+//! operations a concolic run performs, and (3) constant folding at
+//! construction so trivially concrete expressions never materialize.
+
+use crate::op::{eval_op, eval_unop, Op, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprRef(pub u32);
+
+/// Identifier of a symbolic input variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// An interned expression node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A constant.
+    Const(i64),
+    /// A symbolic input variable.
+    Var(VarId),
+    /// A binary operation.
+    Bin(Op, ExprRef, ExprRef),
+    /// A unary operation.
+    Un(UnOp, ExprRef),
+}
+
+/// Metadata of a symbolic variable: its inclusive domain.
+///
+/// Input bytes get `[0, 255]`; modelled syscall returns get the range the
+/// model allows (e.g. `[-1, n]` for `read`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Smallest allowed value.
+    pub lo: i64,
+    /// Largest allowed value.
+    pub hi: i64,
+}
+
+impl VarInfo {
+    /// A byte-valued input variable.
+    pub fn byte() -> Self {
+        VarInfo { lo: 0, hi: 255 }
+    }
+
+    /// An arbitrary bounded variable.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        VarInfo { lo, hi }
+    }
+
+    /// Clamps `v` into the domain.
+    pub fn clamp(&self, v: i64) -> i64 {
+        v.clamp(self.lo, self.hi)
+    }
+}
+
+/// The expression arena: interned nodes plus the variable table.
+#[derive(Debug, Default, Clone)]
+pub struct ExprArena {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, ExprRef>,
+    vars: Vec<VarInfo>,
+}
+
+impl ExprArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The domain of a variable.
+    pub fn var_info(&self, v: VarId) -> VarInfo {
+        self.vars[v.0 as usize]
+    }
+
+    /// All variable domains, indexed by `VarId`.
+    pub fn var_infos(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// Creates a fresh symbolic variable with the given domain.
+    pub fn fresh_var(&mut self, info: VarInfo) -> (VarId, ExprRef) {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        let r = self.intern(Node::Var(id));
+        (id, r)
+    }
+
+    /// The expression handle of an existing variable.
+    pub fn var_expr(&mut self, v: VarId) -> ExprRef {
+        debug_assert!((v.0 as usize) < self.vars.len(), "unknown variable");
+        self.intern(Node::Var(v))
+    }
+
+    /// The node behind a handle.
+    pub fn node(&self, r: ExprRef) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    fn intern(&mut self, n: Node) -> ExprRef {
+        if let Some(r) = self.intern.get(&n) {
+            return *r;
+        }
+        let r = ExprRef(self.nodes.len() as u32);
+        self.nodes.push(n);
+        self.intern.insert(n, r);
+        r
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, v: i64) -> ExprRef {
+        self.intern(Node::Const(v))
+    }
+
+    /// Builds `a op b` with constant folding and light simplification.
+    pub fn bin(&mut self, op: Op, a: ExprRef, b: ExprRef) -> ExprRef {
+        let (na, nb) = (self.node(a), self.node(b));
+        if let (Node::Const(x), Node::Const(y)) = (na, nb) {
+            return self.constant(eval_op(op, x, y));
+        }
+        // Identity simplifications that show up constantly in shadows.
+        match (op, na, nb) {
+            (Op::Add, _, Node::Const(0)) | (Op::Sub, _, Node::Const(0)) => return a,
+            (Op::Add, Node::Const(0), _) => return b,
+            (Op::Mul, _, Node::Const(1)) => return a,
+            (Op::Mul, Node::Const(1), _) => return b,
+            (Op::Mul, _, Node::Const(0)) | (Op::Mul, Node::Const(0), _) => return self.constant(0),
+            (Op::And, _, Node::Const(0)) | (Op::And, Node::Const(0), _) => return self.constant(0),
+            (Op::Or, _, Node::Const(0)) | (Op::Xor, _, Node::Const(0)) => return a,
+            (Op::Or, Node::Const(0), _) | (Op::Xor, Node::Const(0), _) => return b,
+            // Masking an already-masked byte: (x & 255) & 255.
+            (Op::And, Node::Bin(Op::And, _, m), Node::Const(255)) => {
+                if self.node(m) == Node::Const(255) {
+                    return a;
+                }
+            }
+            // A byte variable masked to a byte is itself.
+            (Op::And, Node::Var(v), Node::Const(255)) => {
+                let info = self.var_info(v);
+                if info.lo >= 0 && info.hi <= 255 {
+                    return a;
+                }
+            }
+            _ => {}
+        }
+        self.intern(Node::Bin(op, a, b))
+    }
+
+    /// Builds a unary operation with constant folding.
+    pub fn un(&mut self, op: UnOp, a: ExprRef) -> ExprRef {
+        if let Node::Const(x) = self.node(a) {
+            return self.constant(eval_unop(op, x));
+        }
+        // Double negations cancel.
+        if let Node::Un(inner_op, inner) = self.node(a) {
+            if inner_op == op && matches!(op, UnOp::Neg | UnOp::BitNot) {
+                return inner;
+            }
+        }
+        self.intern(Node::Un(op, a))
+    }
+
+    /// Builds `x != 0` (the VM's `Bool` normalization).
+    pub fn boolify(&mut self, a: ExprRef) -> ExprRef {
+        // Comparisons are already 0/1.
+        if let Node::Bin(op, _, _) = self.node(a) {
+            if op.is_comparison() {
+                return a;
+            }
+        }
+        let zero = self.constant(0);
+        self.bin(Op::Ne, a, zero)
+    }
+
+    /// Builds `x & 0xff` (char masking).
+    pub fn mask_char(&mut self, a: ExprRef) -> ExprRef {
+        let m = self.constant(0xff);
+        self.bin(Op::And, a, m)
+    }
+
+    /// Evaluates an expression under a full variable assignment.
+    ///
+    /// `assign[v]` is the value of variable `v`. Iterative (explicit
+    /// stack) so deep shadow chains cannot overflow the Rust stack.
+    /// Because interning assigns children smaller indices than parents,
+    /// a dense slot vector doubles as the memo table.
+    pub fn eval(&self, root: ExprRef, assign: &[i64]) -> i64 {
+        let mut memo: Vec<Option<i64>> = vec![None; root.0 as usize + 1];
+        let mut stack = vec![(root, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            if memo[r.0 as usize].is_some() {
+                continue;
+            }
+            let n = self.node(r);
+            if !expanded {
+                match n {
+                    Node::Const(v) => memo[r.0 as usize] = Some(v),
+                    Node::Var(v) => {
+                        memo[r.0 as usize] = Some(assign.get(v.0 as usize).copied().unwrap_or(0));
+                    }
+                    Node::Bin(_, a, b) => {
+                        stack.push((r, true));
+                        stack.push((a, false));
+                        stack.push((b, false));
+                    }
+                    Node::Un(_, a) => {
+                        stack.push((r, true));
+                        stack.push((a, false));
+                    }
+                }
+            } else {
+                let v = match n {
+                    Node::Bin(op, a, b) => eval_op(
+                        op,
+                        memo[a.0 as usize].expect("child evaluated"),
+                        memo[b.0 as usize].expect("child evaluated"),
+                    ),
+                    Node::Un(op, a) => eval_unop(op, memo[a.0 as usize].expect("child evaluated")),
+                    _ => unreachable!("leaves are evaluated eagerly"),
+                };
+                memo[r.0 as usize] = Some(v);
+            }
+        }
+        memo[root.0 as usize].expect("root evaluated")
+    }
+
+    /// Rewrites an expression, replacing the mapped variables by
+    /// constants (used to pin uncontrollable non-determinism to its
+    /// observed values before solving for the controllable inputs).
+    pub fn substitute(
+        &mut self,
+        root: ExprRef,
+        map: &std::collections::HashMap<VarId, i64>,
+    ) -> ExprRef {
+        if map.is_empty() {
+            return root;
+        }
+        let mut memo: std::collections::HashMap<ExprRef, ExprRef> = Default::default();
+        self.subst_memo(root, map, &mut memo)
+    }
+
+    /// Substitutes many roots sharing one rewrite memo (linear in the
+    /// union of the DAGs instead of quadratic per-root work).
+    pub fn substitute_many(
+        &mut self,
+        roots: &[ExprRef],
+        map: &std::collections::HashMap<VarId, i64>,
+    ) -> Vec<ExprRef> {
+        if map.is_empty() {
+            return roots.to_vec();
+        }
+        let mut memo: std::collections::HashMap<ExprRef, ExprRef> = Default::default();
+        roots
+            .iter()
+            .map(|r| self.subst_memo(*r, map, &mut memo))
+            .collect()
+    }
+
+    fn subst_memo(
+        &mut self,
+        r: ExprRef,
+        map: &std::collections::HashMap<VarId, i64>,
+        memo: &mut std::collections::HashMap<ExprRef, ExprRef>,
+    ) -> ExprRef {
+        if let Some(out) = memo.get(&r) {
+            return *out;
+        }
+        let out = match self.node(r) {
+            Node::Const(_) => r,
+            Node::Var(v) => match map.get(&v) {
+                Some(c) => self.constant(*c),
+                None => r,
+            },
+            Node::Bin(op, a, b) => {
+                let na = self.subst_memo(a, map, memo);
+                let nb = self.subst_memo(b, map, memo);
+                if na == a && nb == b {
+                    r
+                } else {
+                    self.bin(op, na, nb)
+                }
+            }
+            Node::Un(op, a) => {
+                let na = self.subst_memo(a, map, memo);
+                if na == a {
+                    r
+                } else {
+                    self.un(op, na)
+                }
+            }
+        };
+        memo.insert(r, out);
+        out
+    }
+
+    /// Collects the support of many expressions with one shared visited
+    /// set; returns per-root supports.
+    pub fn support_many(&self, roots: &[ExprRef]) -> Vec<Vec<VarId>> {
+        roots.iter().map(|r| self.support(*r)).collect()
+    }
+
+    /// Collects the variables an expression depends on (sorted, deduped).
+    pub fn support(&self, root: ExprRef) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = Vec::new();
+        let mut stack = vec![root];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            match self.node(r) {
+                Node::Const(_) => {}
+                Node::Var(v) => {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                Node::Bin(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Node::Un(_, a) => stack.push(a),
+            }
+        }
+        vars.sort();
+        vars
+    }
+
+    /// Renders an expression for diagnostics.
+    pub fn display(&self, r: ExprRef) -> String {
+        let mut s = String::new();
+        self.fmt_expr(r, &mut s, 0);
+        s
+    }
+
+    fn fmt_expr(&self, r: ExprRef, out: &mut String, depth: usize) {
+        use fmt::Write as _;
+        if depth > 64 {
+            out.push_str("...");
+            return;
+        }
+        match self.node(r) {
+            Node::Const(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Node::Var(v) => {
+                let _ = write!(out, "in{}", v.0);
+            }
+            Node::Bin(op, a, b) => {
+                out.push('(');
+                self.fmt_expr(a, out, depth + 1);
+                let sym = match op {
+                    Op::Add => "+",
+                    Op::Sub => "-",
+                    Op::Mul => "*",
+                    Op::Div => "/",
+                    Op::Rem => "%",
+                    Op::And => "&",
+                    Op::Or => "|",
+                    Op::Xor => "^",
+                    Op::Shl => "<<",
+                    Op::Shr => ">>",
+                    Op::Eq => "==",
+                    Op::Ne => "!=",
+                    Op::Lt => "<",
+                    Op::Le => "<=",
+                    Op::Gt => ">",
+                    Op::Ge => ">=",
+                };
+                let _ = write!(out, " {sym} ");
+                self.fmt_expr(b, out, depth + 1);
+                out.push(')');
+            }
+            Node::Un(op, a) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                out.push_str(sym);
+                self.fmt_expr(a, out, depth + 1);
+            }
+        }
+    }
+}
+
+/// A reusable, generation-stamped evaluation scratchpad.
+///
+/// `ExprArena::eval` allocates a memo sized by the expression's index on
+/// every call — fine for one-off evaluations, ruinous inside a search
+/// loop over thousands of literals. An `Evaluator` keeps one buffer and
+/// invalidates it by bumping a generation counter when the assignment
+/// changes, so evaluating many literals under the same assignment shares
+/// all common subexpression results.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    values: Vec<i64>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl Evaluator {
+    /// Creates an evaluator sized for the arena (grows on demand).
+    pub fn new(arena: &ExprArena) -> Self {
+        Evaluator {
+            values: vec![0; arena.len()],
+            stamp: vec![0; arena.len()],
+            generation: 1,
+        }
+    }
+
+    /// Invalidates all memoized results (call after the assignment
+    /// changes).
+    pub fn invalidate(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wraparound: clear stamps explicitly.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Evaluates `root` under `assign`, sharing results with every other
+    /// evaluation since the last [`Evaluator::invalidate`].
+    pub fn eval(&mut self, arena: &ExprArena, root: ExprRef, assign: &[i64]) -> i64 {
+        self.ensure(arena.len());
+        let g = self.generation;
+        let mut stack = vec![(root, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            let i = r.0 as usize;
+            if self.stamp[i] == g {
+                continue;
+            }
+            let n = arena.node(r);
+            if !expanded {
+                match n {
+                    Node::Const(v) => {
+                        self.values[i] = v;
+                        self.stamp[i] = g;
+                    }
+                    Node::Var(v) => {
+                        self.values[i] = assign.get(v.0 as usize).copied().unwrap_or(0);
+                        self.stamp[i] = g;
+                    }
+                    Node::Bin(_, a, b) => {
+                        stack.push((r, true));
+                        stack.push((a, false));
+                        stack.push((b, false));
+                    }
+                    Node::Un(_, a) => {
+                        stack.push((r, true));
+                        stack.push((a, false));
+                    }
+                }
+            } else {
+                let v = match n {
+                    Node::Bin(op, a, b) => {
+                        eval_op(op, self.values[a.0 as usize], self.values[b.0 as usize])
+                    }
+                    Node::Un(op, a) => eval_unop(op, self.values[a.0 as usize]),
+                    _ => unreachable!("leaves are evaluated eagerly"),
+                };
+                self.values[i] = v;
+                self.stamp[i] = g;
+            }
+        }
+        self.values[root.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluator_matches_eval_and_shares_memo() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let ten = a.constant(10);
+        let t = a.bin(Op::Mul, x, ten);
+        let e1 = a.bin(Op::Add, t, x);
+        let e2 = a.bin(Op::Sub, t, x);
+        let mut ev = Evaluator::new(&a);
+        let assign = [4i64];
+        assert_eq!(ev.eval(&a, e1, &assign), a.eval(e1, &assign));
+        assert_eq!(ev.eval(&a, e2, &assign), a.eval(e2, &assign));
+        // After the assignment changes, invalidation is required.
+        let assign2 = [5i64];
+        ev.invalidate();
+        assert_eq!(ev.eval(&a, e1, &assign2), a.eval(e1, &assign2));
+    }
+
+    #[test]
+    fn substitute_many_matches_individual() {
+        let mut a = ExprArena::new();
+        let (vx, x) = a.fresh_var(VarInfo::byte());
+        let (_, y) = a.fresh_var(VarInfo::byte());
+        let s = a.bin(Op::Add, x, y);
+        let t = a.bin(Op::Mul, s, x);
+        let map: std::collections::HashMap<VarId, i64> = [(vx, 3)].into_iter().collect();
+        let many = a.substitute_many(&[s, t], &map);
+        assert_eq!(many[0], a.substitute(s, &map));
+        assert_eq!(many[1], a.substitute(t, &map));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut a = ExprArena::new();
+        let x = a.constant(3);
+        let y = a.constant(4);
+        let s = a.bin(Op::Add, x, y);
+        assert_eq!(a.node(s), Node::Const(7));
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        let one = a.constant(1);
+        let e1 = a.bin(Op::Add, v, one);
+        let e2 = a.bin(Op::Add, v, one);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        let zero = a.constant(0);
+        let one = a.constant(1);
+        assert_eq!(a.bin(Op::Add, v, zero), v);
+        assert_eq!(a.bin(Op::Mul, v, one), v);
+        assert_eq!(a.node(a.clone().bin(Op::Mul, v, zero)), Node::Const(0));
+    }
+
+    #[test]
+    fn byte_var_mask_is_identity() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        assert_eq!(a.mask_char(v), v);
+        let (_, w) = a.fresh_var(VarInfo::range(-1, 1000));
+        assert_ne!(a.mask_char(w), w);
+    }
+
+    #[test]
+    fn boolify_of_comparison_is_identity() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        let c = a.constant(65);
+        let cmp = a.bin(Op::Eq, v, c);
+        assert_eq!(a.boolify(cmp), cmp);
+        assert_ne!(a.boolify(v), v);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let (_, y) = a.fresh_var(VarInfo::byte());
+        let ten = a.constant(10);
+        let t = a.bin(Op::Mul, x, ten);
+        let e = a.bin(Op::Add, t, y); // x*10 + y
+        assert_eq!(a.eval(e, &[4, 2]), 42);
+    }
+
+    #[test]
+    fn support_collects_vars() {
+        let mut a = ExprArena::new();
+        let (vx, x) = a.fresh_var(VarInfo::byte());
+        let (vy, y) = a.fresh_var(VarInfo::byte());
+        let e = a.bin(Op::Add, x, y);
+        let e2 = a.bin(Op::Add, e, x);
+        assert_eq!(a.support(e2), vec![vx, vy]);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        let n1 = a.un(UnOp::Neg, v);
+        let n2 = a.un(UnOp::Neg, n1);
+        assert_eq!(n2, v);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut a = ExprArena::new();
+        let (_, v) = a.fresh_var(VarInfo::byte());
+        let c = a.constant(71);
+        let e = a.bin(Op::Eq, v, c);
+        assert_eq!(a.display(e), "(in0 == 71)");
+    }
+
+    #[test]
+    fn deep_chain_eval_does_not_overflow() {
+        let mut a = ExprArena::new();
+        let (_, mut e) = a.fresh_var(VarInfo::byte());
+        for _ in 0..100_000 {
+            let one = a.constant(1);
+            e = a.bin(Op::Add, e, one);
+        }
+        assert_eq!(a.eval(e, &[5]), 100_005);
+    }
+}

@@ -1,0 +1,213 @@
+//! Constraint sets: conjunctions of path-condition literals.
+//!
+//! A concolic run produces one literal per symbolic branch executed: the
+//! branch condition expression, asserted true or false according to the
+//! direction taken. A *pending* constraint set (paper §3.1) is the prefix
+//! of a run's constraints with the final literal negated — solving it
+//! yields an input that drives execution down the other side of that
+//! branch.
+
+use crate::arena::{ExprArena, ExprRef};
+use crate::interval::{range, Interval};
+
+/// One literal: an expression asserted truthy (`positive`) or falsy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// The condition expression.
+    pub expr: ExprRef,
+    /// `true` ⇒ assert `expr != 0`; `false` ⇒ assert `expr == 0`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The same condition asserted the other way.
+    pub fn negated(self) -> Lit {
+        Lit {
+            expr: self.expr,
+            positive: !self.positive,
+        }
+    }
+
+    /// Whether the literal holds under an assignment.
+    pub fn holds(&self, arena: &ExprArena, assign: &[i64]) -> bool {
+        (arena.eval(self.expr, assign) != 0) == self.positive
+    }
+}
+
+/// A conjunction of literals describing (part of) a program path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    /// The literals, in the order the branches were executed.
+    pub lits: Vec<Lit>,
+}
+
+impl ConstraintSet {
+    /// An empty (trivially satisfiable) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a literal.
+    pub fn push(&mut self, lit: Lit) {
+        self.lits.push(lit);
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// True if there are no literals.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The set consisting of the first `n` literals plus the negation of
+    /// literal `n` — the paper's pending-set construction.
+    pub fn negate_at(&self, n: usize) -> ConstraintSet {
+        let mut lits: Vec<Lit> = self.lits[..n].to_vec();
+        lits.push(self.lits[n].negated());
+        ConstraintSet { lits }
+    }
+
+    /// Whether all literals hold under an assignment.
+    pub fn satisfied(&self, arena: &ExprArena, assign: &[i64]) -> bool {
+        self.lits.iter().all(|l| l.holds(arena, assign))
+    }
+
+    /// Number of satisfied literals (search objective).
+    pub fn n_satisfied(&self, arena: &ExprArena, assign: &[i64]) -> usize {
+        self.lits.iter().filter(|l| l.holds(arena, assign)).count()
+    }
+
+    /// Index of the first unsatisfied literal, if any.
+    pub fn first_unsat(&self, arena: &ExprArena, assign: &[i64]) -> Option<usize> {
+        self.lits.iter().position(|l| !l.holds(arena, assign))
+    }
+
+    /// Cheap refutation by interval analysis: returns `true` only when
+    /// some literal can *never* hold given the variable domains.
+    pub fn obviously_unsat(&self, arena: &ExprArena) -> bool {
+        self.lits.iter().any(|l| {
+            let r = range(arena, l.expr);
+            if l.positive {
+                r.is_zero()
+            } else {
+                !r.contains(0)
+            }
+        })
+    }
+
+    /// Renders the conjunction for diagnostics.
+    pub fn display(&self, arena: &ExprArena) -> String {
+        let parts: Vec<String> = self
+            .lits
+            .iter()
+            .map(|l| {
+                if l.positive {
+                    arena.display(l.expr)
+                } else {
+                    format!("!{}", arena.display(l.expr))
+                }
+            })
+            .collect();
+        parts.join(" && ")
+    }
+}
+
+/// Range of a literal's expression (re-exported convenience).
+pub fn lit_range(arena: &ExprArena, lit: &Lit) -> Interval {
+    range(arena, lit.expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::VarInfo;
+    use crate::op::Op;
+
+    fn setup() -> (ExprArena, ExprRef, ExprRef) {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let (_, y) = a.fresh_var(VarInfo::byte());
+        (a, x, y)
+    }
+
+    #[test]
+    fn negate_at_builds_pending_set() {
+        let (mut a, x, y) = setup();
+        let c65 = a.constant(65);
+        let c66 = a.constant(66);
+        let l1 = Lit {
+            expr: a.bin(Op::Eq, x, c65),
+            positive: true,
+        };
+        let l2 = Lit {
+            expr: a.bin(Op::Eq, y, c66),
+            positive: true,
+        };
+        let mut cs = ConstraintSet::new();
+        cs.push(l1);
+        cs.push(l2);
+        let pending = cs.negate_at(1);
+        assert_eq!(pending.lits.len(), 2);
+        assert_eq!(pending.lits[0], l1);
+        assert_eq!(pending.lits[1], l2.negated());
+    }
+
+    #[test]
+    fn satisfaction_counting() {
+        let (mut a, x, y) = setup();
+        let c1 = a.constant(10);
+        let c2 = a.constant(20);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, x, c1),
+            positive: true,
+        });
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, y, c2),
+            positive: true,
+        });
+        assert!(cs.satisfied(&a, &[10, 20]));
+        assert_eq!(cs.n_satisfied(&a, &[10, 99]), 1);
+        assert_eq!(cs.first_unsat(&a, &[10, 99]), Some(1));
+        assert_eq!(cs.first_unsat(&a, &[10, 20]), None);
+    }
+
+    #[test]
+    fn obvious_unsat_detected() {
+        let (mut a, x, _) = setup();
+        let big = a.constant(10_000);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Gt, x, big), // byte > 10000
+            positive: true,
+        });
+        assert!(cs.obviously_unsat(&a));
+    }
+
+    #[test]
+    fn negative_literal_semantics() {
+        let (mut a, x, _) = setup();
+        let c = a.constant(65);
+        let lit = Lit {
+            expr: a.bin(Op::Eq, x, c),
+            positive: false,
+        };
+        assert!(lit.holds(&a, &[66]));
+        assert!(!lit.holds(&a, &[65]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (mut a, x, _) = setup();
+        let c = a.constant(65);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, x, c),
+            positive: false,
+        });
+        assert_eq!(cs.display(&a), "!(in0 == 65)");
+    }
+}

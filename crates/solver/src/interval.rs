@@ -1,0 +1,268 @@
+//! Interval analysis over expression DAGs.
+//!
+//! Computes a conservative `[lo, hi]` range for an expression given the
+//! variable domains. Used to prune obviously-unsatisfiable pending
+//! constraint sets before spending search budget on them (the replay
+//! engine keeps a list of pending sets; cheap refutation matters).
+
+use crate::arena::{ExprArena, ExprRef, Node};
+use crate::op::{Op, UnOp};
+use std::collections::HashMap;
+
+/// An inclusive integer interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full 64-bit range (used when precision is lost).
+    pub const FULL: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// A single point.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Creates an interval, normalizing an inverted pair.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// True if `v` lies in the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True if the interval is exactly `{0}`.
+    pub fn is_zero(&self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    fn from_i128(lo: i128, hi: i128) -> Self {
+        let clamp = |v: i128| v.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        // If the true range exceeds i64, wrapping may occur: give up.
+        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+            Interval::FULL
+        } else {
+            Interval::new(clamp(lo), clamp(hi))
+        }
+    }
+}
+
+/// Computes a conservative range for `root` under the arena's variable
+/// domains.
+pub fn range(arena: &ExprArena, root: ExprRef) -> Interval {
+    let mut memo: HashMap<ExprRef, Interval> = HashMap::new();
+    range_memo(arena, root, &mut memo)
+}
+
+fn range_memo(arena: &ExprArena, r: ExprRef, memo: &mut HashMap<ExprRef, Interval>) -> Interval {
+    if let Some(i) = memo.get(&r) {
+        return *i;
+    }
+    let out = match arena.node(r) {
+        Node::Const(v) => Interval::point(v),
+        Node::Var(v) => {
+            let info = arena.var_info(v);
+            Interval::new(info.lo, info.hi)
+        }
+        Node::Un(op, a) => {
+            let ia = range_memo(arena, a, memo);
+            match op {
+                UnOp::Neg => Interval::from_i128(-(ia.hi as i128), -(ia.lo as i128)),
+                UnOp::Not => {
+                    if !ia.contains(0) {
+                        Interval::point(0)
+                    } else if ia.is_zero() {
+                        Interval::point(1)
+                    } else {
+                        Interval::new(0, 1)
+                    }
+                }
+                UnOp::BitNot => Interval::from_i128(!(ia.hi as i128), !(ia.lo as i128)),
+            }
+        }
+        Node::Bin(op, a, b) => {
+            let ia = range_memo(arena, a, memo);
+            let ib = range_memo(arena, b, memo);
+            bin_range(op, ia, ib)
+        }
+    };
+    memo.insert(r, out);
+    out
+}
+
+fn bin_range(op: Op, a: Interval, b: Interval) -> Interval {
+    let corners = |f: fn(i128, i128) -> i128| {
+        let vals = [
+            f(a.lo as i128, b.lo as i128),
+            f(a.lo as i128, b.hi as i128),
+            f(a.hi as i128, b.lo as i128),
+            f(a.hi as i128, b.hi as i128),
+        ];
+        let lo = *vals.iter().min().expect("non-empty");
+        let hi = *vals.iter().max().expect("non-empty");
+        Interval::from_i128(lo, hi)
+    };
+    match op {
+        Op::Add => Interval::from_i128(a.lo as i128 + b.lo as i128, a.hi as i128 + b.hi as i128),
+        Op::Sub => Interval::from_i128(a.lo as i128 - b.hi as i128, a.hi as i128 - b.lo as i128),
+        Op::Mul => corners(|x, y| x * y),
+        Op::Div => {
+            if b.contains(0) {
+                // Total semantics make x/0 == 0; the result range must
+                // include 0 and the corner quotients with b = ±1.
+                Interval::FULL
+            } else {
+                corners(|x, y| x / y)
+            }
+        }
+        Op::Rem => {
+            if b.lo > 0 {
+                Interval::new(-(b.hi - 1).max(0), b.hi - 1)
+            } else {
+                Interval::FULL
+            }
+        }
+        Op::And => {
+            if a.lo >= 0 && b.lo >= 0 {
+                Interval::new(0, a.hi.min(b.hi))
+            } else {
+                Interval::FULL
+            }
+        }
+        Op::Or | Op::Xor => {
+            if a.lo >= 0 && b.lo >= 0 {
+                let bits = 64 - (a.hi | b.hi).leading_zeros().min(63);
+                let max = if bits >= 63 {
+                    i64::MAX
+                } else {
+                    (1i64 << bits) - 1
+                };
+                Interval::new(0, max)
+            } else {
+                Interval::FULL
+            }
+        }
+        Op::Shl | Op::Shr => Interval::FULL,
+        Op::Eq => {
+            let disjoint = a.hi < b.lo || b.hi < a.lo;
+            let both_points_equal = a.lo == a.hi && b.lo == b.hi && a.lo == b.lo;
+            cmp_range(both_points_equal, disjoint)
+        }
+        Op::Ne => {
+            let disjoint = a.hi < b.lo || b.hi < a.lo;
+            let both_points_equal = a.lo == a.hi && b.lo == b.hi && a.lo == b.lo;
+            cmp_range(disjoint, both_points_equal)
+        }
+        Op::Lt => cmp_range(a.hi < b.lo, a.lo >= b.hi),
+        Op::Le => cmp_range(a.hi <= b.lo, a.lo > b.hi),
+        Op::Gt => cmp_range(a.lo > b.hi, a.hi <= b.lo),
+        Op::Ge => cmp_range(a.lo >= b.hi, a.hi < b.lo),
+    }
+}
+
+/// Range of a comparison: `{1}` if always true, `{0}` if never true,
+/// `[0,1]` otherwise.
+fn cmp_range(always: bool, never: bool) -> Interval {
+    if always {
+        Interval::point(1)
+    } else if never {
+        Interval::point(0)
+    } else {
+        Interval::new(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::VarInfo;
+
+    #[test]
+    fn byte_arithmetic_ranges() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let ten = a.constant(10);
+        let e = a.bin(Op::Add, x, ten);
+        assert_eq!(range(&a, e), Interval::new(10, 265));
+    }
+
+    #[test]
+    fn comparison_definitely_false() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let big = a.constant(1000);
+        let e = a.bin(Op::Gt, x, big); // byte > 1000 : impossible
+        assert!(range(&a, e).is_zero());
+    }
+
+    #[test]
+    fn comparison_possible() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let c = a.constant(65);
+        let e = a.bin(Op::Eq, x, c);
+        assert_eq!(range(&a, e), Interval::new(0, 1));
+    }
+
+    #[test]
+    fn eq_of_disjoint_ranges_is_false() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(0, 10));
+        let c = a.constant(50);
+        let e = a.bin(Op::Eq, x, c);
+        assert!(range(&a, e).is_zero());
+    }
+
+    #[test]
+    fn mask_is_byte_range() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(-1000, 1000));
+        let e = a.mask_char(x);
+        let r = range(&a, e);
+        // A possibly-negative operand makes the AND conservative (FULL);
+        // a provably non-negative one must stay within the mask.
+        assert!(r == Interval::FULL || (r.lo >= 0 && r.hi <= 255));
+        let (_, y) = a.fresh_var(VarInfo::range(0, 1000));
+        let masked = a.mask_char(y);
+        let ry = range(&a, masked);
+        assert!(ry.lo >= 0 && ry.hi <= 255, "non-negative mask is tight: {ry:?}");
+    }
+
+    #[test]
+    fn negation_flips() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(3, 7));
+        let e = a.un(UnOp::Neg, x);
+        assert_eq!(range(&a, e), Interval::new(-7, -3));
+    }
+
+    #[test]
+    fn not_of_nonzero_is_zero() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(5, 9));
+        let e = a.un(UnOp::Not, x);
+        assert_eq!(range(&a, e), Interval::point(0));
+    }
+
+    #[test]
+    fn multiplication_corners() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(-3, 4));
+        let c = a.constant(-2);
+        let e = a.bin(Op::Mul, x, c);
+        assert_eq!(range(&a, e), Interval::new(-8, 6));
+    }
+}

@@ -1,0 +1,139 @@
+//! `solver` — symbolic expressions and a finite-domain constraint solver.
+//!
+//! The reproduction's stand-in for the STP-class solver behind the paper's
+//! concolic engine. Program inputs are bounded integer variables (bytes of
+//! argv/socket data, modelled syscall returns); path conditions are
+//! conjunctions of literals over a hash-consed expression DAG
+//! ([`ExprArena`]). [`solve()`](solve()) finds satisfying assignments using interval
+//! refutation, algebraic inversion, and guided stochastic search — exactly
+//! the workload shapes the benchmarks generate (§5 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use solver::{ExprArena, VarInfo, ConstraintSet, Lit, Op, solve, SolveCfg};
+//!
+//! let mut arena = ExprArena::new();
+//! let (_, x) = arena.fresh_var(VarInfo::byte());
+//! let g = arena.constant(b'G' as i64);
+//! let cond = arena.bin(Op::Eq, x, g);
+//! let mut cs = ConstraintSet::new();
+//! cs.push(Lit { expr: cond, positive: true });
+//! let model = solve(&arena, &cs, None, &SolveCfg::default()).unwrap();
+//! assert_eq!(model[0], b'G' as i64);
+//! ```
+
+pub mod arena;
+pub mod constraint;
+pub mod interval;
+pub mod op;
+pub mod solve;
+
+pub use arena::{ExprArena, ExprRef, Node, VarId, VarInfo};
+pub use constraint::{ConstraintSet, Lit};
+pub use interval::{range, Interval};
+pub use op::{eval_op, eval_unop, Op, UnOp};
+pub use solve::{solve, solve_with_stats, SolveCfg, SolveStats, XorShift};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a random expression over byte variables from fuzz bytes.
+    fn arb_expr(arena: &mut ExprArena, vars: &[ExprRef], rng_ops: &[u8], depth: usize) -> ExprRef {
+        if rng_ops.is_empty() || depth > 4 {
+            return vars[rng_ops.first().copied().unwrap_or(0) as usize % vars.len()];
+        }
+        let (op_byte, rest) = rng_ops.split_first().expect("checked non-empty");
+        let half = rest.len() / 2;
+        match op_byte % 6 {
+            0 => {
+                let c = arena.constant((*op_byte as i64) * 3 - 100);
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                arena.bin(Op::Add, a, c)
+            }
+            1 => {
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                let b = arb_expr(arena, vars, &rest[half..], depth + 1);
+                arena.bin(Op::Sub, a, b)
+            }
+            2 => {
+                let c = arena.constant((*op_byte % 7) as i64 + 1);
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                arena.bin(Op::Mul, a, c)
+            }
+            3 => {
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                arena.mask_char(a)
+            }
+            4 => {
+                let c = arena.constant(*op_byte as i64);
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                arena.bin(Op::Xor, a, c)
+            }
+            _ => {
+                let a = arb_expr(arena, vars, &rest[..half], depth + 1);
+                arena.un(UnOp::Neg, a)
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any model returned by the solver satisfies the constraints.
+        #[test]
+        fn solver_models_are_sound(
+            ops in proptest::collection::vec(any::<u8>(), 1..24),
+            targets in proptest::collection::vec(0i64..256, 1..4),
+        ) {
+            let mut arena = ExprArena::new();
+            let vars: Vec<ExprRef> =
+                (0..4).map(|_| arena.fresh_var(VarInfo::byte()).1).collect();
+            let mut cs = ConstraintSet::new();
+            for t in &targets {
+                let e = arb_expr(&mut arena, &vars, &ops, 0);
+                let c = arena.constant(*t);
+                let cmp = arena.bin(Op::Eq, e, c);
+                cs.push(Lit { expr: cmp, positive: true });
+            }
+            let cfg = SolveCfg { max_iters: 4000, ..SolveCfg::default() };
+            if let Some(model) = solve(&arena, &cs, None, &cfg) {
+                prop_assert!(cs.satisfied(&arena, &model));
+                for (i, v) in model.iter().enumerate() {
+                    let info = arena.var_info(VarId(i as u32));
+                    prop_assert!(*v >= info.lo && *v <= info.hi);
+                }
+            }
+        }
+
+        /// Interval analysis always contains the concrete evaluation.
+        #[test]
+        fn interval_contains_eval(
+            ops in proptest::collection::vec(any::<u8>(), 1..24),
+            assign in proptest::collection::vec(0i64..256, 4),
+        ) {
+            let mut arena = ExprArena::new();
+            let vars: Vec<ExprRef> =
+                (0..4).map(|_| arena.fresh_var(VarInfo::byte()).1).collect();
+            let e = arb_expr(&mut arena, &vars, &ops, 0);
+            let r = range(&arena, e);
+            let v = arena.eval(e, &assign);
+            prop_assert!(r.contains(v), "range {:?} must contain eval {}", r, v);
+        }
+
+        /// Constant folding agrees with evaluation.
+        #[test]
+        fn folding_agrees_with_eval(a in any::<i64>(), b in any::<i64>()) {
+            let mut arena = ExprArena::new();
+            for op in [Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Rem, Op::And,
+                       Op::Or, Op::Xor, Op::Eq, Op::Ne, Op::Lt, Op::Le] {
+                let ca = arena.constant(a);
+                let cb = arena.constant(b);
+                let e = arena.bin(op, ca, cb);
+                prop_assert_eq!(arena.eval(e, &[]), eval_op(op, a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Operator set and total concrete evaluation.
+//!
+//! The solver's operators mirror the VM's (wrapping 64-bit arithmetic,
+//! comparisons producing 0/1) with one deliberate difference: division and
+//! remainder by zero evaluate to 0 instead of trapping. Constraints are
+//! only ever collected from paths that executed without trapping, but the
+//! *search* may try assignments that would divide by zero; total semantics
+//! keep evaluation defined there (documented unsoundness that never
+//! affects satisfying assignments found for trap-free paths).
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Op {
+    /// True for the six comparison operators (result is 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge)
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> Op {
+        match self {
+            Op::Lt => Op::Gt,
+            Op::Le => Op::Ge,
+            Op::Gt => Op::Lt,
+            Op::Ge => Op::Le,
+            other => other,
+        }
+    }
+
+    /// The negated comparison (`!(a < b)` ⇔ `a >= b`), if any.
+    pub fn negated(self) -> Option<Op> {
+        Some(match self {
+            Op::Eq => Op::Ne,
+            Op::Ne => Op::Eq,
+            Op::Lt => Op::Ge,
+            Op::Le => Op::Gt,
+            Op::Gt => Op::Le,
+            Op::Ge => Op::Lt,
+            _ => return None,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (0 becomes 1, nonzero becomes 0).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Evaluates a binary operation with total semantics.
+pub fn eval_op(op: Op, a: i64, b: i64) -> i64 {
+    match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        Op::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Shl => a.wrapping_shl((b & 63) as u32),
+        Op::Shr => a.wrapping_shr((b & 63) as u32),
+        Op::Eq => (a == b) as i64,
+        Op::Ne => (a != b) as i64,
+        Op::Lt => (a < b) as i64,
+        Op::Le => (a <= b) as i64,
+        Op::Gt => (a > b) as i64,
+        Op::Ge => (a >= b) as i64,
+    }
+}
+
+/// Evaluates a unary operation.
+pub fn eval_unop(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::BitNot => !a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_division() {
+        assert_eq!(eval_op(Op::Div, 7, 0), 0);
+        assert_eq!(eval_op(Op::Rem, 7, 0), 0);
+        assert_eq!(eval_op(Op::Div, 7, 2), 3);
+    }
+
+    #[test]
+    fn negated_comparisons_are_involutions() {
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            let n = op.negated().unwrap();
+            assert_eq!(n.negated(), Some(op));
+            // Semantics: negation flips the truth value on samples.
+            for (a, b) in [(1, 2), (2, 1), (3, 3)] {
+                assert_eq!(eval_op(op, a, b) == 1, eval_op(n, a, b) == 0);
+            }
+        }
+        assert_eq!(Op::Add.negated(), None);
+    }
+
+    #[test]
+    fn swapped_comparisons_agree() {
+        for (a, b) in [(1, 2), (2, 1), (5, 5)] {
+            assert_eq!(eval_op(Op::Lt, a, b), eval_op(Op::Gt, b, a));
+            assert_eq!(eval_op(Op::Le, a, b), eval_op(Op::Ge, b, a));
+        }
+    }
+}

@@ -1,0 +1,752 @@
+//! The constraint solver.
+//!
+//! A finite-domain solver tuned for the constraints concolic execution of
+//! parsers and utilities produces: long conjunctions of (in)equalities
+//! over input bytes, usually with a satisfying seed one literal away
+//! (the concolic loop negates the last literal of a path that the current
+//! input already satisfies).
+//!
+//! The pipeline per [`solve`] call:
+//!
+//! 1. **Interval refutation** — reject sets with a literal that can never
+//!    hold under the variable domains.
+//! 2. **Inversion repair** — walk the first unsatisfied literal's
+//!    expression top-down, algebraically inverting `+`, `-`, `*`, `^`,
+//!    masks and negations to compute the variable value that satisfies a
+//!    comparison directly. This solves the common `input[i] == 'G'`,
+//!    `len > 40`, `x*10+d == 123` shapes in O(depth).
+//! 3. **Incremental stochastic search** — WalkSAT-style: maintain per-
+//!    literal satisfaction flags and a variable→literal adjacency index;
+//!    each move re-evaluates only the literals depending on the mutated
+//!    variable (with a generation-stamped shared memo). Deterministic via
+//!    an internal xorshift PRNG seeded by the caller.
+
+use crate::arena::{Evaluator, ExprArena, ExprRef, Node, VarId};
+use crate::constraint::ConstraintSet;
+use crate::op::Op;
+use crate::op::UnOp;
+use std::collections::HashMap;
+
+/// Configuration for a [`solve`] call.
+#[derive(Debug, Clone)]
+pub struct SolveCfg {
+    /// Maximum search iterations before giving up.
+    pub max_iters: usize,
+    /// PRNG seed (the solver is fully deterministic given this).
+    pub seed: u64,
+    /// Restart the search from a fresh random assignment every this many
+    /// non-improving iterations.
+    pub restart_after: usize,
+}
+
+impl Default for SolveCfg {
+    fn default() -> Self {
+        SolveCfg {
+            max_iters: 20_000,
+            seed: 0x5eed,
+            restart_after: 400,
+        }
+    }
+}
+
+/// Outcome statistics of a solve call (for the evaluation harness).
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Iterations spent.
+    pub iters: usize,
+    /// Literals repaired by algebraic inversion.
+    pub inversions: usize,
+    /// Random restarts taken.
+    pub restarts: usize,
+}
+
+/// Minimal deterministic PRNG (xorshift64*), dependency-free.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a PRNG from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform value in the inclusive range.
+    pub fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        if lo >= hi {
+            return lo;
+        }
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+}
+
+/// Attempts to find an assignment satisfying `cs`.
+///
+/// `seed_assign`, when given, initializes the search (concolic callers
+/// pass the previous run's concrete input). Returns the satisfying
+/// assignment indexed by `VarId`.
+pub fn solve(
+    arena: &ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+) -> Option<Vec<i64>> {
+    solve_with_stats(arena, cs, seed_assign, cfg).0
+}
+
+struct Search<'a> {
+    arena: &'a ExprArena,
+    cs: &'a ConstraintSet,
+    ev: Evaluator,
+    assign: Vec<i64>,
+    sat: Vec<bool>,
+    n_sat: usize,
+    supports: Vec<Vec<VarId>>,
+    var_lits: HashMap<VarId, Vec<usize>>,
+}
+
+impl<'a> Search<'a> {
+    fn new(arena: &'a ExprArena, cs: &'a ConstraintSet, assign: Vec<i64>) -> Self {
+        let supports: Vec<Vec<VarId>> = cs.lits.iter().map(|l| arena.support(l.expr)).collect();
+        let mut var_lits: HashMap<VarId, Vec<usize>> = HashMap::new();
+        for (i, sup) in supports.iter().enumerate() {
+            for v in sup {
+                var_lits.entry(*v).or_default().push(i);
+            }
+        }
+        let mut s = Search {
+            arena,
+            cs,
+            ev: Evaluator::new(arena),
+            assign,
+            sat: vec![false; cs.len()],
+            n_sat: 0,
+            supports,
+            var_lits,
+        };
+        s.recompute_all();
+        s
+    }
+
+    fn lit_holds(&mut self, i: usize) -> bool {
+        let lit = self.cs.lits[i];
+        (self.ev.eval(self.arena, lit.expr, &self.assign) != 0) == lit.positive
+    }
+
+    fn recompute_all(&mut self) {
+        self.ev.invalidate();
+        self.n_sat = 0;
+        for i in 0..self.cs.len() {
+            let h = self.lit_holds(i);
+            self.sat[i] = h;
+            if h {
+                self.n_sat += 1;
+            }
+        }
+    }
+
+    /// Re-evaluates only the literals depending on `var`.
+    fn update_var(&mut self, var: VarId) {
+        self.ev.invalidate();
+        let lits = match self.var_lits.get(&var) {
+            Some(l) => l.clone(),
+            None => return,
+        };
+        for i in lits {
+            let h = self.lit_holds(i);
+            if h != self.sat[i] {
+                self.sat[i] = h;
+                if h {
+                    self.n_sat += 1;
+                } else {
+                    self.n_sat -= 1;
+                }
+            }
+        }
+    }
+
+    /// Satisfaction delta of setting `var` to `value` (state restored).
+    fn probe(&mut self, var: VarId, value: i64) -> i64 {
+        let old = self.assign[var.0 as usize];
+        if old == value {
+            return 0;
+        }
+        self.assign[var.0 as usize] = value;
+        self.ev.invalidate();
+        let mut delta = 0i64;
+        if let Some(lits) = self.var_lits.get(&var) {
+            for i in lits.clone() {
+                let h = self.lit_holds(i);
+                if h != self.sat[i] {
+                    delta += if h { 1 } else { -1 };
+                }
+            }
+        }
+        self.assign[var.0 as usize] = old;
+        self.ev.invalidate();
+        delta
+    }
+
+    fn set_var(&mut self, var: VarId, value: i64) {
+        if self.assign[var.0 as usize] != value {
+            self.assign[var.0 as usize] = value;
+            self.update_var(var);
+        }
+    }
+
+    fn first_unsat(&self) -> Option<usize> {
+        self.sat.iter().position(|s| !*s)
+    }
+}
+
+/// Like [`solve`], also returning search statistics.
+pub fn solve_with_stats(
+    arena: &ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+) -> (Option<Vec<i64>>, SolveStats) {
+    let mut stats = SolveStats::default();
+    if cs.obviously_unsat(arena) {
+        return (None, stats);
+    }
+    let n_vars = arena.n_vars();
+    let init: Vec<i64> = (0..n_vars)
+        .map(|i| {
+            let info = arena.var_info(VarId(i as u32));
+            match seed_assign.and_then(|s| s.get(i)) {
+                Some(v) => info.clamp(*v),
+                None => info.clamp(0),
+            }
+        })
+        .collect();
+    let mut search = Search::new(arena, cs, init);
+    if search.n_sat == cs.len() {
+        return (Some(search.assign), stats);
+    }
+    // A constant-false literal (empty support) can never be repaired.
+    for (i, sup) in search.supports.iter().enumerate() {
+        if sup.is_empty() && !search.sat[i] {
+            return (None, stats);
+        }
+    }
+
+    let mut rng = XorShift::new(cfg.seed);
+    let mut best = search.assign.clone();
+    let mut best_score = search.n_sat;
+    let mut since_improvement = 0usize;
+
+    for iter in 0..cfg.max_iters {
+        stats.iters = iter + 1;
+        let Some(unsat_idx) = search.first_unsat() else {
+            return (Some(search.assign), stats);
+        };
+        let lit = cs.lits[unsat_idx];
+
+        // Phase 1: algebraic inversion of the violated literal.
+        let mut ev = std::mem::replace(&mut search.ev, Evaluator::new(arena));
+        ev.invalidate();
+        let changed = invert_lit(
+            arena,
+            lit.expr,
+            lit.positive,
+            &mut search.assign,
+            &mut ev,
+            &mut rng,
+        );
+        search.ev = ev;
+        if let Some(var) = changed {
+            stats.inversions += 1;
+            search.update_var(var);
+        }
+
+        // Phase 2: if the literal is still violated, do a WalkSAT move on
+        // one of its support variables.
+        if !search.sat[unsat_idx] {
+            let support = &search.supports[unsat_idx];
+            if support.is_empty() {
+                return (None, stats);
+            }
+            let var = support[rng.below(support.len())];
+            let info = arena.var_info(var);
+            let candidates = candidate_values(arena, lit.expr, &mut rng, info.lo, info.hi);
+            let mut best_v = None;
+            let mut best_delta = i64::MIN;
+            for cand in candidates {
+                let d = search.probe(var, cand);
+                if d > best_delta {
+                    best_delta = d;
+                    best_v = Some(cand);
+                }
+            }
+            match best_v {
+                Some(v) if best_delta > 0 || rng.below(4) != 0 => {
+                    // Greedy or sideways/noise move.
+                    search.set_var(var, v);
+                }
+                _ => {
+                    // Pure exploration.
+                    let v = rng.in_range(info.lo, info.hi);
+                    search.set_var(var, v);
+                }
+            }
+        }
+
+        if search.n_sat == cs.len() {
+            return (Some(search.assign), stats);
+        }
+        if search.n_sat > best_score {
+            best_score = search.n_sat;
+            best = search.assign.clone();
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+            if since_improvement >= cfg.restart_after {
+                stats.restarts += 1;
+                since_improvement = 0;
+                if rng.below(2) == 0 {
+                    search.assign = best.clone();
+                } else {
+                    for i in 0..n_vars {
+                        let info = arena.var_info(VarId(i as u32));
+                        search.assign[i] = rng.in_range(info.lo, info.hi);
+                    }
+                }
+                search.recompute_all();
+            }
+        }
+    }
+    (None, stats)
+}
+
+/// Tries to make `expr` truthy (`positive`) or falsy by direct inversion.
+/// Returns the variable it assigned, if any.
+fn invert_lit(
+    arena: &ExprArena,
+    expr: ExprRef,
+    positive: bool,
+    assign: &mut [i64],
+    ev: &mut Evaluator,
+    rng: &mut XorShift,
+) -> Option<VarId> {
+    match arena.node(expr) {
+        Node::Un(UnOp::Not, inner) => invert_lit(arena, inner, !positive, assign, ev, rng),
+        Node::Bin(op, lhs, rhs) if op.is_comparison() => {
+            // Normalize to `sym REL const` when possible.
+            let (sym, cst, rel) = if arena.support(rhs).is_empty() {
+                (lhs, ev.eval(arena, rhs, assign), op)
+            } else if arena.support(lhs).is_empty() {
+                (rhs, ev.eval(arena, lhs, assign), op.swapped())
+            } else {
+                // Both sides symbolic: invert the left against the right's
+                // current value (heuristic).
+                (lhs, ev.eval(arena, rhs, assign), op)
+            };
+            let rel = if positive { rel } else { rel.negated()? };
+            let target = match rel {
+                Op::Eq => cst,
+                Op::Ne => {
+                    if rng.below(2) == 0 {
+                        cst.wrapping_add(1)
+                    } else {
+                        cst.wrapping_sub(1)
+                    }
+                }
+                Op::Lt => cst.wrapping_sub(1),
+                Op::Le => cst,
+                Op::Gt => cst.wrapping_add(1),
+                Op::Ge => cst,
+                _ => unreachable!("comparison ops only"),
+            };
+            invert_value(arena, sym, target, assign, ev)
+        }
+        // Raw truthiness of a non-comparison: make it 1 or 0.
+        _ => {
+            let target = if positive { 1 } else { 0 };
+            invert_value(arena, expr, target, assign, ev)
+        }
+    }
+}
+
+/// Tries to drive `expr` to evaluate to exactly `target` by assigning one
+/// variable along an invertible spine. Returns the assigned variable.
+fn invert_value(
+    arena: &ExprArena,
+    expr: ExprRef,
+    target: i64,
+    assign: &mut [i64],
+    ev: &mut Evaluator,
+) -> Option<VarId> {
+    match arena.node(expr) {
+        Node::Var(v) => {
+            let info = arena.var_info(v);
+            if target < info.lo || target > info.hi {
+                return None;
+            }
+            assign[v.0 as usize] = target;
+            ev.invalidate();
+            Some(v)
+        }
+        Node::Const(_) => None,
+        Node::Un(UnOp::Neg, a) => invert_value(arena, a, target.wrapping_neg(), assign, ev),
+        Node::Un(UnOp::BitNot, a) => invert_value(arena, a, !target, assign, ev),
+        Node::Un(UnOp::Not, a) => match target {
+            1 => invert_value(arena, a, 0, assign, ev),
+            0 => invert_value(arena, a, 1, assign, ev),
+            _ => None,
+        },
+        Node::Bin(op, a, b) => {
+            let a_concrete = arena.support(a).is_empty();
+            let b_concrete = arena.support(b).is_empty();
+            let va = ev.eval(arena, a, assign);
+            let vb = ev.eval(arena, b, assign);
+            match op {
+                Op::Add => {
+                    if b_concrete || !a_concrete {
+                        invert_value(arena, a, target.wrapping_sub(vb), assign, ev)
+                    } else {
+                        invert_value(arena, b, target.wrapping_sub(va), assign, ev)
+                    }
+                }
+                Op::Sub => {
+                    if b_concrete || !a_concrete {
+                        invert_value(arena, a, target.wrapping_add(vb), assign, ev)
+                    } else {
+                        invert_value(arena, b, va.wrapping_sub(target), assign, ev)
+                    }
+                }
+                Op::Mul => {
+                    if b_concrete && vb != 0 && target % vb == 0 {
+                        invert_value(arena, a, target / vb, assign, ev)
+                    } else if a_concrete && va != 0 && target % va == 0 {
+                        invert_value(arena, b, target / va, assign, ev)
+                    } else {
+                        None
+                    }
+                }
+                Op::Xor => {
+                    if b_concrete {
+                        invert_value(arena, a, target ^ vb, assign, ev)
+                    } else if a_concrete {
+                        invert_value(arena, b, target ^ va, assign, ev)
+                    } else {
+                        None
+                    }
+                }
+                Op::And => {
+                    if b_concrete && (target & !vb) == 0 {
+                        invert_value(arena, a, target, assign, ev)
+                    } else if a_concrete && (target & !va) == 0 {
+                        invert_value(arena, b, target, assign, ev)
+                    } else {
+                        None
+                    }
+                }
+                Op::Div => {
+                    if b_concrete && vb != 0 {
+                        invert_value(arena, a, target.wrapping_mul(vb), assign, ev)
+                    } else {
+                        None
+                    }
+                }
+                Op::Shl => {
+                    if b_concrete && (0..63).contains(&vb) {
+                        let shifted = target >> vb;
+                        if shifted << vb == target {
+                            invert_value(arena, a, shifted, assign, ev)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                Op::Shr => {
+                    if b_concrete && (0..63).contains(&vb) {
+                        invert_value(arena, a, target << vb, assign, ev)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Mines candidate values for a variable from the constants appearing in
+/// a violated literal (plus neighbours and domain bounds).
+fn candidate_values(
+    arena: &ExprArena,
+    expr: ExprRef,
+    rng: &mut XorShift,
+    lo: i64,
+    hi: i64,
+) -> Vec<i64> {
+    let mut out = Vec::with_capacity(16);
+    let mut stack = vec![expr];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(r) = stack.pop() {
+        if !seen.insert(r) || out.len() > 24 {
+            continue;
+        }
+        match arena.node(r) {
+            Node::Const(c) => {
+                for v in [c, c + 1, c - 1] {
+                    if v >= lo && v <= hi && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Node::Bin(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Node::Un(_, a) => stack.push(a),
+            Node::Var(_) => {}
+        }
+    }
+    for v in [lo, hi, 0] {
+        if v >= lo && v <= hi && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out.push(rng.in_range(lo, hi));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::VarInfo;
+    use crate::constraint::Lit;
+
+    fn bytes(n: usize) -> (ExprArena, Vec<ExprRef>) {
+        let mut a = ExprArena::new();
+        let refs = (0..n).map(|_| a.fresh_var(VarInfo::byte()).1).collect();
+        (a, refs)
+    }
+
+    fn assert_solves(arena: &ExprArena, cs: &ConstraintSet, seed: Option<&[i64]>) -> Vec<i64> {
+        let sol = solve(arena, cs, seed, &SolveCfg::default()).expect("solvable");
+        assert!(cs.satisfied(arena, &sol), "returned model must satisfy");
+        sol
+    }
+
+    #[test]
+    fn solves_byte_equalities() {
+        let (mut a, v) = bytes(3);
+        let mut cs = ConstraintSet::new();
+        for (i, ch) in b"GET".iter().enumerate() {
+            let c = a.constant(*ch as i64);
+            cs.push(Lit {
+                expr: a.bin(Op::Eq, v[i], c),
+                positive: true,
+            });
+        }
+        let sol = assert_solves(&a, &cs, None);
+        assert_eq!(&sol, &[b'G' as i64, b'E' as i64, b'T' as i64]);
+    }
+
+    #[test]
+    fn solves_negated_last_literal_from_seed() {
+        // The concolic pattern: prefix satisfied by seed, last negated.
+        let (mut a, v) = bytes(2);
+        let c65 = a.constant(65);
+        let c66 = a.constant(66);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, v[0], c65),
+            positive: true,
+        });
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, v[1], c66),
+            positive: false, // NOT (v1 == 66)
+        });
+        let sol = assert_solves(&a, &cs, Some(&[65, 66]));
+        assert_eq!(sol[0], 65);
+        assert_ne!(sol[1], 66);
+    }
+
+    #[test]
+    fn solves_linear_combination() {
+        // x*10 + y == 42 (the atoi shape).
+        let (mut a, v) = bytes(2);
+        let ten = a.constant(10);
+        let t = a.bin(Op::Mul, v[0], ten);
+        let e = a.bin(Op::Add, t, v[1]);
+        let c = a.constant(42);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, e, c),
+            positive: true,
+        });
+        let sol = assert_solves(&a, &cs, None);
+        assert_eq!(sol[0] * 10 + sol[1], 42);
+    }
+
+    #[test]
+    fn solves_inequalities() {
+        let (mut a, v) = bytes(1);
+        let lo = a.constant(b'a' as i64);
+        let hi = a.constant(b'z' as i64);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Ge, v[0], lo),
+            positive: true,
+        });
+        cs.push(Lit {
+            expr: a.bin(Op::Le, v[0], hi),
+            positive: true,
+        });
+        let sol = assert_solves(&a, &cs, None);
+        assert!((b'a' as i64..=b'z' as i64).contains(&sol[0]));
+    }
+
+    #[test]
+    fn detects_unsat_by_interval() {
+        let (mut a, v) = bytes(1);
+        let big = a.constant(1000);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Gt, v[0], big),
+            positive: true,
+        });
+        assert!(solve(&a, &cs, None, &SolveCfg::default()).is_none());
+    }
+
+    #[test]
+    fn detects_contradiction() {
+        let (mut a, v) = bytes(1);
+        let c = a.constant(65);
+        let e = a.bin(Op::Eq, v[0], c);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: e,
+            positive: true,
+        });
+        cs.push(Lit {
+            expr: e,
+            positive: false,
+        });
+        // Not interval-refutable, but the search must fail.
+        let cfg = SolveCfg {
+            max_iters: 3000,
+            ..SolveCfg::default()
+        };
+        assert!(solve(&a, &cs, None, &cfg).is_none());
+    }
+
+    #[test]
+    fn solves_through_masks_and_xor() {
+        let (mut a, v) = bytes(1);
+        let k = a.constant(0x5a);
+        let x = a.bin(Op::Xor, v[0], k);
+        let c = a.constant(0x3c);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, x, c),
+            positive: true,
+        });
+        let sol = assert_solves(&a, &cs, None);
+        assert_eq!(sol[0] ^ 0x5a, 0x3c);
+    }
+
+    #[test]
+    fn solves_wider_domains() {
+        let mut a = ExprArena::new();
+        let (_, n) = a.fresh_var(VarInfo::range(-1, 4096));
+        let c = a.constant(1024);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Gt, n, c),
+            positive: true,
+        });
+        let sol = assert_solves(&a, &cs, None);
+        assert!(sol[0] > 1024 && sol[0] <= 4096);
+    }
+
+    #[test]
+    fn many_literals_converge() {
+        // 32 byte equalities, worst case for pure random search.
+        let (mut a, v) = bytes(32);
+        let mut cs = ConstraintSet::new();
+        for (i, vr) in v.iter().enumerate() {
+            let c = a.constant((i as i64 * 7) % 256);
+            cs.push(Lit {
+                expr: a.bin(Op::Eq, *vr, c),
+                positive: true,
+            });
+        }
+        let sol = assert_solves(&a, &cs, None);
+        for (i, val) in sol.iter().enumerate() {
+            assert_eq!(*val, (i as i64 * 7) % 256);
+        }
+    }
+
+    #[test]
+    fn long_conjunction_with_seed_is_fast() {
+        // The hot replay shape: a long satisfied prefix plus one negated
+        // tail literal must be repaired in a handful of iterations.
+        let (mut a, v) = bytes(512);
+        let mut cs = ConstraintSet::new();
+        let mut seed = Vec::new();
+        for (i, vr) in v.iter().enumerate() {
+            let byte = (i as i64 * 13) % 256;
+            let c = a.constant(byte);
+            cs.push(Lit {
+                expr: a.bin(Op::Eq, *vr, c),
+                positive: true,
+            });
+            seed.push(byte);
+        }
+        // Negate the final literal.
+        let last = cs.lits.len() - 1;
+        cs.lits[last] = cs.lits[last].negated();
+        let (sol, stats) = solve_with_stats(&a, &cs, Some(&seed), &SolveCfg::default());
+        let sol = sol.expect("solvable");
+        assert!(cs.satisfied(&a, &sol));
+        assert!(stats.iters <= 10, "took {} iters", stats.iters);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, v) = bytes(4);
+        let c = a.constant(100);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Gt, v[2], c),
+            positive: true,
+        });
+        let s1 = solve(&a, &cs, None, &SolveCfg::default());
+        let s2 = solve(&a, &cs, None, &SolveCfg::default());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn xorshift_changes_and_ranges() {
+        let mut r = XorShift::new(42);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        for _ in 0..100 {
+            let v = r.in_range(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+}

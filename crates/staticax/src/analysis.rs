@@ -1,0 +1,102 @@
+//! The public static-analysis entry point.
+//!
+//! Combines points-to and taint into one call, producing the set of
+//! branch locations the *static* instrumentation method logs (§2.2 +
+//! §2.3 of the paper).
+
+use crate::pointsto::{self, PointsTo};
+use crate::taint::{self, TaintResult};
+use minic::check::Program;
+use minic::{BranchId, CompiledProgram, UnitId};
+
+/// Configuration of a static-analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct StaticConfig {
+    /// Units to treat as an opaque library: their bodies are not
+    /// analyzed and *all* their branches are labeled symbolic — the
+    /// paper's uServer setup, where merging uClibc into the points-to
+    /// analysis did not scale (§5.3, footnote 2).
+    pub exclude_units: Vec<UnitId>,
+}
+
+/// The static analysis verdict for a whole program.
+#[derive(Debug)]
+pub struct StaticResult {
+    /// Per branch location: does the static analysis label it symbolic?
+    pub symbolic: Vec<bool>,
+    /// Underlying points-to relation (for inspection/tests).
+    pub points_to: PointsTo,
+    /// Underlying taint result.
+    pub taint: TaintResult,
+}
+
+impl StaticResult {
+    /// Branch ids labeled symbolic.
+    pub fn symbolic_branches(&self) -> Vec<BranchId> {
+        self.symbolic
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(i, _)| BranchId(i as u32))
+            .collect()
+    }
+
+    /// Number of branches labeled symbolic.
+    pub fn n_symbolic(&self) -> usize {
+        self.taint.n_symbolic()
+    }
+}
+
+/// Runs the full static analysis on a checked program.
+pub fn analyze_program(prog: &Program, cfg: &StaticConfig) -> StaticResult {
+    let points_to = pointsto::analyze(prog, &cfg.exclude_units);
+    let taint = taint::analyze(prog, &points_to, &cfg.exclude_units);
+    StaticResult {
+        symbolic: taint.symbolic_branches.clone(),
+        points_to,
+        taint,
+    }
+}
+
+/// Convenience wrapper over a compiled program.
+pub fn analyze(cp: &CompiledProgram, cfg: &StaticConfig) -> StaticResult {
+    analyze_program(&cp.prog, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::build;
+
+    #[test]
+    fn end_to_end_on_compiled_program() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'x') { return 1; }
+                if (2 > 1) { return 2; }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let r = analyze(&cp, &StaticConfig::default());
+        assert_eq!(r.symbolic, vec![true, false]);
+        assert_eq!(r.symbolic_branches(), vec![minic::BranchId(0)]);
+    }
+
+    #[test]
+    fn excluding_a_unit_marks_its_branches() {
+        let lib = "int lib_abs(int x) { if (x < 0) { return -x; } return x; }";
+        let app = r#"
+            int main() {
+                if (lib_abs(5) == 5) { return 1; }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("libc", lib), ("app", app)]).unwrap();
+        let cfg = StaticConfig {
+            exclude_units: vec![minic::UnitId(0)],
+        };
+        let r = analyze(&cp, &cfg);
+        assert!(r.symbolic[0], "library branch forced symbolic");
+    }
+}

@@ -1,0 +1,666 @@
+//! Andersen-style inclusion-based points-to analysis.
+//!
+//! Flow- and context-insensitive subset constraints over
+//! [`AbsLoc`](crate::absloc::AbsLoc) values, solved with the classic worklist
+//! algorithm. The taint analysis (Algorithm 1 of the paper) consumes its
+//! results to resolve indirect loads and stores.
+
+use crate::absloc::{AbsLoc, Interner, NodeKey};
+use minic::ast::*;
+use minic::check::{Callee, Program, Res};
+use minic::types::{Builtin, FuncId, Sys, Type};
+use minic::UnitId;
+use std::collections::HashSet;
+
+/// Where an assignment writes, abstractly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// Directly into a known abstract location.
+    Direct(AbsLoc),
+    /// Through the pointer value of this expression.
+    Indirect(ExprId),
+    /// Unknown (e.g. write through an unanalyzed value); ignored, which
+    /// is sound for points-to because no pointer can be *read back* from
+    /// an unknown place either (reads from unknown places return ⊤ taint
+    /// in the taint analysis instead).
+    Unknown,
+}
+
+/// The solved points-to relation.
+#[derive(Debug)]
+pub struct PointsTo {
+    /// Interner shared with downstream analyses.
+    pub interner: Interner,
+    /// Points-to set per node (dense ids; values are dense loc ids).
+    pub pts: Vec<HashSet<usize>>,
+    /// Functions that were analyzed (not excluded as "library").
+    pub analyzed_funcs: Vec<bool>,
+}
+
+impl PointsTo {
+    /// The points-to set of a node, as abstract locations.
+    pub fn points_to(&self, key: NodeKey) -> Vec<AbsLoc> {
+        match self.interner.node_id(&key) {
+            Some(n) => {
+                let mut v: Vec<AbsLoc> = self.pts[n]
+                    .iter()
+                    .map(|l| self.interner.loc_key(*l))
+                    .collect();
+                v.sort();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Dense points-to set of a node id.
+    pub fn pts_of(&self, n: usize) -> &HashSet<usize> {
+        &self.pts[n]
+    }
+}
+
+/// Runs the analysis. Functions defined in `exclude_units` are treated
+/// as an opaque library (no constraints generated from their bodies).
+pub fn analyze(prog: &Program, exclude_units: &[UnitId]) -> PointsTo {
+    let mut b = Builder {
+        prog,
+        interner: Interner::new(),
+        addr: Vec::new(),
+        copies: Vec::new(),
+        loads: Vec::new(),
+        stores: Vec::new(),
+        cur_func: FuncId(0),
+    };
+    let mut analyzed = vec![false; prog.funcs.len()];
+    for (fi, info) in prog.funcs.iter().enumerate() {
+        if exclude_units.contains(&info.unit) {
+            continue;
+        }
+        analyzed[fi] = true;
+        b.cur_func = FuncId(fi as u32);
+        let def = &prog.ast.funcs[info.ast_index];
+        b.block(&def.body);
+    }
+    // argv seeding: main's argv parameter points to the argv array whose
+    // cells point to the argv strings.
+    let main = prog.main;
+    if prog.funcs[main.0 as usize].params.len() == 2 {
+        let argv_param = b.interner.node(NodeKey::Loc(AbsLoc::Frame(main, 1)));
+        let arr = b.interner.loc(AbsLoc::ArgvArr);
+        b.addr.push((argv_param, arr));
+        let arr_node = b.interner.node(NodeKey::Loc(AbsLoc::ArgvArr));
+        let strs = b.interner.loc(AbsLoc::ArgvStr);
+        b.addr.push((arr_node, strs));
+    }
+    b.solve(analyzed)
+}
+
+struct Builder<'p> {
+    prog: &'p Program,
+    interner: Interner,
+    /// pts\[n\] ⊇ {loc}
+    addr: Vec<(usize, usize)>,
+    /// pts\[dst\] ⊇ pts\[src\]
+    copies: Vec<(usize, usize)>,
+    /// dst ⊇ *src
+    loads: Vec<(usize, usize)>,
+    /// *dst ⊇ src
+    stores: Vec<(usize, usize)>,
+    cur_func: FuncId,
+}
+
+impl<'p> Builder<'p> {
+    fn node(&mut self, k: NodeKey) -> usize {
+        self.interner.node(k)
+    }
+
+    fn expr_node(&mut self, e: &Expr) -> usize {
+        self.node(NodeKey::Expr(e.id))
+    }
+
+    fn ident_loc(&mut self, e: &Expr) -> Option<AbsLoc> {
+        match self.prog.res[e.id.0 as usize] {
+            Some(Res::Local { offset }) => Some(AbsLoc::Frame(self.cur_func, offset as u32)),
+            Some(Res::Global(g)) => Some(AbsLoc::Global(g)),
+            None => None,
+        }
+    }
+
+    /// Resolves an lvalue expression to an abstract place.
+    fn place(&mut self, e: &Expr) -> Place {
+        match &e.kind {
+            ExprKind::Ident(_) => match self.ident_loc(e) {
+                Some(l) => Place::Direct(l),
+                None => Place::Unknown,
+            },
+            ExprKind::Deref(p) => {
+                self.value(p);
+                Place::Indirect(p.id)
+            }
+            ExprKind::Index { base, index } => {
+                self.value(index);
+                let base_ty = self.prog.ty(base);
+                if matches!(base_ty, Type::Array(..)) {
+                    self.place(base)
+                } else {
+                    self.value(base);
+                    Place::Indirect(base.id)
+                }
+            }
+            ExprKind::Field { base, arrow, .. } => {
+                if *arrow {
+                    self.value(base);
+                    Place::Indirect(base.id)
+                } else {
+                    self.place(base)
+                }
+            }
+            _ => Place::Unknown,
+        }
+    }
+
+    /// Reads a place's contents into `dst`.
+    fn read_place(&mut self, p: Place, dst: usize) {
+        match p {
+            Place::Direct(a) => {
+                let src = self.node(NodeKey::Loc(a));
+                self.copies.push((dst, src));
+            }
+            Place::Indirect(pid) => {
+                let src = self.node(NodeKey::Expr(pid));
+                self.loads.push((dst, src));
+            }
+            Place::Unknown => {}
+        }
+    }
+
+    /// Writes `src` into a place.
+    fn write_place(&mut self, p: Place, src: usize) {
+        match p {
+            Place::Direct(a) => {
+                let dst = self.node(NodeKey::Loc(a));
+                self.copies.push((dst, src));
+            }
+            Place::Indirect(pid) => {
+                let dst = self.node(NodeKey::Expr(pid));
+                self.stores.push((dst, src));
+            }
+            Place::Unknown => {}
+        }
+    }
+
+    /// Generates constraints for an expression, returning its value node.
+    fn value(&mut self, e: &Expr) -> usize {
+        let n = self.expr_node(e);
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::Sizeof(_) => {}
+            ExprKind::StrLit(_) => {
+                if let Some(sid) = self.prog.str_id[e.id.0 as usize] {
+                    let l = self.interner.loc(AbsLoc::Str(sid));
+                    self.addr.push((n, l));
+                }
+            }
+            ExprKind::Ident(_) => {
+                // Arrays and structs decay to their own address.
+                let ty = self.prog.ty(e).clone();
+                match (self.ident_loc(e), ty) {
+                    (Some(l), Type::Array(..) | Type::Struct(_)) => {
+                        let li = self.interner.loc(l);
+                        self.addr.push((n, li));
+                    }
+                    (Some(l), _) => {
+                        let src = self.node(NodeKey::Loc(l));
+                        self.copies.push((n, src));
+                    }
+                    (None, _) => {}
+                }
+            }
+            ExprKind::Unary { expr, .. } => {
+                let s = self.value(expr);
+                self.copies.push((n, s));
+            }
+            ExprKind::Deref(_) | ExprKind::Index { .. } | ExprKind::Field { .. } => {
+                // As a value: read through the place. Arrays decay.
+                let ty = self.prog.ty(e).clone();
+                let p = self.place(e);
+                if matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                    // The "value" is the address of the sub-object; with
+                    // field/element insensitivity that is the same
+                    // abstract object.
+                    match p {
+                        Place::Direct(a) => {
+                            let li = self.interner.loc(a);
+                            self.addr.push((n, li));
+                        }
+                        Place::Indirect(pid) => {
+                            let src = self.node(NodeKey::Expr(pid));
+                            self.copies.push((n, src));
+                        }
+                        Place::Unknown => {}
+                    }
+                } else {
+                    self.read_place(p, n);
+                }
+            }
+            ExprKind::AddrOf(inner) => {
+                let p = self.place(inner);
+                match p {
+                    Place::Direct(a) => {
+                        let li = self.interner.loc(a);
+                        self.addr.push((n, li));
+                    }
+                    Place::Indirect(pid) => {
+                        // &*p == p, &p[i] == p + i.
+                        let src = self.node(NodeKey::Expr(pid));
+                        self.copies.push((n, src));
+                    }
+                    Place::Unknown => {}
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                // Pointer arithmetic flows pointers through.
+                let a = self.value(lhs);
+                let b = self.value(rhs);
+                self.copies.push((n, a));
+                self.copies.push((n, b));
+            }
+            ExprKind::Logical { lhs, rhs, .. } => {
+                self.value(lhs);
+                self.value(rhs);
+            }
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                self.value(cond);
+                let a = self.value(then_e);
+                let b = self.value(else_e);
+                self.copies.push((n, a));
+                self.copies.push((n, b));
+            }
+            ExprKind::Assign { lhs, rhs, .. } => {
+                let r = self.value(rhs);
+                let p = self.place(lhs);
+                self.write_place(p, r);
+                self.copies.push((n, r));
+            }
+            ExprKind::IncDec { expr, .. } => {
+                // p++ keeps pointing into the same objects.
+                let p = self.place(expr);
+                self.read_place(p, n);
+            }
+            ExprKind::Call { args, .. } => {
+                let arg_nodes: Vec<usize> = args.iter().map(|a| self.value(a)).collect();
+                match self.prog.callee[e.id.0 as usize] {
+                    Some(Callee::Func(f)) => {
+                        for (i, an) in arg_nodes.iter().enumerate() {
+                            let pn = self.node(NodeKey::Loc(AbsLoc::Frame(f, i as u32)));
+                            self.copies.push((pn, *an));
+                        }
+                        let rn = self.node(NodeKey::Ret(f));
+                        self.copies.push((n, rn));
+                    }
+                    Some(Callee::Builtin(Builtin::Malloc)) => {
+                        let l = self.interner.loc(AbsLoc::Heap(e.id));
+                        self.addr.push((n, l));
+                    }
+                    Some(Callee::Builtin(Builtin::Sys(Sys::Read | Sys::Select)))
+                    | Some(Callee::Builtin(_))
+                    | None => {}
+                }
+            }
+            ExprKind::Cast { expr, .. } => {
+                let s = self.value(expr);
+                self.copies.push((n, s));
+            }
+        }
+        n
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    let r = self.value(e);
+                    if let Some(slot) = &self.prog.decl_slot[s.id.0 as usize] {
+                        let loc = AbsLoc::Frame(self.cur_func, slot.offset as u32);
+                        let dst = self.node(NodeKey::Loc(loc));
+                        self.copies.push((dst, r));
+                    }
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.value(e);
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+                ..
+            } => {
+                self.value(cond);
+                self.block(then_b);
+                if let Some(b) = else_b {
+                    self.block(b);
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                self.value(cond);
+                self.block(body);
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                self.block(body);
+                self.value(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.value(c);
+                }
+                if let Some(st) = step {
+                    self.value(st);
+                }
+                self.block(body);
+            }
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                self.value(scrutinee);
+                for c in cases {
+                    for st in &c.body {
+                        self.stmt(st);
+                    }
+                }
+                if let Some(d) = default {
+                    for st in d {
+                        self.stmt(st);
+                    }
+                }
+            }
+            StmtKind::Return(v) => {
+                if let Some(e) = v {
+                    let r = self.value(e);
+                    let rn = self.node(NodeKey::Ret(self.cur_func));
+                    self.copies.push((rn, r));
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    /// Standard Andersen worklist solver.
+    fn solve(mut self, analyzed_funcs: Vec<bool>) -> PointsTo {
+        let n = self.interner.n_nodes();
+        let mut pts: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut load_edges: Vec<Vec<usize>> = vec![Vec::new(); n]; // src -> dsts
+        let mut store_edges: Vec<Vec<usize>> = vec![Vec::new(); n]; // dst -> srcs
+        let mut worklist: Vec<usize> = Vec::new();
+
+        for (node, loc) in &self.addr {
+            if pts[*node].insert(*loc) {
+                worklist.push(*node);
+            }
+        }
+        for (dst, src) in &self.copies {
+            succs[*src].push(*dst);
+        }
+        for (dst, src) in &self.loads {
+            load_edges[*src].push(*dst);
+        }
+        for (dst, src) in &self.stores {
+            store_edges[*dst].push(*src);
+        }
+
+        while let Some(node) = worklist.pop() {
+            let node_pts: Vec<usize> = pts[node].iter().copied().collect();
+            // Complex constraints: resolve loads/stores through this node.
+            let mut new_copies: Vec<(usize, usize)> = Vec::new();
+            for t in &node_pts {
+                let loc_node = self.interner.node(NodeKey::Loc(self.interner.loc_key(*t)));
+                // Growing the node table means growing the side tables.
+                if loc_node >= pts.len() {
+                    pts.resize_with(loc_node + 1, HashSet::new);
+                    succs.resize_with(loc_node + 1, Vec::new);
+                    load_edges.resize_with(loc_node + 1, Vec::new);
+                    store_edges.resize_with(loc_node + 1, Vec::new);
+                }
+                for dst in &load_edges[node] {
+                    new_copies.push((*dst, loc_node));
+                }
+                for src in &store_edges[node] {
+                    new_copies.push((loc_node, *src));
+                }
+            }
+            for (dst, src) in new_copies {
+                if !succs[src].contains(&dst) {
+                    succs[src].push(dst);
+                    // Propagate immediately.
+                    let add: Vec<usize> = pts[src].iter().copied().collect();
+                    let mut grew = false;
+                    for l in add {
+                        grew |= pts[dst].insert(l);
+                    }
+                    if grew {
+                        worklist.push(dst);
+                    }
+                }
+            }
+            // Simple copy propagation.
+            let succ_list = succs[node].clone();
+            for dst in succ_list {
+                let add: Vec<usize> = pts[node].iter().copied().collect();
+                let mut grew = false;
+                for l in add {
+                    grew |= pts[dst].insert(l);
+                }
+                if grew {
+                    worklist.push(dst);
+                }
+            }
+        }
+
+        PointsTo {
+            interner: self.interner,
+            pts,
+            analyzed_funcs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::check::check;
+    use minic::parser::parse;
+
+    fn pts_of(src: &str) -> (Program, PointsTo) {
+        let prog = check(parse(src).unwrap()).unwrap();
+        let pt = analyze(&prog, &[]);
+        (prog, pt)
+    }
+
+    /// Finds the frame offset of a named local in a function.
+    fn local(prog: &Program, func: &str, decl_index: usize) -> AbsLoc {
+        let fid = prog.func_id(func).unwrap();
+        let slots: Vec<_> = prog.decl_slot.iter().flatten().collect();
+        AbsLoc::Frame(fid, slots[decl_index].offset as u32)
+    }
+
+    #[test]
+    fn address_of_local() {
+        let src = r#"
+            int main() {
+                int x;
+                int *p = &x;
+                return *p;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let p_loc = local(&prog, "main", 1);
+        let x_loc = local(&prog, "main", 0);
+        let set = pt.points_to(NodeKey::Loc(p_loc));
+        assert_eq!(set, vec![x_loc]);
+    }
+
+    #[test]
+    fn array_decay_points_to_array() {
+        let src = r#"
+            int main() {
+                char buf[8];
+                char *p = buf;
+                return *p;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let buf = local(&prog, "main", 0);
+        let p = local(&prog, "main", 1);
+        assert_eq!(pt.points_to(NodeKey::Loc(p)), vec![buf]);
+    }
+
+    #[test]
+    fn pointer_flows_through_call() {
+        let src = r#"
+            int g;
+            int *id(int *q) { return q; }
+            int main() {
+                int *p = id(&g);
+                return *p;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let p = local(&prog, "main", 0);
+        assert_eq!(
+            pt.points_to(NodeKey::Loc(p)),
+            vec![AbsLoc::Global(minic::GlobalId(0))]
+        );
+    }
+
+    #[test]
+    fn store_through_pointer_aliases() {
+        let src = r#"
+            int a;
+            int b;
+            int main() {
+                int *p;
+                int **pp = &p;
+                *pp = &a;
+                int *q = p;
+                return *q;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let q = local(&prog, "main", 2);
+        assert_eq!(
+            pt.points_to(NodeKey::Loc(q)),
+            vec![AbsLoc::Global(minic::GlobalId(0))]
+        );
+    }
+
+    #[test]
+    fn malloc_sites_are_distinct() {
+        let src = r#"
+            int main() {
+                int *a = (int*)malloc(2);
+                int *b = (int*)malloc(2);
+                return a == b;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let a = local(&prog, "main", 0);
+        let b = local(&prog, "main", 1);
+        let pa = pt.points_to(NodeKey::Loc(a));
+        let pb = pt.points_to(NodeKey::Loc(b));
+        assert_eq!(pa.len(), 1);
+        assert_eq!(pb.len(), 1);
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn argv_is_seeded() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *first = argv[0];
+                return first[0];
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let first = local(&prog, "main", 0);
+        assert_eq!(pt.points_to(NodeKey::Loc(first)), vec![AbsLoc::ArgvStr]);
+    }
+
+    #[test]
+    fn ternary_merges_both_arms() {
+        let src = r#"
+            int a;
+            int b;
+            int main() {
+                int c = 1;
+                int *p = c ? &a : &b;
+                return *p;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let p = local(&prog, "main", 1);
+        let set = pt.points_to(NodeKey::Loc(p));
+        assert_eq!(set.len(), 2, "both arms must be in the set: {set:?}");
+    }
+
+    #[test]
+    fn imprecision_is_an_over_approximation() {
+        // Flow-insensitivity: p points to both a and b even though the
+        // program only ever reads it while it points to b.
+        let src = r#"
+            int a;
+            int b;
+            int main() {
+                int *p = &a;
+                p = &b;
+                return *p;
+            }
+        "#;
+        let (prog, pt) = pts_of(src);
+        let p = local(&prog, "main", 0);
+        assert_eq!(pt.points_to(NodeKey::Loc(p)).len(), 2);
+    }
+
+    #[test]
+    fn struct_fields_collapse_to_the_object() {
+        let src = r#"
+            struct s { int *x; int *y; };
+            int g;
+            int main() {
+                struct s st;
+                st.x = &g;
+                int *p = st.y;
+                return p == 0;
+            }
+        "#;
+        // Field-insensitive: reading .y sees what was stored into .x.
+        let (prog, pt) = pts_of(src);
+        let p = local(&prog, "main", 1);
+        assert_eq!(
+            pt.points_to(NodeKey::Loc(p)),
+            vec![AbsLoc::Global(minic::GlobalId(0))]
+        );
+    }
+}

@@ -1,0 +1,720 @@
+//! Interprocedural taint propagation — the paper's Algorithms 1 and 2.
+//!
+//! Identifies the *symbolic variables* (locations whose values may depend
+//! on program input) by a whole-program fixed point, then labels a branch
+//! symbolic when its condition may reference a symbolic variable.
+//!
+//! Sources match §2.2: `argv`, and the results of input-returning system
+//! calls (`read` buffers and counts, `select` ready sets, clock, PRNG).
+//! Propagation runs through assignments, calls (parameters and returns)
+//! and pointer dereferences resolved by the points-to analysis. The
+//! analysis is flow- and context-insensitive — strictly more
+//! over-approximate than the paper's summary-based algorithm, which is
+//! the right *direction* of imprecision for the static method ("all
+//! symbolic branches are labeled symbolic, but some concrete branches may
+//! also be labeled symbolic").
+
+use crate::absloc::{AbsLoc, NodeKey};
+use crate::pointsto::PointsTo;
+use minic::ast::*;
+use minic::check::{Callee, Program, Res};
+use minic::types::{Builtin, FuncId, Sys, Type};
+use minic::UnitId;
+use std::collections::HashSet;
+
+/// The result of the taint fixed point plus branch marking.
+#[derive(Debug)]
+pub struct TaintResult {
+    /// Locations whose contents may depend on input.
+    pub tainted: HashSet<AbsLoc>,
+    /// Per function: may its return value depend on input?
+    pub ret_tainted: Vec<bool>,
+    /// Per branch location: labeled symbolic by the static analysis.
+    /// Branches of excluded (library) units are `true` (§5.3: "All
+    /// branches in the library are treated as symbolic").
+    pub symbolic_branches: Vec<bool>,
+    /// Fixed-point iterations until convergence.
+    pub iterations: usize,
+}
+
+impl TaintResult {
+    /// Number of branches labeled symbolic.
+    pub fn n_symbolic(&self) -> usize {
+        self.symbolic_branches.iter().filter(|b| **b).count()
+    }
+}
+
+/// Runs taint propagation and branch marking.
+pub fn analyze(prog: &Program, pts: &PointsTo, exclude_units: &[UnitId]) -> TaintResult {
+    let mut t = Tainter {
+        prog,
+        pts,
+        exclude_units,
+        tainted: HashSet::new(),
+        ret_tainted: vec![false; prog.funcs.len()],
+        changed: false,
+        cur_func: FuncId(0),
+    };
+    // Seed: argv contents, plus argc (the argument count is input too).
+    t.tainted.insert(AbsLoc::ArgvStr);
+    t.tainted.insert(AbsLoc::ArgvArr);
+    if prog.funcs[prog.main.0 as usize].params.len() == 2 {
+        t.tainted.insert(AbsLoc::Frame(prog.main, 0));
+    }
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        t.changed = false;
+        for (fi, info) in prog.funcs.iter().enumerate() {
+            if exclude_units.contains(&info.unit) {
+                continue;
+            }
+            t.cur_func = FuncId(fi as u32);
+            let def = &prog.ast.funcs[info.ast_index];
+            t.block(&def.body);
+        }
+        if !t.changed || iterations > 100 {
+            break;
+        }
+    }
+
+    // Branch marking (Algorithm 2).
+    let mut symbolic = vec![false; prog.ast.branches.len()];
+    for (fi, info) in prog.funcs.iter().enumerate() {
+        let excluded = exclude_units.contains(&info.unit);
+        t.cur_func = FuncId(fi as u32);
+        let def = &prog.ast.funcs[info.ast_index];
+        let mut conds: Vec<(BranchId, TaintVal)> = Vec::new();
+        collect_branches(&def.body, &mut |bid, cond| {
+            let v = if excluded {
+                TaintVal(true)
+            } else {
+                TaintVal(t.eval(cond))
+            };
+            conds.push((bid, v));
+        });
+        for (bid, v) in conds {
+            symbolic[bid.0 as usize] = v.0;
+        }
+    }
+
+    TaintResult {
+        tainted: t.tainted,
+        ret_tainted: t.ret_tainted,
+        symbolic_branches: symbolic,
+        iterations,
+    }
+}
+
+struct TaintVal(bool);
+
+/// Calls `f` with every branch id and its condition expression.
+fn collect_branches<'a>(b: &'a Block, f: &mut impl FnMut(BranchId, &'a Expr)) {
+    for s in &b.stmts {
+        collect_stmt(s, f);
+    }
+}
+
+fn collect_stmt<'a>(s: &'a Stmt, f: &mut impl FnMut(BranchId, &'a Expr)) {
+    // Expression-level branches (&&, ||, ?:) anywhere in the statement.
+    walk_stmt_exprs(s, &mut |e| match &e.kind {
+        ExprKind::Logical { branch, lhs, .. } => f(*branch, lhs),
+        ExprKind::Ternary { branch, cond, .. } => f(*branch, cond),
+        _ => {}
+    });
+    match &s.kind {
+        StmtKind::If {
+            branch,
+            cond,
+            then_b,
+            else_b,
+        } => {
+            f(*branch, cond);
+            collect_branches(then_b, f);
+            if let Some(e) = else_b {
+                collect_branches(e, f);
+            }
+        }
+        StmtKind::While { branch, cond, body } => {
+            f(*branch, cond);
+            collect_branches(body, f);
+        }
+        StmtKind::DoWhile { branch, body, cond } => {
+            f(*branch, cond);
+            collect_branches(body, f);
+        }
+        StmtKind::For {
+            branch,
+            cond,
+            init,
+            body,
+            ..
+        } => {
+            if let (Some(b), Some(c)) = (branch, cond) {
+                f(*b, c);
+            }
+            if let Some(i) = init {
+                collect_stmt(i, f);
+            }
+            collect_branches(body, f);
+        }
+        StmtKind::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            for c in cases {
+                // Each case compares the scrutinee against a constant.
+                f(c.branch, scrutinee);
+                for st in &c.body {
+                    collect_stmt(st, f);
+                }
+            }
+            if let Some(d) = default {
+                for st in d {
+                    collect_stmt(st, f);
+                }
+            }
+        }
+        StmtKind::Block(b) => collect_branches(b, f),
+        _ => {}
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Place {
+    Direct(AbsLoc),
+    Indirect(ExprId),
+    Unknown,
+}
+
+struct Tainter<'p> {
+    prog: &'p Program,
+    pts: &'p PointsTo,
+    exclude_units: &'p [UnitId],
+    tainted: HashSet<AbsLoc>,
+    ret_tainted: Vec<bool>,
+    changed: bool,
+    cur_func: FuncId,
+}
+
+impl<'p> Tainter<'p> {
+    fn taint(&mut self, l: AbsLoc) {
+        if self.tainted.insert(l) {
+            self.changed = true;
+        }
+    }
+
+    fn is_tainted(&self, l: &AbsLoc) -> bool {
+        self.tainted.contains(l)
+    }
+
+    fn ident_loc(&self, e: &Expr) -> Option<AbsLoc> {
+        match self.prog.res[e.id.0 as usize] {
+            Some(Res::Local { offset }) => Some(AbsLoc::Frame(self.cur_func, offset as u32)),
+            Some(Res::Global(g)) => Some(AbsLoc::Global(g)),
+            None => None,
+        }
+    }
+
+    fn place(&self, e: &Expr) -> Place {
+        match &e.kind {
+            ExprKind::Ident(_) => match self.ident_loc(e) {
+                Some(l) => Place::Direct(l),
+                None => Place::Unknown,
+            },
+            ExprKind::Deref(p) => Place::Indirect(p.id),
+            ExprKind::Index { base, .. } => {
+                if matches!(self.prog.ty(base), Type::Array(..)) {
+                    self.place(base)
+                } else {
+                    Place::Indirect(base.id)
+                }
+            }
+            ExprKind::Field { base, arrow, .. } => {
+                if *arrow {
+                    Place::Indirect(base.id)
+                } else {
+                    self.place(base)
+                }
+            }
+            _ => Place::Unknown,
+        }
+    }
+
+    /// Taint of the contents behind a place.
+    fn read_taint(&self, p: Place) -> bool {
+        match p {
+            Place::Direct(a) => self.is_tainted(&a),
+            Place::Indirect(pid) => self.pts_locs(pid).iter().any(|l| self.is_tainted(l)),
+            Place::Unknown => true, // reading an unknown place: assume input
+        }
+    }
+
+    fn pts_locs(&self, pid: ExprId) -> Vec<AbsLoc> {
+        self.pts.points_to(NodeKey::Expr(pid))
+    }
+
+    fn taint_place(&mut self, p: Place) {
+        match p {
+            Place::Direct(a) => self.taint(a),
+            Place::Indirect(pid) => {
+                for l in self.pts_locs(pid) {
+                    self.taint(l);
+                }
+            }
+            Place::Unknown => {}
+        }
+    }
+
+    /// Taints everything reachable through a pointer argument (library
+    /// call with tainted input may store into any buffer it received).
+    fn taint_pointees(&mut self, e: &Expr) {
+        for l in self.pts_locs(e.id) {
+            self.taint(l);
+        }
+    }
+
+    /// Evaluates value taint, performing store/call side effects.
+    fn eval(&mut self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::StrLit(_) | ExprKind::Sizeof(_) => false,
+            ExprKind::Ident(_) => {
+                if matches!(self.prog.ty(e), Type::Array(..) | Type::Struct(_)) {
+                    false // decayed address is concrete
+                } else {
+                    self.read_taint(self.place(e))
+                }
+            }
+            ExprKind::Deref(p) => {
+                let pt = self.eval(p);
+                pt || self.read_taint(Place::Indirect(p.id))
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.eval(base);
+                let it = self.eval(index);
+                if matches!(self.prog.ty(e), Type::Array(..) | Type::Struct(_)) {
+                    return false;
+                }
+                bt || it || self.read_taint(self.place(e))
+            }
+            ExprKind::Field { base, .. } => {
+                let bt = self.eval(base);
+                if matches!(self.prog.ty(e), Type::Array(..) | Type::Struct(_)) {
+                    return false;
+                }
+                bt || self.read_taint(self.place(e))
+            }
+            ExprKind::AddrOf(inner) => {
+                // Evaluate for side effects (e.g. &arr[f(x)]).
+                let _ = self.eval(inner);
+                false
+            }
+            ExprKind::Unary { expr, .. } => self.eval(expr),
+            ExprKind::Cast { expr, .. } => self.eval(expr),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                a || b
+            }
+            ExprKind::Logical { lhs, rhs, .. } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                a || b
+            }
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                let c = self.eval(cond);
+                let a = self.eval(then_e);
+                let b = self.eval(else_e);
+                c || a || b
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let mut t = self.eval(rhs);
+                if op.is_some() {
+                    t = t || self.read_taint(self.place(lhs));
+                }
+                // Evaluate lhs subexpressions (indices) for side effects.
+                if let ExprKind::Index { index, .. } = &lhs.kind {
+                    let it = self.eval(index);
+                    t = t || it;
+                }
+                if t {
+                    let p = self.place(lhs);
+                    self.taint_place(p);
+                }
+                t
+            }
+            ExprKind::IncDec { expr, .. } => self.read_taint(self.place(expr)),
+            ExprKind::Call { args, .. } => self.call(e, args),
+        }
+    }
+
+    fn call(&mut self, e: &Expr, args: &[Expr]) -> bool {
+        let arg_taints: Vec<bool> = args.iter().map(|a| self.eval(a)).collect();
+        match self.prog.callee[e.id.0 as usize] {
+            Some(Callee::Func(f)) => {
+                let info = &self.prog.funcs[f.0 as usize];
+                if self.exclude_units.contains(&info.unit) {
+                    // Opaque library call: tainted args contaminate the
+                    // return and every buffer passed in.
+                    let any = arg_taints.iter().any(|t| *t);
+                    if any {
+                        for a in args {
+                            self.taint_pointees(a);
+                        }
+                    }
+                    any
+                } else {
+                    for (i, t) in arg_taints.iter().enumerate() {
+                        if *t {
+                            self.taint(AbsLoc::Frame(f, i as u32));
+                        }
+                    }
+                    self.ret_tainted[f.0 as usize]
+                }
+            }
+            Some(Callee::Builtin(b)) => match b {
+                Builtin::Sys(Sys::Read) => {
+                    if let Some(buf) = args.get(1) {
+                        self.taint_pointees(buf);
+                    }
+                    true
+                }
+                Builtin::Sys(Sys::Select) => {
+                    if let Some(ready) = args.get(2) {
+                        self.taint_pointees(ready);
+                    }
+                    true
+                }
+                Builtin::Sys(s) => s.returns_input(),
+                Builtin::Malloc
+                | Builtin::Free
+                | Builtin::Exit
+                | Builtin::Abort
+                | Builtin::Assert
+                | Builtin::Printf => false,
+            },
+            None => true,
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    let t = self.eval(e);
+                    if t {
+                        if let Some(slot) = &self.prog.decl_slot[s.id.0 as usize] {
+                            self.taint(AbsLoc::Frame(self.cur_func, slot.offset as u32));
+                        }
+                    }
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e);
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+                ..
+            } => {
+                self.eval(cond);
+                self.block(then_b);
+                if let Some(b) = else_b {
+                    self.block(b);
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                self.eval(cond);
+                self.block(body);
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                self.block(body);
+                self.eval(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.eval(c);
+                }
+                if let Some(st) = step {
+                    self.eval(st);
+                }
+                self.block(body);
+            }
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                self.eval(scrutinee);
+                for c in cases {
+                    for st in &c.body {
+                        self.stmt(st);
+                    }
+                }
+                if let Some(d) = default {
+                    for st in d {
+                        self.stmt(st);
+                    }
+                }
+            }
+            StmtKind::Return(v) => {
+                if let Some(e) = v {
+                    let t = self.eval(e);
+                    if t && !self.ret_tainted[self.cur_func.0 as usize] {
+                        self.ret_tainted[self.cur_func.0 as usize] = true;
+                        self.changed = true;
+                    }
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointsto;
+    use minic::check::check;
+    use minic::parser::{parse, parse_units};
+
+    fn run(src: &str) -> (Program, TaintResult) {
+        let prog = check(parse(src).unwrap()).unwrap();
+        let pts = pointsto::analyze(&prog, &[]);
+        let t = analyze(&prog, &pts, &[]);
+        (prog, t)
+    }
+
+    #[test]
+    fn argv_branches_are_symbolic() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'a') { return 1; }   // symbolic
+                if (argc == 0) { return 2; }           // symbolic (argc is input)
+                int x = 5;
+                if (x > 3) { return 3; }               // concrete
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        assert_eq!(t.symbolic_branches, vec![true, true, false]);
+    }
+
+    #[test]
+    fn taint_flows_through_assignments_and_calls() {
+        let src = r#"
+            int twice(int v) { return v * 2; }
+            int main(int argc, char **argv) {
+                int a = argv[1][0];
+                int b = twice(a);
+                if (b > 100) { return 1; }   // symbolic via call return
+                int c = twice(7);
+                if (c > 10) { return 2; }    // context-insensitive: symbolic too
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        assert!(t.symbolic_branches[0]);
+        // Context-insensitivity makes the second call's result tainted as
+        // well — the documented over-approximation of the static method.
+        assert!(t.symbolic_branches[1]);
+    }
+
+    #[test]
+    fn syscall_reads_taint_buffers() {
+        let src = r#"
+            int main() {
+                char buf[16];
+                int n = sys_read(0, buf, 16);
+                if (n < 0) { return -1; }          // symbolic: read count
+                if (buf[0] == 'x') { return 1; }   // symbolic: read data
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        assert_eq!(t.symbolic_branches, vec![true, true]);
+    }
+
+    #[test]
+    fn pure_computation_stays_concrete() {
+        let src = r#"
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() {
+                int r = fib(10);
+                if (r > 50) { return 1; }
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        assert_eq!(t.n_symbolic(), 0);
+    }
+
+    #[test]
+    fn fibonacci_listing_one_shape() {
+        // Listing 1 of the paper: only the two option tests are symbolic.
+        let src = r#"
+            int fibonacci(int n) {
+                int a = 0;
+                int b = 1;
+                for (int i = 0; i < n; i++) {
+                    int t = a + b;
+                    a = b;
+                    b = t;
+                }
+                return a;
+            }
+            int main(int argc, char **argv) {
+                char option = argv[1][0];
+                int result = 0;
+                if (option == 'a') {
+                    result = fibonacci(20);
+                } else if (option == 'b') {
+                    result = fibonacci(40);
+                }
+                printf("Result: %d\n", result);
+                return 0;
+            }
+        "#;
+        let (prog, t) = run(src);
+        let sym: Vec<usize> = t
+            .symbolic_branches
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(i, _)| i)
+            .collect();
+        // Exactly the two `option ==` tests.
+        assert_eq!(sym.len(), 2, "branches: {:?}", prog.ast.branches);
+        for i in sym {
+            assert_eq!(prog.ast.branches[i].func, "main");
+        }
+    }
+
+    #[test]
+    fn taint_through_pointer_aliases() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int x = 0;
+                int *p = &x;
+                *p = argv[1][0];
+                if (x > 5) { return 1; }   // symbolic through the alias
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        assert_eq!(t.symbolic_branches, vec![true]);
+    }
+
+    #[test]
+    fn excluded_units_are_fully_symbolic() {
+        let lib = r#"
+            int lib_check(int x) {
+                if (x > 0) { return 1; }    // library branch
+                return 0;
+            }
+        "#;
+        let app = r#"
+            int main() {
+                int v = 3;
+                if (lib_check(v)) { return 1; }  // app branch, concrete arg
+                return 0;
+            }
+        "#;
+        let prog = check(parse_units(&[("libc", lib), ("app", app)]).unwrap()).unwrap();
+        let exclude = vec![minic::UnitId(0)];
+        let pts = pointsto::analyze(&prog, &exclude);
+        let t = analyze(&prog, &pts, &exclude);
+        // Library branch forced symbolic; app branch calls an opaque
+        // library function with a concrete arg: not tainted.
+        assert_eq!(t.symbolic_branches, vec![true, false]);
+    }
+
+    #[test]
+    fn opaque_library_contaminates_buffers() {
+        let lib = "int lib_copy(char *dst, char *src) { dst[0] = src[0]; return 0; }";
+        let app = r#"
+            int main(int argc, char **argv) {
+                char buf[8];
+                lib_copy(buf, argv[1]);
+                if (buf[0] == 'x') { return 1; }
+                return 0;
+            }
+        "#;
+        let prog = check(parse_units(&[("libc", lib), ("app", app)]).unwrap()).unwrap();
+        let exclude = vec![minic::UnitId(0)];
+        let pts = pointsto::analyze(&prog, &exclude);
+        let t = analyze(&prog, &pts, &exclude);
+        // The app branch on buf[0] must be symbolic: the opaque call
+        // received tainted argv and a pointer to buf.
+        assert!(*t.symbolic_branches.last().unwrap());
+    }
+
+    #[test]
+    fn static_is_superset_of_truth_on_overapprox_example() {
+        // x is copied from input but the branch tests a constant: the
+        // static method may still flag it (flow-insensitive) while the
+        // dynamic method would not. We only require: every truly
+        // symbolic branch is flagged.
+        let src = r#"
+            int main(int argc, char **argv) {
+                int x = argv[1][0];
+                x = 7;                      // kills the taint dynamically
+                if (x > 3) { return 1; }    // dynamically concrete
+                return 0;
+            }
+        "#;
+        let (_, t) = run(src);
+        // Flow-insensitive: stays tainted. This is the intended bias.
+        assert_eq!(t.symbolic_branches, vec![true]);
+    }
+
+    #[test]
+    fn ternary_and_logical_branches_are_collected() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int a = argv[1][0];
+                int b = 1;
+                int r = (a > 0 && a < 10) ? 1 : 0;   // &&: symbolic, ?: symbolic
+                int s = (b > 0 || b < 5) ? 1 : 0;    // ||: concrete, ?: concrete
+                return r + s;
+            }
+        "#;
+        let (prog, t) = run(src);
+        assert_eq!(prog.ast.branches.len(), 4);
+        let by_kind: Vec<(BranchKind, bool)> = prog
+            .ast
+            .branches
+            .iter()
+            .map(|b| (b.kind, t.symbolic_branches[b.id.0 as usize]))
+            .collect();
+        assert!(by_kind.contains(&(BranchKind::LogicalAnd, true)));
+        assert!(by_kind.contains(&(BranchKind::LogicalOr, false)));
+    }
+}

@@ -1,0 +1,95 @@
+//! argv corpora for the coreutils experiments (§5.2).
+//!
+//! "We ran the programs with up to 10 arguments, each 100 bytes long."
+//! Also provides the known crashing invocations the paper replays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named crashing invocation of a coreutil.
+#[derive(Debug, Clone)]
+pub struct CoreutilInvocation {
+    /// Program name (matches `progs::Program::name`).
+    pub program: &'static str,
+    /// Full argv including argv\[0\].
+    pub argv: Vec<Vec<u8>>,
+    /// Which paths must exist in the filesystem beforehand.
+    pub needs_files: Vec<(&'static str, &'static [u8])>,
+}
+
+/// The four crashing invocations of Table 1.
+pub fn coreutils_crash_argv() -> Vec<CoreutilInvocation> {
+    vec![
+        CoreutilInvocation {
+            program: "mkdir",
+            argv: vec![b"mkdir".to_vec(), b"/a".to_vec(), b"-Z".to_vec()],
+            needs_files: vec![],
+        },
+        CoreutilInvocation {
+            program: "mknod",
+            argv: vec![
+                b"mknod".to_vec(),
+                b"/n".to_vec(),
+                b"p".to_vec(),
+                b"-Z".to_vec(),
+            ],
+            needs_files: vec![],
+        },
+        CoreutilInvocation {
+            program: "mkfifo",
+            argv: vec![b"mkfifo".to_vec(), b"-Z".to_vec()],
+            needs_files: vec![],
+        },
+        CoreutilInvocation {
+            program: "paste",
+            // The paper's exact shape: `paste -d\\ abcdefghijklmnopqrstuvwxyz`.
+            argv: vec![
+                b"paste".to_vec(),
+                b"-d\\".to_vec(),
+                b"/abcdefghijklmnopqrstuvwxyz".to_vec(),
+            ],
+            needs_files: vec![("/abcdefghijklmnopqrstuvwxyz", b"line1\nline2\n")],
+        },
+    ]
+}
+
+/// Random printable argv: `n_args` arguments of up to `max_len` bytes.
+pub fn random_argv(prog: &str, n_args: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut argv = vec![prog.as_bytes().to_vec()];
+    for _ in 0..n_args {
+        let len = rng.gen_range(1..=max_len.max(1));
+        argv.push(
+            (0..len)
+                .map(|_| rng.gen_range(0x21u8..0x7f))
+                .collect::<Vec<u8>>(),
+        );
+    }
+    argv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_crashing_invocations() {
+        let all = coreutils_crash_argv();
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = all.iter().map(|c| c.program).collect();
+        assert_eq!(names, vec!["mkdir", "mknod", "mkfifo", "paste"]);
+        // Paste's delimiter ends with a backslash — the bug trigger.
+        assert!(all[3].argv[1].ends_with(b"\\"));
+    }
+
+    #[test]
+    fn random_argv_respects_bounds() {
+        let argv = random_argv("prog", 10, 100, 5);
+        assert_eq!(argv.len(), 11);
+        for a in &argv[1..] {
+            assert!(!a.is_empty() && a.len() <= 100);
+            assert!(a.iter().all(|b| (0x21..0x7f).contains(b)));
+        }
+        assert_eq!(random_argv("prog", 10, 100, 5), argv);
+    }
+}

@@ -1,0 +1,70 @@
+//! Input files for the diff experiments (§5.4).
+//!
+//! "We replay two executions of diff comparing relatively small but
+//! different text files."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One diff experiment: two files to compare.
+#[derive(Debug, Clone)]
+pub struct DiffScenario {
+    /// Experiment number (1-based).
+    pub id: usize,
+    /// First file contents.
+    pub a: Vec<u8>,
+    /// Second file contents.
+    pub b: Vec<u8>,
+}
+
+/// The two diff input scenarios of Table 6.
+pub fn diff_scenarios() -> Vec<DiffScenario> {
+    vec![
+        // Exp 1: one changed line in a short file.
+        DiffScenario {
+            id: 1,
+            a: b"alpha\nbeta\ngamma\n".to_vec(),
+            b: b"alpha\nBETA\ngamma\n".to_vec(),
+        },
+        // Exp 2: insertions, deletions and a change across more lines.
+        DiffScenario {
+            id: 2,
+            a: b"one\ntwo\nthree\nfour\nfive\nsix\n".to_vec(),
+            b: b"one\nthree\nFOUR\nfive\nsix\nseven\n".to_vec(),
+        },
+    ]
+}
+
+/// A random text file of `lines` short lines (deterministic per seed).
+pub fn random_text_file(lines: usize, line_len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..lines {
+        for _ in 0..line_len {
+            out.push(b'a' + rng.gen_range(0..26));
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_small_and_different() {
+        for s in diff_scenarios() {
+            assert_ne!(s.a, s.b);
+            assert!(s.a.len() < 160 && s.b.len() < 160, "fits diff's buffers");
+        }
+    }
+
+    #[test]
+    fn random_files_are_deterministic() {
+        assert_eq!(random_text_file(4, 6, 9), random_text_file(4, 6, 9));
+        assert_ne!(random_text_file(4, 6, 9), random_text_file(4, 6, 10));
+        let f = random_text_file(3, 5, 1);
+        assert_eq!(f.iter().filter(|b| **b == b'\n').count(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! HTTP workload generation (the httperf stand-in).
+//!
+//! §5.3: "we use HTTP queries of various lengths (between 5 to 400
+//! bytes), with different HTTP methods (e.g., GET, POST) and parameters
+//! (e.g., Cookies, Content-Length)" — five input scenarios hitting
+//! different code areas of the HTTP parser, plus a saturation workload
+//! for the overhead measurements of Figure 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One of the five crash-input scenarios of Table 3.
+#[derive(Debug, Clone)]
+pub struct HttpScenario {
+    /// Experiment number (1-based, as in the paper's tables).
+    pub id: usize,
+    /// What parser area the scenario stresses.
+    pub description: &'static str,
+    /// The request bytes, one entry per client connection.
+    pub requests: Vec<Vec<u8>>,
+}
+
+/// Builds the five input scenarios. Deterministic given `seed`.
+pub fn scenarios(seed: u64) -> Vec<HttpScenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        // Exp 1: minimal short request (5 bytes region): HTTP/0.9 style.
+        HttpScenario {
+            id: 1,
+            description: "tiny GET (request-line parser only)",
+            requests: vec![b"GET /\n\n".to_vec()],
+        },
+        // Exp 2: plain GET with a version and one header.
+        HttpScenario {
+            id: 2,
+            description: "GET with version and Host header",
+            requests: vec![b"GET /index.html HTTP/1.0\r\nHost: example\r\n\r\n".to_vec()],
+        },
+        // Exp 3: POST with Content-Length and a body.
+        HttpScenario {
+            id: 3,
+            description: "POST with Content-Length and body",
+            requests: vec![
+                b"POST /submit HTTP/1.0\r\nContent-Length: 11\r\n\r\nhello=world".to_vec(),
+            ],
+        },
+        // Exp 4: cookie-heavy request.
+        HttpScenario {
+            id: 4,
+            description: "GET with cookies and keep-alive",
+            requests: vec![b"GET /about HTTP/1.0\r\nCookie: a=1; b=2; c=3; d=4\r\nConnection: keep-alive\r\n\r\n"
+                .to_vec()],
+        },
+        // Exp 5: long-path request approaching the 400-byte region.
+        HttpScenario {
+            id: 5,
+            description: "long static path (URI length handling)",
+            requests: vec![long_path_request(&mut rng)],
+        },
+    ]
+}
+
+fn long_path_request(rng: &mut StdRng) -> Vec<u8> {
+    let mut path = String::from("/static/");
+    for _ in 0..10 {
+        path.push((b'a' + rng.gen_range(0..26)) as char);
+    }
+    format!("GET {path} HTTP/1.0\r\nHost: example\r\nUser-Agent: httperf-like/1.0\r\n\r\n")
+        .into_bytes()
+}
+
+/// A saturation workload of `n` valid GET requests over the small static
+/// site, for the CPU/storage overhead measurements of Figure 4.
+pub fn saturation_workload(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let paths = ["/", "/index.html", "/about", "/status", "/static/a1"];
+    (0..n)
+        .map(|_| {
+            let p = paths[rng.gen_range(0..paths.len())];
+            let cookies = rng.gen_range(0..3);
+            let mut req = format!("GET {p} HTTP/1.0\r\nHost: bench\r\n");
+            if cookies > 0 {
+                req.push_str("Cookie: ");
+                for c in 0..cookies {
+                    if c > 0 {
+                        req.push_str("; ");
+                    }
+                    req.push_str(&format!("k{c}={}", rng.gen_range(0..100)));
+                }
+                req.push_str("\r\n");
+            }
+            req.push_str("\r\n");
+            req.into_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_scenarios_in_length_band() {
+        let s = scenarios(1);
+        assert_eq!(s.len(), 5);
+        for sc in &s {
+            for r in &sc.requests {
+                assert!(
+                    r.len() >= 5 && r.len() <= 400,
+                    "scenario {} request of {} bytes",
+                    sc.id,
+                    r.len()
+                );
+            }
+        }
+        // Distinct parser areas: methods differ across scenarios.
+        assert!(s[2].requests[0].starts_with(b"POST"));
+        assert!(s[0].requests[0].len() < 10);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = scenarios(7);
+        let b = scenarios(7);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.requests, y.requests);
+        }
+        let c = scenarios(8);
+        assert_ne!(a[4].requests, c[4].requests, "seed changes the long path");
+    }
+
+    #[test]
+    fn saturation_workload_is_valid_http() {
+        let reqs = saturation_workload(50, 3);
+        assert_eq!(reqs.len(), 50);
+        for r in &reqs {
+            assert!(r.starts_with(b"GET "));
+            assert!(r.ends_with(b"\r\n\r\n"));
+        }
+        assert_eq!(saturation_workload(50, 3), reqs);
+    }
+}

@@ -1,0 +1,15 @@
+//! `workloads` — deterministic workload generators.
+//!
+//! Replaces the external workload tooling of the paper's evaluation:
+//! httperf (uServer load + the five crash-input scenarios of §5.3),
+//! the diff input files of §5.4, and the coreutils argv corpora of §5.2
+//! ("up to 10 arguments, each 100 bytes long"). All generators are
+//! seeded and reproducible.
+
+pub mod argv;
+pub mod files;
+pub mod http;
+
+pub use argv::{coreutils_crash_argv, random_argv, CoreutilInvocation};
+pub use files::{diff_scenarios, random_text_file, DiffScenario};
+pub use http::{saturation_workload, scenarios, HttpScenario};

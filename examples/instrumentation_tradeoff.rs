@@ -1,0 +1,76 @@
+//! The paper's core tradeoff, measured live: instrumentation overhead
+//! versus bug-reproduction effort across the four methods.
+//!
+//! ```text
+//! cargo run --release --example instrumentation_tradeoff
+//! ```
+//!
+//! Runs the mkdir benchmark under all four instrumentation methods and
+//! prints, for each: user-site CPU overhead, log size, and developer-site
+//! replay effort for the real `-Z` crash. The combined method should sit
+//! on the knee of the curve — that is the paper's thesis.
+
+use retrace::prelude::*;
+use retrace::{progs, workloads};
+
+fn main() {
+    let inv = workloads::coreutils_crash_argv()
+        .into_iter()
+        .find(|c| c.program == "mkdir")
+        .expect("mkdir invocation");
+    let cp = progs::Program::Mkdir.build().expect("mkdir compiles");
+
+    // Shape follows the crash invocation: N symbolic args of its lengths.
+    let mut argv = vec![ArgSpec::Fixed(inv.argv[0].clone())];
+    for a in &inv.argv[1..] {
+        argv.push(ArgSpec::Symbolic(a.len()));
+    }
+    let spec = InputSpec {
+        argv,
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    wb.static_exclude = vec![progs::Program::Mkdir.libc_unit().unwrap()];
+
+    let bundle = wb.analyze(32);
+    println!(
+        "analysis: coverage {:.0}% over {} branch locations\n",
+        bundle.coverage_pct(),
+        wb.cp.n_branches()
+    );
+
+    let crash_parts = InputParts {
+        argv_sym: inv.argv[1..].to_vec(),
+        ..InputParts::default()
+    };
+    // Overhead is measured on a benign input of the same shape.
+    let benign_parts = InputParts {
+        argv_sym: vec![b"/a".to_vec(), b"/b".to_vec()],
+        ..InputParts::default()
+    };
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "method", "cpu %", "locations", "log bits", "replay runs", "repro?"
+    );
+    for method in Method::ALL {
+        let plan = wb.plan(method, &bundle);
+        let over = wb.overhead(method.name(), &plan, &benign_parts);
+        let run = wb.logged_run(&plan, &crash_parts);
+        let report = run.report.expect("mkdir -Z crashes");
+        let res = wb.replay(&plan, &report, 512);
+        println!(
+            "{:<16} {:>8.1} {:>10} {:>10} {:>12} {:>8}",
+            method.name(),
+            over.cpu_pct,
+            plan.n_instrumented(),
+            report.trace.len(),
+            res.runs,
+            if res.reproduced { "yes" } else { "NO (∞)" }
+        );
+    }
+    println!(
+        "\nThe knee: dynamic+static should match static's replay effort at a\n\
+         fraction of its instrumentation (the paper's conclusion)."
+    );
+}

@@ -1,0 +1,108 @@
+//! A field bug in a web server: the paper's uServer scenario (§5.3).
+//!
+//! ```text
+//! cargo run --release --example webserver_field_bug
+//! ```
+//!
+//! The uServer runs at a "user site" serving HTTP requests; after the
+//! workload is processed the process is crashed externally (SEGFAULT
+//! injection), exactly like the paper's methodology. The developer then
+//! reproduces the execution from the partial branch log — recovering
+//! what the requests must have looked like without ever seeing them.
+
+use retrace::prelude::*;
+use retrace::{progs, workloads};
+
+fn main() {
+    // Build the server (application + mini-libc).
+    let cp = progs::Program::Userver.build().expect("userver compiles");
+    println!(
+        "uServer: {} branch locations ({} in libc)",
+        cp.n_branches(),
+        cp.prog
+            .ast
+            .branches
+            .iter()
+            .filter(|b| b.unit == progs::Program::Userver.libc_unit().unwrap())
+            .count()
+    );
+
+    // The crash scenario: one POST request with a body.
+    let scenario = &workloads::scenarios(42)[2];
+    println!(
+        "scenario {}: {} — {} request(s)",
+        scenario.id,
+        scenario.description,
+        scenario.requests.len()
+    );
+
+    // Input shape: one client connection per request, contents symbolic.
+    let spec = InputSpec {
+        argv: vec![ArgSpec::Fixed(b"userver".to_vec())],
+        clients: scenario
+            .requests
+            .iter()
+            .map(|r| ClientSpec {
+                packet_lens: vec![r.len()],
+                close_after: true,
+            })
+            .collect(),
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    wb.static_exclude = vec![progs::Program::Userver.libc_unit().unwrap()];
+    // Crash the server once the workload is served (§5.3).
+    wb.kernel.signal_plan = Some(SignalPlan {
+        sig: 11,
+        after_all_conns_served: true,
+        after_n_syscalls: None,
+    });
+
+    // Analyze + instrument with the combined method.
+    let bundle = wb.analyze(48);
+    let plan = wb.plan(Method::DynamicStatic, &bundle);
+    println!(
+        "dynamic+static instruments {}/{} locations (dynamic coverage {:.0}%)",
+        plan.n_instrumented(),
+        wb.cp.n_branches(),
+        bundle.coverage_pct()
+    );
+
+    // User site: serve the scenario, crash, capture the report.
+    let parts = InputParts {
+        conns: scenario.requests.clone(),
+        ..InputParts::default()
+    };
+    let run = wb.logged_run(&plan, &parts);
+    let report = run.report.expect("SEGFAULT delivered");
+    println!(
+        "crash: {} at {} after {} request(s); report = {} branch bits + {} syscall records",
+        report.crash.kind,
+        report.crash.loc,
+        run.requests,
+        report.trace.len(),
+        report.syscalls.len()
+    );
+
+    // Developer site: reproduce.
+    let result = wb.replay(&plan, &report, 400);
+    assert!(result.reproduced, "replay failed: {result:?}");
+    println!(
+        "reproduced in {} run(s) / {} solver call(s) / {}ms",
+        result.runs, result.solver_calls, result.wall_ms
+    );
+    let assignment = result.witness_assignment.expect("witness");
+    let reconstructed: Vec<u8> = assignment
+        .iter()
+        .take(scenario.requests[0].len())
+        .map(|v| (*v & 0xff) as u8)
+        .collect();
+    println!(
+        "reconstructed request bytes: {:?}",
+        String::from_utf8_lossy(&reconstructed)
+    );
+    println!(
+        "(compare the original: {:?})",
+        String::from_utf8_lossy(&scenario.requests[0])
+    );
+}

@@ -1,0 +1,72 @@
+//! `retrace` — partial branch logging and guided symbolic replay.
+//!
+//! A complete reproduction of *"Striking a New Balance Between Program
+//! Instrumentation and Debugging Time"* (Crameri, Bianchini, Zwaenepoel —
+//! EuroSys 2011) as a Rust workspace. This facade crate re-exports every
+//! subsystem:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`minic`] | C-like language + instrumentable VM (the CIL stand-in) |
+//! | [`solver`] | symbolic expressions + finite-domain constraint solver |
+//! | [`oskit`] | deterministic kernel simulation (fs, sockets, select, signals) |
+//! | [`concolic`] | dynamic analysis: concolic engine, branch labeling (§2.1) |
+//! | [`staticax`] | static analysis: points-to + interprocedural taint (§2.2) |
+//! | [`instrument`] | the four methods, branch/syscall logging, bug reports (§2.3) |
+//! | [`replay`] | log-guided bug reproduction (§3) |
+//! | [`progs`] | the benchmarks, in mini-C (coreutils, uServer, diff, micros) |
+//! | [`workloads`] | deterministic workload generators (the httperf stand-in) |
+//! | [`core`] | the end-to-end [`Workbench`](core::Workbench) pipeline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use retrace::prelude::*;
+//!
+//! // A program with a crash hidden behind input comparisons.
+//! let cp = minic::build(&[("main", r#"
+//!     int main(int argc, char **argv) {
+//!         if (argv[1][0] == 'x') {
+//!             int *p = 0;
+//!             return *p;    // crash only for inputs starting with 'x'
+//!         }
+//!         return 0;
+//!     }
+//! "#)]).unwrap();
+//!
+//! // Shape: one symbolic argument of 1 byte.
+//! let wb = Workbench::new(cp, InputSpec::argv_symbolic("demo", 1, 1));
+//!
+//! // Analyze, plan (combined method), deploy on the "user's" input...
+//! let bundle = wb.analyze(16);
+//! let plan = wb.plan(Method::DynamicStatic, &bundle);
+//! let parts = InputParts { argv_sym: vec![b"x".to_vec()], ..Default::default() };
+//! let run = wb.logged_run(&plan, &parts);
+//! let report = run.report.expect("the user hit the bug");
+//!
+//! // ...and reproduce the bug at the developer site.
+//! let result = wb.replay(&plan, &report, 64);
+//! assert!(result.reproduced);
+//! assert_eq!(result.witness_argv.unwrap()[1][0], b'x');
+//! ```
+
+pub use concolic;
+pub use instrument;
+pub use minic;
+pub use oskit;
+pub use progs;
+pub use replay;
+pub use retrace_core as core;
+pub use solver;
+pub use staticax;
+pub use workloads;
+
+/// The most common imports for end-to-end use.
+pub mod prelude {
+    pub use crate::core::{AnalysisBundle, LoggedRun, Overhead, ReplayRow, Workbench};
+    pub use concolic::{ArgSpec, ClientSpec, FileSpec, InputSpec};
+    pub use instrument::{BugReport, Method, Plan};
+    pub use minic::{self, CompiledProgram, CrashKind, RunOutcome};
+    pub use oskit::{KernelConfig, SignalPlan};
+    pub use replay::{InputParts, ReplayResult};
+}

@@ -1,0 +1,155 @@
+//! Property-based integration tests over the paper's invariants.
+
+use proptest::prelude::*;
+use retrace::prelude::*;
+use retrace::{instrument::DynLabel, minic};
+
+/// The §2.3 combination rule as a predicate (oracle for the Plan impl).
+fn combined_oracle(d: DynLabel, s: bool) -> bool {
+    match d {
+        DynLabel::Symbolic => true,
+        DynLabel::Concrete => false,
+        DynLabel::Unvisited => s,
+    }
+}
+
+fn arb_label() -> impl Strategy<Value = DynLabel> {
+    prop_oneof![
+        Just(DynLabel::Unvisited),
+        Just(DynLabel::Concrete),
+        Just(DynLabel::Symbolic),
+    ]
+}
+
+proptest! {
+    /// Plan::build implements the paper's combination rule exactly, for
+    /// arbitrary label vectors.
+    #[test]
+    fn combination_rule_matches_oracle(
+        labels in proptest::collection::vec((arb_label(), any::<bool>()), 1..100)
+    ) {
+        let dynamic: Vec<DynLabel> = labels.iter().map(|(d, _)| *d).collect();
+        let stat: Vec<bool> = labels.iter().map(|(_, s)| *s).collect();
+        let n = labels.len();
+        let combined = Plan::build(Method::DynamicStatic, &dynamic, &stat, n);
+        let dyn_plan = Plan::build(Method::Dynamic, &dynamic, &stat, n);
+        let stat_plan = Plan::build(Method::Static, &dynamic, &stat, n);
+        let all = Plan::build(Method::AllBranches, &dynamic, &stat, n);
+        for i in 0..n {
+            prop_assert_eq!(combined.instrumented[i], combined_oracle(dynamic[i], stat[i]));
+            // Dynamic ⊆ combined: anything dynamic logs, combined logs.
+            prop_assert!(!dyn_plan.instrumented[i] || combined.instrumented[i]);
+            // Combined ⊆ dynamic ∪ static.
+            prop_assert!(
+                !combined.instrumented[i]
+                    || dyn_plan.instrumented[i]
+                    || stat_plan.instrumented[i]
+            );
+            prop_assert!(all.instrumented[i]);
+        }
+    }
+
+    /// For arbitrary inputs, a logged run's bit count equals its
+    /// instrumented-branch execution count, and the trace replays its
+    /// own directions.
+    #[test]
+    fn log_bits_equal_instrumented_executions(
+        arg in proptest::collection::vec(0x20u8..0x7f, 1..6)
+    ) {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int n = 0;
+                for (int i = 0; argv[1][i] != 0; i++) {
+                    if (argv[1][i] > 'm') { n++; }
+                }
+                return n;
+            }
+        "#;
+        let cp = minic::build(&[("main", src)]).expect("compiles");
+        let n = cp.n_branches();
+        let wb = Workbench::new(cp, InputSpec::argv_symbolic("p", 1, arg.len()));
+        let plan = Plan {
+            method: Method::AllBranches,
+            instrumented: vec![true; n],
+            log_syscalls: true,
+        };
+        let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
+        let run = wb.logged_run(&plan, &parts);
+        prop_assert_eq!(run.log_bits, run.instrumented_execs);
+        prop_assert_eq!(run.log_bits, run.meter.branches);
+    }
+
+    /// Deployment determinism: the same input yields the identical meter
+    /// and log, byte for byte.
+    #[test]
+    fn deployment_is_deterministic(
+        arg in proptest::collection::vec(0x20u8..0x7f, 1..5)
+    ) {
+        let src = r#"
+            int main(int argc, char **argv) {
+                int acc = 0;
+                for (int i = 0; argv[1][i] != 0; i++) {
+                    acc = acc * 31 + argv[1][i];
+                    if (acc % 7 == 0) { acc++; }
+                }
+                sys_time();
+                return acc & 0xff;
+            }
+        "#;
+        let cp = minic::build(&[("main", src)]).expect("compiles");
+        let n = cp.n_branches();
+        let wb = Workbench::new(cp, InputSpec::argv_symbolic("p", 1, arg.len()));
+        let plan = Plan {
+            method: Method::AllBranches,
+            instrumented: vec![true; n],
+            log_syscalls: true,
+        };
+        let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
+        let a = wb.logged_run(&plan, &parts);
+        let b = wb.logged_run(&plan, &parts);
+        prop_assert_eq!(a.meter, b.meter);
+        prop_assert_eq!(a.log_bits, b.log_bits);
+        prop_assert_eq!(a.stdout, b.stdout);
+    }
+}
+
+/// Deterministic (non-proptest) invariant: replay reproduces a guarded
+/// crash for every instrumentation method on a program where dynamic
+/// coverage is complete.
+#[test]
+fn every_method_reproduces_with_full_coverage() {
+    let src = r#"
+        int main(int argc, char **argv) {
+            if (argv[1][0] == 'k') {
+                if (argv[1][1] == '9') {
+                    int *p = 0;
+                    return *p;
+                }
+            }
+            return 0;
+        }
+    "#;
+    let cp = minic::build(&[("main", src)]).expect("compiles");
+    let wb = Workbench::new(cp, InputSpec::argv_symbolic("p", 1, 2));
+    let bundle = wb.analyze(32);
+    let parts = InputParts {
+        argv_sym: vec![b"k9".to_vec()],
+        ..InputParts::default()
+    };
+    for m in Method::ALL {
+        let plan = wb.plan(m, &bundle);
+        let report = wb
+            .logged_run(&plan, &parts)
+            .report
+            .expect("guarded crash fires");
+        let res = wb.replay(&plan, &report, 256);
+        assert!(res.reproduced, "{} failed: {res:?}", m.name());
+        let w = res.witness_argv.expect("witness");
+        assert_eq!(
+            &w[1][..2],
+            b"k9",
+            "{}: witness must re-derive input",
+            m.name()
+        );
+    }
+}

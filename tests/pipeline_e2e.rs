@@ -1,0 +1,218 @@
+//! Cross-crate integration: the full pipeline on the real benchmark bugs.
+
+use retrace::prelude::*;
+use retrace::{progs, workloads};
+
+/// Builds the workbench for a coreutil around its crash invocation.
+fn coreutil_bench(p: progs::Program) -> (Workbench, InputParts) {
+    let inv = workloads::coreutils_crash_argv()
+        .into_iter()
+        .find(|c| c.program == p.name())
+        .expect("known coreutil");
+    let mut argv = vec![ArgSpec::Fixed(inv.argv[0].clone())];
+    let mut argv_sym = Vec::new();
+    for a in &inv.argv[1..] {
+        argv.push(ArgSpec::Symbolic(a.len()));
+        argv_sym.push(a.clone());
+    }
+    let spec = InputSpec {
+        argv,
+        ..InputSpec::default()
+    };
+    let cp = p.build().expect("compiles");
+    let mut wb = Workbench::new(cp, spec);
+    if let Some(u) = p.libc_unit() {
+        wb.static_exclude = vec![u];
+    }
+    for (path, data) in &inv.needs_files {
+        wb.kernel.fs.install_file(path, data.to_vec());
+    }
+    (
+        wb,
+        InputParts {
+            argv_sym,
+            ..InputParts::default()
+        },
+    )
+}
+
+#[test]
+fn all_four_coreutils_bugs_reproduce_under_combined_method() {
+    for p in [
+        progs::Program::Mkdir,
+        progs::Program::Mknod,
+        progs::Program::Mkfifo,
+        progs::Program::Paste,
+    ] {
+        let (wb, parts) = coreutil_bench(p);
+        let bundle = wb.analyze(24);
+        let plan = wb.plan(Method::DynamicStatic, &bundle);
+        let run = wb.logged_run(&plan, &parts);
+        let report = run
+            .report
+            .unwrap_or_else(|| panic!("{} must crash on its bug input", p.name()));
+        let res = wb.replay(&plan, &report, 512);
+        assert!(
+            res.reproduced,
+            "{}: combined-method replay failed after {} runs",
+            p.name(),
+            res.runs
+        );
+    }
+}
+
+#[test]
+fn overhead_ordering_matches_the_paper() {
+    // dynamic <= dynamic+static <= static <= all branches (±tolerance),
+    // measured on mkdir's benign run.
+    let (wb, _) = coreutil_bench(progs::Program::Mkdir);
+    let bundle = wb.analyze(24);
+    let parts = InputParts {
+        argv_sym: vec![b"/a".to_vec(), b"/b".to_vec()],
+        ..InputParts::default()
+    };
+    let pct = |m: Method| {
+        let plan = wb.plan(m, &bundle);
+        wb.overhead(m.name(), &plan, &parts).cpu_pct
+    };
+    let dynamic = pct(Method::Dynamic);
+    let combined = pct(Method::DynamicStatic);
+    let stat = pct(Method::Static);
+    let all = pct(Method::AllBranches);
+    assert!(
+        dynamic <= combined + 1.0,
+        "dynamic {dynamic} vs combined {combined}"
+    );
+    assert!(
+        combined <= stat + 1.0,
+        "combined {combined} vs static {stat}"
+    );
+    assert!(stat <= all + 1.0, "static {stat} vs all {all}");
+    assert!(all > 110.0, "all-branches is visibly more expensive: {all}");
+}
+
+#[test]
+fn static_and_all_leave_no_symbolic_branch_unlogged() {
+    // The Table 4 invariant: the static method instruments every branch
+    // that is dynamically symbolic on the true run (it over-approximates).
+    let (wb, parts) = coreutil_bench(progs::Program::Mkdir);
+    let bundle = wb.analyze(24);
+    for m in [Method::Static, Method::AllBranches] {
+        let plan = wb.plan(m, &bundle);
+        let stats = wb.log_stats(&plan, &parts);
+        assert_eq!(
+            stats.unlogged_locs,
+            0,
+            "{} must cover every symbolic location",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn combined_instruments_fewer_locations_than_static() {
+    let (wb, _) = coreutil_bench(progs::Program::Paste);
+    let bundle = wb.analyze(32);
+    let combined = wb.plan(Method::DynamicStatic, &bundle).n_instrumented();
+    let stat = wb.plan(Method::Static, &bundle).n_instrumented();
+    let all = wb.plan(Method::AllBranches, &bundle).n_instrumented();
+    assert!(
+        combined <= stat,
+        "combined ({combined}) must not exceed static ({stat})"
+    );
+    assert!(stat <= all);
+}
+
+#[test]
+fn userver_scenario_roundtrip() {
+    // One full uServer scenario: serve a request, SEGV injection, replay.
+    let scenario = &workloads::scenarios(42)[1];
+    let cp = progs::Program::Userver.build().expect("compiles");
+    let spec = InputSpec {
+        argv: vec![ArgSpec::Fixed(b"userver".to_vec())],
+        clients: scenario
+            .requests
+            .iter()
+            .map(|r| ClientSpec {
+                packet_lens: vec![r.len()],
+                close_after: true,
+            })
+            .collect(),
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    wb.static_exclude = vec![progs::Program::Userver.libc_unit().unwrap()];
+    wb.kernel.signal_plan = Some(SignalPlan {
+        sig: 11,
+        after_all_conns_served: true,
+        after_n_syscalls: None,
+    });
+    let bundle = wb.analyze(16);
+    let plan = wb.plan(Method::Static, &bundle);
+    let parts = InputParts {
+        conns: scenario.requests.clone(),
+        ..InputParts::default()
+    };
+    let run = wb.logged_run(&plan, &parts);
+    let report = run.report.expect("SEGV fires");
+    assert_eq!(report.crash.kind, CrashKind::Signal(11));
+    let res = wb.replay(&plan, &report, 300);
+    assert!(res.reproduced, "uServer scenario 2 replay: {res:?}");
+}
+
+#[test]
+fn diff_scenario_roundtrip() {
+    let sc = &workloads::diff_scenarios()[0];
+    let cp = progs::Program::Diff.build().expect("compiles");
+    let spec = InputSpec {
+        argv: vec![
+            ArgSpec::Fixed(b"diff".to_vec()),
+            ArgSpec::Fixed(b"/a".to_vec()),
+            ArgSpec::Fixed(b"/b".to_vec()),
+        ],
+        files: vec![
+            FileSpec {
+                path: "/a".into(),
+                len: sc.a.len(),
+            },
+            FileSpec {
+                path: "/b".into(),
+                len: sc.b.len(),
+            },
+        ],
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    wb.static_exclude = vec![progs::Program::Diff.libc_unit().unwrap()];
+    let parts = InputParts {
+        files: vec![sc.a.clone(), sc.b.clone()],
+        ..InputParts::default()
+    };
+    // Arm the end-of-run signal from a baseline syscall count.
+    let (_, meter, _) = wb.baseline_run(&parts);
+    wb.kernel.signal_plan = Some(SignalPlan {
+        sig: 11,
+        after_all_conns_served: false,
+        after_n_syscalls: Some(meter.syscalls),
+    });
+    let bundle = wb.analyze(8);
+    let plan = wb.plan(Method::Static, &bundle);
+    let run = wb.logged_run(&plan, &parts);
+    let report = run.report.expect("diff SEGV fires");
+    let res = wb.replay(&plan, &report, 300);
+    assert!(res.reproduced, "diff scenario 1 replay: {res:?}");
+}
+
+#[test]
+fn report_is_a_durable_serializable_artifact() {
+    let (wb, parts) = coreutil_bench(progs::Program::Mkfifo);
+    let bundle = wb.analyze(16);
+    let plan = wb.plan(Method::AllBranches, &bundle);
+    let report = wb.logged_run(&plan, &parts).report.expect("crashes");
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: BugReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+    // A report deserialized "on another machine" still replays.
+    let res = wb.replay(&plan, &back, 256);
+    assert!(res.reproduced);
+}
