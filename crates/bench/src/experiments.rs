@@ -57,7 +57,7 @@ pub fn analyze_coverages(wb: &Workbench) -> CoverageBundles {
     }
 }
 
-fn bundle_for<'a>(b: &'a CoverageBundles, c: Coverage) -> &'a AnalysisBundle {
+fn bundle_for(b: &CoverageBundles, c: Coverage) -> &AnalysisBundle {
     match c {
         Coverage::Lc => &b.lc,
         Coverage::Hc => &b.hc,

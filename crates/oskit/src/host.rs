@@ -153,12 +153,14 @@ mod tests {
             }
         "#;
         let cp = build(&[("main", src)]).unwrap();
-        let mut cfg = KernelConfig::default();
-        cfg.clients = vec![
-            ClientScript::oneshot(b"ping".to_vec()),
-            ClientScript::oneshot(b"pong".to_vec()),
-        ];
-        cfg.arrival_window = 1;
+        let cfg = KernelConfig {
+            clients: vec![
+                ClientScript::oneshot(b"ping".to_vec()),
+                ClientScript::oneshot(b"pong".to_vec()),
+            ],
+            arrival_window: 1,
+            ..KernelConfig::default()
+        };
         let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
         assert_eq!(vm.run(&[]), RunOutcome::Exited(2));
         assert_eq!(vm.host.kernel.conn_outbox(0), Some(&b"ping"[..]));
@@ -178,12 +180,14 @@ mod tests {
             }
         "#;
         let cp = build(&[("main", src)]).unwrap();
-        let mut cfg = KernelConfig::default();
-        cfg.signal_plan = Some(SignalPlan {
-            sig: 11,
-            after_all_conns_served: false,
-            after_n_syscalls: Some(5),
-        });
+        let cfg = KernelConfig {
+            signal_plan: Some(SignalPlan {
+                sig: 11,
+                after_all_conns_served: false,
+                after_n_syscalls: Some(5),
+            }),
+            ..KernelConfig::default()
+        };
         let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
         let out = vm.run(&[]);
         let crash = out.crash().expect("signal crash");
@@ -202,13 +206,15 @@ mod tests {
         "#;
         let cp = build(&[("main", src)]).unwrap();
         let crash_loc = |seed: u64| {
-            let mut cfg = KernelConfig::default();
-            cfg.seed = seed;
-            cfg.signal_plan = Some(SignalPlan {
-                sig: 11,
-                after_all_conns_served: false,
-                after_n_syscalls: Some(10),
-            });
+            let cfg = KernelConfig {
+                seed,
+                signal_plan: Some(SignalPlan {
+                    sig: 11,
+                    after_all_conns_served: false,
+                    after_n_syscalls: Some(10),
+                }),
+                ..KernelConfig::default()
+            };
             let mut vm = Vm::new(&cp, OsHost::new(Kernel::new(cfg)));
             vm.run(&[]).crash().expect("crash").loc
         };

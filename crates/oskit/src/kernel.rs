@@ -676,8 +676,10 @@ mod tests {
 
     #[test]
     fn socket_lifecycle_and_accept() {
-        let mut cfg = KernelConfig::default();
-        cfg.clients = vec![ClientScript::oneshot(b"ping".to_vec())];
+        let cfg = KernelConfig {
+            clients: vec![ClientScript::oneshot(b"ping".to_vec())],
+            ..KernelConfig::default()
+        };
         let mut k = Kernel::new(cfg);
         let (m, _) = mem_with_buf(4);
         let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;
@@ -698,13 +700,15 @@ mod tests {
 
     #[test]
     fn signal_fires_after_all_served() {
-        let mut cfg = KernelConfig::default();
-        cfg.clients = vec![ClientScript::oneshot(b"x".to_vec())];
-        cfg.signal_plan = Some(SignalPlan {
-            sig: 11,
-            after_all_conns_served: true,
-            after_n_syscalls: None,
-        });
+        let cfg = KernelConfig {
+            clients: vec![ClientScript::oneshot(b"x".to_vec())],
+            signal_plan: Some(SignalPlan {
+                sig: 11,
+                after_all_conns_served: true,
+                after_n_syscalls: None,
+            }),
+            ..KernelConfig::default()
+        };
         let mut k = Kernel::new(cfg);
         let (m, buf) = mem_with_buf(8);
         let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;
@@ -723,12 +727,14 @@ mod tests {
 
     #[test]
     fn signal_fires_after_n_syscalls() {
-        let mut cfg = KernelConfig::default();
-        cfg.signal_plan = Some(SignalPlan {
-            sig: 11,
-            after_all_conns_served: false,
-            after_n_syscalls: Some(3),
-        });
+        let cfg = KernelConfig {
+            signal_plan: Some(SignalPlan {
+                sig: 11,
+                after_all_conns_served: false,
+                after_n_syscalls: Some(3),
+            }),
+            ..KernelConfig::default()
+        };
         let mut k = Kernel::new(cfg);
         let (m, _) = mem_with_buf(4);
         k.dispatch(Sys::Getuid, &[], &m).unwrap();
@@ -771,12 +777,14 @@ mod tests {
 
     #[test]
     fn stats_track_requests() {
-        let mut cfg = KernelConfig::default();
-        cfg.clients = vec![
-            ClientScript::oneshot(b"a".to_vec()),
-            ClientScript::oneshot(b"b".to_vec()),
-        ];
-        cfg.arrival_window = 1;
+        let cfg = KernelConfig {
+            clients: vec![
+                ClientScript::oneshot(b"a".to_vec()),
+                ClientScript::oneshot(b"b".to_vec()),
+            ],
+            arrival_window: 1,
+            ..KernelConfig::default()
+        };
         let mut k = Kernel::new(cfg);
         let (m, buf) = mem_with_buf(8);
         let sock = k.dispatch(Sys::Socket, &[], &m).unwrap().ret;

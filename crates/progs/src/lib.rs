@@ -333,13 +333,14 @@ mod tests {
     // ---- userver ----------------------------------------------------------
 
     fn http_cfg(reqs: &[&[u8]]) -> KernelConfig {
-        let mut cfg = KernelConfig::default();
-        cfg.clients = reqs
-            .iter()
-            .map(|r| ClientScript::oneshot(r.to_vec()))
-            .collect();
-        cfg.arrival_window = 2;
-        cfg
+        KernelConfig {
+            clients: reqs
+                .iter()
+                .map(|r| ClientScript::oneshot(r.to_vec()))
+                .collect(),
+            arrival_window: 2,
+            ..KernelConfig::default()
+        }
     }
 
     #[test]
@@ -384,11 +385,13 @@ mod tests {
 
     #[test]
     fn userver_handles_split_packets() {
-        let mut cfg = KernelConfig::default();
-        cfg.clients = vec![ClientScript {
-            packets: vec![b"GET /ab".to_vec(), b"out HTTP/1.0\r\n\r\n".to_vec()],
-            close_after: true,
-        }];
+        let cfg = KernelConfig {
+            clients: vec![ClientScript {
+                packets: vec![b"GET /ab".to_vec(), b"out HTTP/1.0\r\n\r\n".to_vec()],
+                close_after: true,
+            }],
+            ..KernelConfig::default()
+        };
         let (out, host, _) = run(Program::Userver, &[b"userver"], cfg);
         assert_eq!(out, RunOutcome::Exited(0));
         let resp = String::from_utf8_lossy(host.kernel.conn_outbox(0).unwrap()).to_string();

@@ -23,6 +23,10 @@ use oskit::{errno, SimFs, StreamSource};
 use solver::VarId;
 use std::collections::HashMap;
 
+/// Result of a nondeterminism-returning call: the concrete value plus,
+/// in modeled mode, the `(model_index, lo, hi)` of its model variable.
+pub type ModeledResult = Result<(i64, Option<(usize, i64, i64)>), SyscallDivergence>;
+
 /// Concrete candidate input streams realized from a solver assignment.
 #[derive(Debug, Clone, Default)]
 pub struct Streams {
@@ -50,15 +54,15 @@ pub fn realize_streams(spec: &InputSpec, vars: &InputVars, assignment: &[i64]) -
             }
         }
     }
-    let stdin = vars.stdin.iter().map(|v| byte(v)).collect();
+    let stdin = vars.stdin.iter().map(&byte).collect();
     let mut files = HashMap::new();
     for (path, fvars) in &vars.files {
-        files.insert(path.clone(), fvars.iter().map(|v| byte(v)).collect());
+        files.insert(path.clone(), fvars.iter().map(&byte).collect());
     }
     let conns = vars
         .clients
         .iter()
-        .map(|c| c.iter().map(|v| byte(v)).collect())
+        .map(|c| c.iter().map(&byte).collect())
         .collect();
     Streams {
         argv,
@@ -447,7 +451,7 @@ impl ReplayEnv {
     }
 
     /// `time` — logged value or model variable.
-    pub fn time(&mut self) -> Result<(i64, Option<(usize, i64, i64)>), SyscallDivergence> {
+    pub fn time(&mut self) -> ModeledResult {
         match self.next_log(Sys::Time)? {
             Some(rec) => Ok((rec.ret, None)),
             None => {
@@ -464,7 +468,7 @@ impl ReplayEnv {
     }
 
     /// `rand` — logged value or model variable.
-    pub fn rand(&mut self) -> Result<(i64, Option<(usize, i64, i64)>), SyscallDivergence> {
+    pub fn rand(&mut self) -> ModeledResult {
         match self.next_log(Sys::Rand)? {
             Some(rec) => Ok((rec.ret, None)),
             None => {

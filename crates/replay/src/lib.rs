@@ -367,13 +367,15 @@ mod e2e {
         let mut arena = ExprArena::new();
         let vars = InputVars::alloc(&mut arena, &spec);
         let assignment = assignment_from_input(&spec, &parts);
-        let mut base = KernelConfig::default();
-        base.arrival_window = 1;
-        base.signal_plan = Some(oskit::SignalPlan {
-            sig: 11,
-            after_all_conns_served: true,
-            after_n_syscalls: None,
-        });
+        let base = KernelConfig {
+            arrival_window: 1,
+            signal_plan: Some(oskit::SignalPlan {
+                sig: 11,
+                after_all_conns_served: true,
+                after_n_syscalls: None,
+            }),
+            ..KernelConfig::default()
+        };
         let (argv, kcfg) = realize(&spec, &vars, &assignment, &base);
         let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
         let mut vm = Vm::new(&cp, host);
@@ -381,7 +383,7 @@ mod e2e {
         let crash = out.crash().expect("signal crash").clone();
         assert_eq!(crash.kind, minic::CrashKind::Signal(11));
         let report = BugReport::capture(vm.host, crash);
-        assert!(report.trace.len() > 0);
+        assert!(!report.trace.is_empty());
         assert!(!report.syscalls.is_empty());
 
         let mut rcfg = ReplayConfig::new(spec);

@@ -150,10 +150,10 @@ impl ExprArena {
             (Op::Or, _, Node::Const(0)) | (Op::Xor, _, Node::Const(0)) => return a,
             (Op::Or, Node::Const(0), _) | (Op::Xor, Node::Const(0), _) => return b,
             // Masking an already-masked byte: (x & 255) & 255.
-            (Op::And, Node::Bin(Op::And, _, m), Node::Const(255)) => {
-                if self.node(m) == Node::Const(255) {
-                    return a;
-                }
+            (Op::And, Node::Bin(Op::And, _, m), Node::Const(255))
+                if self.node(m) == Node::Const(255) =>
+            {
+                return a;
             }
             // A byte variable masked to a byte is itself.
             (Op::And, Node::Var(v), Node::Const(255)) => {

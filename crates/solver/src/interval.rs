@@ -238,7 +238,10 @@ mod tests {
         let (_, y) = a.fresh_var(VarInfo::range(0, 1000));
         let masked = a.mask_char(y);
         let ry = range(&a, masked);
-        assert!(ry.lo >= 0 && ry.hi <= 255, "non-negative mask is tight: {ry:?}");
+        assert!(
+            ry.lo >= 0 && ry.hi <= 255,
+            "non-negative mask is tight: {ry:?}"
+        );
     }
 
     #[test]

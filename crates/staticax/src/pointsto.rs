@@ -1,7 +1,7 @@
 //! Andersen-style inclusion-based points-to analysis.
 //!
 //! Flow- and context-insensitive subset constraints over
-//! [`AbsLoc`](crate::absloc::AbsLoc) values, solved with the classic worklist
+//! [`AbsLoc`] values, solved with the classic worklist
 //! algorithm. The taint analysis (Algorithm 1 of the paper) consumes its
 //! results to resolve indirect loads and stores.
 

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal timing harness exposing the criterion API subset used by
+//! `crates/bench/benches/`: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It reports mean wall-clock per iteration
+//! on stdout; it does not attempt criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            &id.to_string(),
+            10,
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (cosmetic in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the closure; [`Bencher::iter`] times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let n = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / n as u32);
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: run once (bounded by the warm-up budget in spirit only).
+    let _ = warm_up_time;
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+
+    // Measure: repeat samples until the budget or the sample count is hit.
+    let started = Instant::now();
+    let mut bench = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    for _ in 0..sample_size.max(1) {
+        f(&mut bench);
+        if started.elapsed() > measurement_time {
+            break;
+        }
+    }
+    let n = bench.samples.len().max(1);
+    let total: Duration = bench.samples.iter().sum();
+    println!("  {id}: {:?}/iter over {n} samples", total / n as u32);
+}
+
+/// Declares a runner function over a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` over one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the shapes this
+//! workspace actually uses — non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like — by hand-parsing
+//! the item's token stream (no `syn`/`quote` available offline) and
+//! emitting impls of the Value-tree traits in the `serde` shim.
+//!
+//! Encoding (matching serde_json's defaults for these shapes):
+//! named struct -> object; newtype struct -> payload; tuple struct ->
+//! array; unit variant -> string; payload variant -> externally tagged
+//! `{"Variant": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named fields or a tuple arity.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`) from `toks[i..]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(...)`) from `toks[i..]`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split.
+fn split_commas(toks: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses a brace-delimited named-field list into field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    for chunk in split_commas(toks) {
+        let mut i = 0;
+        skip_attrs(&chunk, &mut i);
+        skip_vis(&chunk, &mut i);
+        if let Some(TokenTree::Ident(id)) = chunk.get(i) {
+            names.push(id.to_string());
+        }
+    }
+    names
+}
+
+/// Counts the fields of a paren-delimited tuple field list.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(toks).len()
+}
+
+/// Parses the variants of a brace-delimited enum body.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_commas(toks) {
+        let mut i = 0;
+        skip_attrs(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(tuple_arity(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parses a derive input item (struct or enum).
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                _ => panic!("serde_derive shim: malformed enum {name}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive for {other} items"),
+    }
+}
+
+/// `#[derive(Serialize)]`: emits an impl of `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`: emits an impl of `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::obj_get(obj, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::DeError::expected(\
+                                 \"{n}-element array\", \"{name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         {expr}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return Err(::serde::DeError::expected(\
+                                             \"{n}-element array\", \"{name}\"));\n\
+                                     }}\n\
+                                     return Ok({name}::{vname}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::obj_get(obj, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let obj = payload.as_object().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                                     return Ok({name}::{vname} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     #[allow(unused_variables)]\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{\n\
+                                 {}\n\
+                                 _ => return Err(::serde::DeError::msg(\
+                                     format!(\"unknown variant `{{s}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         if let Some(entries) = v.as_object() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     _ => return Err(::serde::DeError::msg(\
+                                         format!(\"unknown variant `{{tag}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::expected(\"enum value\", \"{name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
