@@ -7,7 +7,9 @@
 //! correlates with the number of *unlogged* symbolic branch locations.
 
 use instrument::Method;
-use retrace_bench::experiments::{analyze_coverages, replay_one, userver_analysis_bench};
+use retrace_bench::experiments::{
+    analysis_summary, analyze_coverages, replay_one, userver_analysis_bench,
+};
 use retrace_bench::render;
 use retrace_bench::setup::{userver_experiments, Coverage};
 
@@ -18,6 +20,8 @@ fn main() {
         .unwrap_or(300);
     let abench = userver_analysis_bench(42);
     let bundles = analyze_coverages(&abench.wb);
+    println!("{}", analysis_summary("LC", &bundles.lc));
+    println!("{}", analysis_summary("HC", &bundles.hc));
 
     let configs: Vec<(String, Method, Coverage)> = vec![
         ("dynamic (lc)".into(), Method::Dynamic, Coverage::Lc),
@@ -57,6 +61,7 @@ fn main() {
                 name.clone(),
                 row.cell(),
                 row.runs.to_string(),
+                format!("{} / {}", row.syscall_divergences, row.frontier_restarts),
             ]);
             t4.push(vec![
                 format!("exp {exp_id}"),
@@ -71,7 +76,13 @@ fn main() {
         "{}",
         render::table(
             &format!("Table 3: uServer bug reproduction (budget {budget} runs; ∞ = timeout)"),
-            &["experiment", "config", "replay work / wall", "runs"],
+            &[
+                "experiment",
+                "config",
+                "replay work / wall",
+                "runs",
+                "sysdiv / restarts",
+            ],
             &t3,
         )
     );

@@ -130,6 +130,8 @@ pub fn replay_one(
             total_instrs: result.total_instrs,
             wall_ms: result.wall_ms,
             solver_calls: result.solver_calls,
+            syscall_divergences: result.syscall_divergences,
+            frontier_restarts: result.frontier.restarts,
         },
         stats,
         transfer,
@@ -156,12 +158,14 @@ pub fn log_compression_ratio(exp: &Experiment, plan: &Plan) -> f64 {
 /// A compact analysis summary line (coverage, labels, arena size).
 pub fn analysis_summary(name: &str, bundle: &AnalysisBundle) -> String {
     format!(
-        "{name}: coverage {:.0}%, {} runs, {} solver calls ({} sat), {} crashes found",
+        "{name}: coverage {:.0}%, {} runs, {} solver calls ({} sat), {} crashes found\n\
+         {name} frontier: {}",
         bundle.coverage_pct(),
         bundle.dyn_result.runs,
         bundle.dyn_result.solver_calls,
         bundle.dyn_result.solver_sat,
         bundle.dyn_result.crashes.len(),
+        bundle.dyn_result.frontier.summary(),
     )
 }
 
@@ -172,6 +176,10 @@ pub fn userver_analysis_bench(seed: u64) -> Experiment {
     // Two connections of 48 symbolic bytes each: enough to drive the
     // parser down method/path/header paths within laptop budgets.
     let mut exp = userver_load(2, seed);
+    // The explorer policy (breadth-mixed pops, per-branch quotas, drain
+    // restarts) is what carries coverage past the ~41% single-run DFS
+    // plateau.
+    exp.wb.policy = search::SearchPolicy::explorer();
     exp.wb.spec.clients = vec![
         concolic::ClientSpec {
             packet_lens: vec![48],

@@ -141,6 +141,11 @@ pub fn userver_scenario(s: &HttpScenario) -> Experiment {
         after_all_conns_served: true,
         after_n_syscalls: None,
     });
+    // Replay keeps the paper's depth-first default: the log-guided
+    // priority sets do the steering, and breadth-mixed pops would
+    // de-guide the search by negating early prefix branches. (The
+    // explorer policy lives on the ANALYSIS workbench, where coverage is
+    // the goal — see `userver_analysis_bench`.)
     Experiment {
         name: format!("uServer exp {}", s.id),
         wb,

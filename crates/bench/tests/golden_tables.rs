@@ -1,0 +1,133 @@
+//! Golden-file checks for the `retrace-bench` table output (ROADMAP
+//! item 5: "nothing asserts their numbers against the paper's").
+//!
+//! Each test renders a table from a fully deterministic experiment
+//! (seeded analysis, seeded replay, no wall-clock columns) and compares
+//! it byte-for-byte against a committed golden file. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p retrace-bench --test golden_tables
+//! ```
+
+use instrument::Method;
+use retrace_bench::experiments::analyze_coverages;
+use retrace_bench::render;
+use retrace_bench::setup::fib;
+use std::path::PathBuf;
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            name
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "\n== table drifted from golden {name} ==\n--- actual ---\n{actual}\n--- expected ---\n{expected}\n\
+         (intentional? regenerate with UPDATE_GOLDEN=1)"
+    );
+}
+
+/// Pure rendering shape: alignment, rule, header — no experiment values.
+#[test]
+fn render_shape_matches_golden() {
+    let t = render::table(
+        "shape",
+        &["col", "value", "wide column"],
+        &[
+            vec!["a".into(), "1".into(), "x".into()],
+            vec!["longer".into(), "22".into(), "y".into()],
+        ],
+    );
+    check_golden("render_shape.txt", &t);
+}
+
+/// Table 2 analogue on the fib microbenchmark: instrumented-location
+/// counts per configuration. Fully deterministic (seeded analysis).
+#[test]
+fn fib_location_table_matches_golden() {
+    let exp = fib();
+    let bundles = analyze_coverages(&exp.wb);
+    let rows: Vec<Vec<String>> = [
+        ("dynamic", Method::Dynamic),
+        ("dynamic+static", Method::DynamicStatic),
+        ("static", Method::Static),
+        ("all branches", Method::AllBranches),
+    ]
+    .into_iter()
+    .map(|(name, method)| {
+        let plan = exp.wb.plan(method, &bundles.hc);
+        vec![
+            name.to_string(),
+            plan.n_instrumented().to_string(),
+            exp.wb.cp.n_branches().to_string(),
+        ]
+    })
+    .collect();
+    let t = render::table(
+        "fib: instrumented branch locations",
+        &["config", "instrumented", "total"],
+        &rows,
+    );
+    check_golden("fib_locations.txt", &t);
+}
+
+/// Table 3 analogue on a guarded crash: replay effort per configuration,
+/// using only deterministic columns (runs, solver calls, VM instructions
+/// — no wall-clock).
+#[test]
+fn guarded_crash_replay_table_matches_golden() {
+    let src = r#"
+        int main(int argc, char **argv) {
+            char *s = argv[1];
+            if (s[0] == 'c') {
+                if (s[1] == 'r') {
+                    int *p = 0;
+                    return *p;
+                }
+            }
+            return 0;
+        }
+    "#;
+    let cp = minic::build(&[("main", src)]).expect("compiles");
+    let wb = retrace_core::Workbench::new(cp, concolic::InputSpec::argv_symbolic("prog", 1, 2));
+    let bundle = wb.analyze(16);
+    let parts = replay::InputParts {
+        argv_sym: vec![b"cr".to_vec()],
+        ..replay::InputParts::default()
+    };
+    let mut rows = Vec::new();
+    for (name, method) in [
+        ("dynamic", Method::Dynamic),
+        ("dynamic+static", Method::DynamicStatic),
+        ("static", Method::Static),
+        ("all branches", Method::AllBranches),
+    ] {
+        let plan = wb.plan(method, &bundle);
+        let run = wb.logged_run(&plan, &parts);
+        let report = run.report.expect("'cr' input crashes");
+        let res = wb.replay(&plan, &report, 64);
+        rows.push(vec![
+            name.to_string(),
+            if res.reproduced { "yes" } else { "∞" }.to_string(),
+            res.runs.to_string(),
+            res.solver_calls.to_string(),
+            res.total_instrs.to_string(),
+        ]);
+    }
+    let t = render::table(
+        "guarded crash: bug reproduction (deterministic columns)",
+        &["config", "reproduced", "runs", "solver calls", "instrs"],
+        &rows,
+    );
+    check_golden("guarded_replay.txt", &t);
+}

@@ -3,8 +3,11 @@
 //! Implements §2.1: start from a random concrete input, execute while
 //! collecting the path condition, negate one branch condition, solve for
 //! a new input, repeat — labeling every executed branch location
-//! `Symbolic` or `Concrete` along the way. Exploration is depth-first
-//! over the pending constraint sets, with path-signature deduplication.
+//! `Symbolic` or `Concrete` along the way. Exploration order is delegated
+//! to the shared frontier scheduler ([`search::Frontier`]): depth-first by
+//! default (the paper's §3.2 stack), with breadth-mixed generational
+//! search, per-branch negation quotas and drain restarts available
+//! through [`Budget::policy`].
 //!
 //! The analysis budget ([`Budget::max_runs`]) is the reproduction's
 //! deterministic stand-in for the paper's wall-clock budgets (the 1-hour
@@ -20,10 +23,9 @@ use minic::CompiledProgram;
 use oskit::{Kernel, KernelConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use search::{Frontier, FrontierStats, SearchPolicy};
 use solver::{ConstraintSet, ExprArena, Lit, SolveCfg, VarId};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::collections::HashMap;
 
 /// Exploration budget. `max_runs` is the primary (deterministic) knob —
 /// the LC/HC axis of the paper; the others are safety caps.
@@ -41,6 +43,9 @@ pub struct Budget {
     /// Pending sets longer than this many literals are skipped (too deep
     /// to solve within interactive budgets).
     pub max_pending_lits: usize,
+    /// Frontier scheduling policy (strategy, per-branch quotas, drain
+    /// restarts). The default is the paper's deterministic DFS.
+    pub policy: SearchPolicy,
 }
 
 impl Default for Budget {
@@ -51,6 +56,7 @@ impl Default for Budget {
             max_wall_ms: 0,
             max_pendings_per_run: 64,
             max_pending_lits: 4000,
+            policy: SearchPolicy::default(),
         }
     }
 }
@@ -132,12 +138,32 @@ pub struct AnalysisResult {
     pub arena_nodes: usize,
     /// Total instructions executed across runs.
     pub total_instrs: u64,
+    /// True when exploration stopped because the frontier drained with
+    /// run budget left (and the policy did not restart).
+    pub exhausted: bool,
+    /// True when the wall-clock cap expired (including mid-solve).
+    pub timed_out: bool,
+    /// Frontier scheduling counters.
+    pub frontier: FrontierStats,
 }
 
 /// The concolic engine for one program + input shape.
 pub struct Engine<'p> {
     cp: &'p CompiledProgram,
     cfg: SessionConfig,
+}
+
+/// A seeded random printable-byte assignment of length `n` — the initial
+/// candidate shape both engines use.
+pub fn seeded_assignment(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0x20..0x7f) as i64).collect()
+}
+
+/// The derived seed for the `r`-th drain restart of a session seeded
+/// with `seed`.
+pub fn restart_seed(seed: u64, r: u64) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r + 1)
 }
 
 /// Marks every symbolic argv byte of a prepared VM with its variable.
@@ -162,10 +188,15 @@ impl<'p> Engine<'p> {
 
     /// The initial (seeded random, printable) controllable assignment.
     pub fn initial_assignment(&self) -> Vec<i64> {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        (0..self.cfg.spec.n_symbolic_bytes())
-            .map(|_| rng.gen_range(0x20..0x7f) as i64)
-            .collect()
+        seeded_assignment(self.cfg.spec.n_symbolic_bytes(), self.cfg.seed)
+    }
+
+    /// A fresh seeded assignment for the `r`-th drain restart.
+    fn restart_assignment(&self, r: u64) -> Vec<i64> {
+        seeded_assignment(
+            self.cfg.spec.n_symbolic_bytes(),
+            restart_seed(self.cfg.seed, r),
+        )
     }
 
     /// Executes one concolic run under `assignment`, threading the arena
@@ -223,11 +254,20 @@ impl<'p> Engine<'p> {
         let mut total_instrs = 0u64;
 
         let mut assignment = self.initial_assignment();
-        let mut stack: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut frontier = Frontier::new(
+            self.cfg.budget.policy.clone(),
+            self.cfg.budget.max_pendings_per_run,
+            self.cfg.budget.max_pending_lits,
+        );
         let mut runs = 0usize;
+        let mut exhausted = false;
+        let mut timed_out = false;
+        let wall_expired = |start: &std::time::Instant| {
+            self.cfg.budget.max_wall_ms > 0
+                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+        };
 
-        loop {
+        'explore: loop {
             let (record, arena_back) = self.run_once(arena, &vars, &assignment);
             arena = arena_back;
             labels.merge(&record.labels);
@@ -244,15 +284,14 @@ impl<'p> Engine<'p> {
             if runs >= self.cfg.budget.max_runs {
                 break;
             }
-            if self.cfg.budget.max_wall_ms > 0
-                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
-            {
+            if wall_expired(&start) {
+                timed_out = true;
                 break;
             }
 
             // Schedule pending sets: substitute this run's nondeterminism,
-            // then negate branch literals (deepest first, capped to bound
-            // the quadratic prefix copying on long paths).
+            // then negate branch literals in the strategy's offer order
+            // (caps, quotas and dedup live in the frontier).
             let pin: HashMap<VarId, i64> = record.nondet.iter().copied().collect();
             let exprs: Vec<_> = record.path.iter().map(|s| s.lit.expr).collect();
             let substituted_exprs = arena.substitute_many(&exprs, &pin);
@@ -266,18 +305,21 @@ impl<'p> Engine<'p> {
                 })
                 .collect();
             let seed_controllables: Vec<i64> = assignment[..vars.n_controllable as usize].to_vec();
-            let mut scheduled_this_run = 0usize;
-            let mut new_pendings: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
-            for i in (0..substituted.len()).rev() {
-                if scheduled_this_run >= self.cfg.budget.max_pendings_per_run {
+            frontier.begin_run();
+            let order = self
+                .cfg
+                .budget
+                .policy
+                .strategy
+                .offer_order(substituted.len());
+            for i in order {
+                if frontier.run_full() {
                     break;
                 }
-                // Prefixes beyond the lit cap are skipped (but shallower
-                // candidates lower down are still considered).
-                if i + 1 > self.cfg.budget.max_pending_lits {
+                let StepOrigin::Branch(bid) = record.path[i].origin else {
                     continue;
-                }
-                if !matches!(record.path[i].origin, StepOrigin::Branch(_)) {
+                };
+                if !frontier.depth_ok(i + 1) {
                     continue;
                 }
                 // Skip conditions that no controllable input influences.
@@ -289,41 +331,48 @@ impl<'p> Engine<'p> {
                     cs.push(*lit);
                 }
                 cs.push(substituted[i].negated());
-                let mut h = DefaultHasher::new();
-                for l in &cs.lits {
-                    (l.expr.0, l.positive).hash(&mut h);
-                }
-                if seen.insert(h.finish()) {
-                    new_pendings.push((cs, seed_controllables.clone()));
-                    scheduled_this_run += 1;
-                }
+                frontier.offer(cs, seed_controllables.clone(), Some(bid.0));
             }
-            // Deepest-first DFS: push shallow ones first so the deepest
-            // ends up on top of the stack.
-            stack.extend(new_pendings.into_iter().rev());
+            frontier.end_run();
 
-            // Depth-first: solve pending sets until one is satisfiable.
+            // Solve pending sets in the frontier's order until one is
+            // satisfiable.
             let mut next: Option<Vec<i64>> = None;
-            while let Some((cs, seed)) = stack.pop() {
+            while let Some(pending) = frontier.pop() {
                 solver_calls += 1;
                 let cfg = SolveCfg {
                     seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
                     ..self.cfg.solve.clone()
                 };
-                if let Some(model) = solver::solve(&arena, &cs, Some(&seed), &cfg) {
+                if let Some(model) = solver::solve(&arena, &pending.cs, Some(&pending.seed), &cfg) {
                     solver_sat += 1;
+                    frontier.note_solved(true);
                     next = Some(model[..vars.n_controllable as usize].to_vec());
                     break;
                 }
-                if self.cfg.budget.max_wall_ms > 0
-                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
-                {
+                frontier.note_solved(false);
+                if wall_expired(&start) {
+                    timed_out = true;
                     break;
                 }
             }
             match next {
                 Some(model) => assignment = model,
-                None => break, // exploration exhausted
+                None => {
+                    if timed_out {
+                        break;
+                    }
+                    // Frontier drained before the run budget: restart from
+                    // a fresh seed if the policy allows, else we are done.
+                    if self.cfg.budget.policy.restart_on_drain && frontier.ever_scheduled() {
+                        let r = frontier.stats().restarts;
+                        frontier.note_restart();
+                        assignment = self.restart_assignment(r);
+                        continue 'explore;
+                    }
+                    exhausted = true;
+                    break;
+                }
             }
         }
 
@@ -336,6 +385,9 @@ impl<'p> Engine<'p> {
             crashes,
             arena_nodes: arena.len(),
             total_instrs,
+            exhausted,
+            timed_out,
+            frontier: frontier.into_stats(),
         }
     }
 }
@@ -484,6 +536,102 @@ mod tests {
             (r.runs, r.solver_calls, r.profile.total_execs())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn concrete_exhaustion_is_not_a_timeout() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argc > 99) { return 1; }
+                return 0;
+            }
+        "#;
+        let r = analyze(src, InputSpec::argv_symbolic("p", 1, 1), 16);
+        assert!(r.exhausted, "no symbolic branches: frontier drains");
+        assert!(!r.timed_out);
+        assert_eq!(r.frontier.scheduled, 0);
+    }
+
+    #[test]
+    fn restart_on_drain_keeps_exploring() {
+        // One symbolic guard: plain DFS explores both sides in 2-3 runs
+        // and drains; restart-on-drain keeps burning the budget on fresh
+        // seeds instead of declaring exhaustion.
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'a') { return 1; }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 1));
+        cfg.budget.max_runs = 8;
+        cfg.budget.policy = search::SearchPolicy {
+            restart_on_drain: true,
+            ..search::SearchPolicy::default()
+        };
+        let r = Engine::new(&cp, cfg).analyze();
+        assert_eq!(r.runs, 8, "restarts consume the whole budget");
+        assert!(!r.exhausted);
+        assert!(r.frontier.restarts >= 1);
+    }
+
+    #[test]
+    fn generational_strategy_is_deterministic_and_covers() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                if (s[0] == 'x') {
+                    if (s[1] == 'y') {
+                        if (s[2] == 'z') { return 3; }
+                    }
+                }
+                return 0;
+            }
+        "#;
+        let run = || {
+            let cp = build(&[("main", src)]).unwrap();
+            let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 3));
+            cfg.budget.max_runs = 32;
+            cfg.budget.policy = search::SearchPolicy::explorer();
+            let r = Engine::new(&cp, cfg).analyze();
+            assert_eq!(
+                r.labels.count(BranchLabel::Unvisited),
+                0,
+                "breadth-mixed search still reaches every branch"
+            );
+            (r.runs, r.solver_calls, r.solver_sat, r.frontier.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_timeout_is_reported_as_timeout() {
+        // A heavy concrete loop makes a single run take well over the
+        // 1 ms wall cap, so the expiry check after run 1 must fire —
+        // reported as a timeout, never as exhaustion, with most of the
+        // run budget unspent.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                int acc = 0;
+                for (int i = 0; i < 200000; i++) { acc = acc + i; }
+                if (s[0] > 'a') { acc++; }
+                return acc & 1;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 1));
+        cfg.budget.max_runs = 100_000;
+        cfg.budget.max_wall_ms = 1;
+        let r = Engine::new(&cp, cfg).analyze();
+        assert!(
+            r.timed_out,
+            "the 1 ms wall cap must expire: {} runs",
+            r.runs
+        );
+        assert!(!r.exhausted, "timeout is not exhaustion");
+        assert!(r.runs < 100_000, "the run budget was not the stopper");
     }
 
     #[test]

@@ -24,3 +24,4 @@ pub mod pipeline;
 
 pub use metrics::{LocationRow, Overhead, ReplayRow};
 pub use pipeline::{to_dyn_labels, AnalysisBundle, LoggedRun, Workbench};
+pub use search::{FrontierStats, SearchPolicy, Strategy};

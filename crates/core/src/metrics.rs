@@ -55,6 +55,10 @@ pub struct ReplayRow {
     pub wall_ms: u64,
     /// Solver invocations.
     pub solver_calls: usize,
+    /// Syscall-order divergences survived during the search.
+    pub syscall_divergences: u64,
+    /// Frontier drain restarts (starvation events) during the search.
+    pub frontier_restarts: u64,
 }
 
 impl ReplayRow {
@@ -113,6 +117,8 @@ mod tests {
             total_instrs: 1,
             wall_ms: 1,
             solver_calls: 5,
+            syscall_divergences: 0,
+            frontier_restarts: 0,
         };
         assert_eq!(r.cell(), "∞");
     }

@@ -25,6 +25,7 @@ use oskit::{Kernel, KernelConfig, OsHost};
 use replay::{
     assignment_from_input, InputParts, LogStats, ReplayConfig, ReplayEngine, ReplayResult,
 };
+use search::SearchPolicy;
 use solver::ExprArena;
 use staticax::StaticConfig;
 
@@ -93,6 +94,10 @@ pub struct Workbench {
     pub static_exclude: Vec<UnitId>,
     /// Session seed.
     pub seed: u64,
+    /// Frontier scheduling policy, applied to both the concolic analysis
+    /// and the replay search. Defaults to the paper's deterministic DFS;
+    /// [`SearchPolicy::explorer`] breaks coverage plateaus on servers.
+    pub policy: SearchPolicy,
 }
 
 impl Workbench {
@@ -104,6 +109,7 @@ impl Workbench {
             kernel: KernelConfig::default(),
             static_exclude: Vec::new(),
             seed: 17,
+            policy: SearchPolicy::default(),
         }
     }
 
@@ -113,6 +119,7 @@ impl Workbench {
         let mut scfg = SessionConfig::new(self.spec.clone());
         scfg.kernel = self.kernel_for_analysis();
         scfg.budget.max_runs = max_runs;
+        scfg.budget.policy = self.policy.clone();
         scfg.seed = self.seed;
         let dyn_result = Engine::new(&self.cp, scfg).analyze();
         let dyn_labels = to_dyn_labels(&self.cp, &dyn_result.labels);
@@ -218,6 +225,7 @@ impl Workbench {
         let mut rcfg = ReplayConfig::new(self.spec.clone());
         rcfg.base_fs = self.kernel.fs.clone();
         rcfg.budget.max_runs = max_runs;
+        rcfg.budget.policy = self.policy.clone();
         rcfg.seed = self.seed ^ 0x5eed_cafe;
         ReplayEngine::new(&self.cp, plan.clone(), report.clone(), rcfg).reproduce()
     }

@@ -7,24 +7,24 @@
 //! run reaches the recorded crash site (same source location, whole log
 //! consumed) or crashes with the recorded crash itself.
 //!
-//! "We currently use a simple depth-first approach" (§3.2) — pending sets
-//! live on a stack, with 2(b) forced-direction sets pushed last (tried
-//! first), which is what makes the log *guide* the search.
+//! "We currently use a simple depth-first approach" (§3.2) — scheduling
+//! is delegated to the shared frontier ([`search::Frontier`]): pending
+//! sets live on a stack by default, with 2(b) forced-direction sets (and
+//! the syscall-divergence recovery sets) on a priority lane popped first,
+//! which is what makes the log *guide* the search. Breadth-mixed
+//! generational order, per-branch quotas and drain restarts are available
+//! through [`ReplayBudget::policy`].
 
 use crate::env::{realize_streams, ReplayEnv, SyscallMode};
 use crate::host::{ReplayHost, BRANCH_DIVERGENCE, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE};
-use concolic::{InputSpec, InputVars, StepOrigin};
+use concolic::{restart_seed, seeded_assignment, InputSpec, InputVars, StepOrigin};
 use instrument::{BugReport, Plan};
 use minic::memory::pack;
 use minic::vm::{RunOutcome, Vm};
 use minic::CompiledProgram;
 use oskit::SimFs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use search::{Frontier, FrontierStats, SearchPolicy};
 use solver::{ConstraintSet, ExprArena, Lit, SolveCfg};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 
 /// Budget for one reproduction attempt. `max_runs` is the deterministic
 /// stand-in for the paper's 1-hour replay timeout.
@@ -40,6 +40,9 @@ pub struct ReplayBudget {
     pub max_pendings_per_run: usize,
     /// Pending sets longer than this many literals are skipped.
     pub max_pending_lits: usize,
+    /// Frontier scheduling policy (strategy, per-branch quotas, drain
+    /// restarts). The default is the paper's deterministic DFS.
+    pub policy: SearchPolicy,
 }
 
 impl Default for ReplayBudget {
@@ -50,6 +53,7 @@ impl Default for ReplayBudget {
             max_wall_ms: 0,
             max_pendings_per_run: 64,
             max_pending_lits: 4000,
+            policy: SearchPolicy::default(),
         }
     }
 }
@@ -102,8 +106,15 @@ pub struct ReplayResult {
     pub witness_argv: Option<Vec<Vec<u8>>>,
     /// The full reproducing assignment (inputs + model values).
     pub witness_assignment: Option<Vec<i64>>,
-    /// True if the budget ran out (the paper's ∞ entries).
+    /// True if the run or wall budget ran out (the paper's ∞ entries).
     pub timed_out: bool,
+    /// True if the frontier drained with budget left (and the policy did
+    /// not restart) — a genuinely exhausted search, not a timeout.
+    pub exhausted: bool,
+    /// Syscall-order divergence aborts survived during the search.
+    pub syscall_divergences: u64,
+    /// Frontier scheduling counters.
+    pub frontier: FrontierStats,
     /// Aggregate per-run stats of the last (or successful) run.
     pub last_run_stats: crate::host::ReplayRunStats,
 }
@@ -129,8 +140,12 @@ impl<'p> ReplayEngine<'p> {
     }
 
     fn initial_assignment(&self, n: usize) -> Vec<i64> {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        (0..n).map(|_| rng.gen_range(0x20..0x7f) as i64).collect()
+        seeded_assignment(n, self.cfg.seed)
+    }
+
+    /// A fresh seeded candidate for the `r`-th drain restart.
+    fn restart_assignment(&self, n: usize, r: u64) -> Vec<i64> {
+        seeded_assignment(n, restart_seed(self.cfg.seed, r))
     }
 
     /// Runs the guided search to completion or budget exhaustion.
@@ -141,14 +156,23 @@ impl<'p> ReplayEngine<'p> {
         let n_controllable = vars.n_controllable as usize;
         let mut assignment = self.initial_assignment(n_controllable);
 
-        let mut stack: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut frontier = Frontier::new(
+            self.cfg.budget.policy.clone(),
+            self.cfg.budget.max_pendings_per_run,
+            self.cfg.budget.max_pending_lits,
+        );
         let mut runs = 0usize;
         let mut solver_calls = 0usize;
         let mut total_instrs = 0u64;
         let mut total_units = 0u64;
+        let mut syscall_divergences = 0u64;
+        let mut timed_out = false;
         #[allow(unused_assignments)]
         let mut last_stats = crate::host::ReplayRunStats::default();
+        let wall_expired = |start: &std::time::Instant| {
+            self.cfg.budget.max_wall_ms > 0
+                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+        };
 
         let syscall_mode = if self.report.syscalls.is_empty() {
             SyscallMode::Modeled
@@ -225,42 +249,78 @@ impl<'p> ReplayEngine<'p> {
                     witness_argv: Some(argv),
                     witness_assignment: Some(assignment),
                     timed_out: false,
+                    exhausted: false,
+                    syscall_divergences,
+                    frontier: frontier.into_stats(),
                     last_run_stats: last_stats,
                 };
             }
-            if runs >= self.cfg.budget.max_runs
-                || (self.cfg.budget.max_wall_ms > 0
-                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms)
-            {
+            if runs >= self.cfg.budget.max_runs || wall_expired(&start) {
                 return self.failed(
                     runs,
                     solver_calls,
                     total_instrs,
                     total_units,
                     start,
+                    Outcome {
+                        timed_out: true,
+                        exhausted: false,
+                        syscall_divergences,
+                        frontier: frontier.into_stats(),
+                    },
                     last_stats,
                 );
             }
 
             // ---- schedule pending sets -------------------------------------
             let forced = matches!(&outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
-            let _syscall_div =
-                matches!(&outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
+            let syscall_div = matches!(&outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
+            if syscall_div {
+                syscall_divergences += 1;
+            }
 
             let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
-            // Standard pending sets: negate branch literals, deepest
-            // first, capped (the caps bound quadratic prefix copying on
-            // long server paths).
-            let mut scheduled = 0usize;
-            let mut new_pendings: Vec<(ConstraintSet, Vec<i64>)> = Vec::new();
-            for i in (0..lits.len()).rev() {
-                if scheduled >= self.cfg.budget.max_pendings_per_run {
+            frontier.begin_run();
+
+            // Syscall-divergence recovery: the run followed the branch log
+            // but issued the wrong syscall, so the most recent unlogged
+            // symbolic decision is the prime suspect. Queue the path so
+            // far with that decision flipped on the priority lane — the
+            // guided analogue of the 2(b) forced set. (The literal
+            // path-so-far would be a no-op: the current candidate already
+            // satisfies it, so the solver would hand it straight back.)
+            if syscall_div {
+                // Only UNLOGGED branches qualify as suspects: a logged
+                // step (case 2a) already agreed with the recorded
+                // direction, and negating it would just force the next
+                // candidate into a 2(b) divergence at that spot.
+                let suspect = (0..lits.len()).rev().find(|&i| {
+                    i < self.cfg.budget.max_pending_lits
+                        && matches!(path[i].origin, StepOrigin::Branch(b) if !self.plan.covers(b))
+                        && !arena.support(lits[i].expr).is_empty()
+                });
+                if let Some(d) = suspect {
+                    let mut cs = ConstraintSet::new();
+                    for l in &lits[..d] {
+                        cs.push(*l);
+                    }
+                    cs.push(lits[d].negated());
+                    frontier.offer_priority(cs, assignment.clone(), true);
+                }
+            }
+
+            // Standard pending sets: negate branch literals, offered in
+            // the strategy's order (caps, quotas and dedup live in the
+            // frontier; the caps bound quadratic prefix copying on long
+            // server paths).
+            for i in self.cfg.budget.policy.strategy.offer_order(lits.len()) {
+                if frontier.run_full() {
                     break;
                 }
-                if i + 1 > self.cfg.budget.max_pending_lits {
+                let StepOrigin::Branch(bid) = path[i].origin else {
                     continue;
-                }
-                if !matches!(path[i].origin, StepOrigin::Branch(_)) {
+                };
+                if !frontier.depth_ok(i + 1) {
                     continue;
                 }
                 // In a 2(b) abort the final literal is already forced;
@@ -276,54 +336,69 @@ impl<'p> ReplayEngine<'p> {
                     cs.push(*l);
                 }
                 cs.push(lits[i].negated());
-                if remember(&mut seen, &cs) {
-                    new_pendings.push((cs, assignment.clone()));
-                    scheduled += 1;
-                }
+                frontier.offer(cs, assignment.clone(), Some(bid.0));
             }
-            // Deepest-first DFS ordering.
-            stack.extend(new_pendings.into_iter().rev());
+            frontier.end_run();
             // The 2(b) forced set (whole path, last literal already
-            // pointing the recorded way) is pushed LAST: tried first.
+            // pointing the recorded way) goes on the priority lane: tried
+            // first.
             if forced {
                 let mut cs = ConstraintSet::new();
                 for l in &lits {
                     cs.push(*l);
                 }
-                if remember(&mut seen, &cs) {
-                    stack.push((cs, assignment.clone()));
-                }
+                frontier.offer_priority(cs, assignment.clone(), false);
             }
 
             // ---- pick and solve the next pending set -----------------------
             let mut next = None;
-            while let Some((cs, seed)) = stack.pop() {
+            while let Some(pending) = frontier.pop() {
                 solver_calls += 1;
                 let scfg = SolveCfg {
                     seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
                     ..self.cfg.solve.clone()
                 };
-                if let Some(model) = solver::solve(&arena, &cs, Some(&seed), &scfg) {
+                if let Some(model) = solver::solve(&arena, &pending.cs, Some(&pending.seed), &scfg)
+                {
+                    frontier.note_solved(true);
                     next = Some(model);
                     break;
                 }
-                if self.cfg.budget.max_wall_ms > 0
-                    && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
-                {
+                frontier.note_solved(false);
+                if wall_expired(&start) {
+                    timed_out = true;
                     break;
                 }
             }
             match next {
                 Some(model) => assignment = model,
                 None => {
+                    // Drained mid-budget: restart from a fresh seed if the
+                    // policy allows; otherwise report exhaustion (or the
+                    // wall timeout that cut the solve loop short).
+                    if !timed_out
+                        && self.cfg.budget.policy.restart_on_drain
+                        && frontier.ever_scheduled()
+                    {
+                        let r = frontier.stats().restarts;
+                        frontier.note_restart();
+                        assignment = self.restart_assignment(n_controllable, r);
+                        continue;
+                    }
                     return self.failed(
                         runs,
                         solver_calls,
                         total_instrs,
                         total_units,
                         start,
+                        Outcome {
+                            timed_out,
+                            exhausted: !timed_out,
+                            syscall_divergences,
+                            frontier: frontier.into_stats(),
+                        },
                         last_stats,
-                    )
+                    );
                 }
             }
         }
@@ -337,6 +412,7 @@ impl<'p> ReplayEngine<'p> {
         total_instrs: u64,
         total_units: u64,
         start: std::time::Instant,
+        outcome: Outcome,
         last_stats: crate::host::ReplayRunStats,
     ) -> ReplayResult {
         ReplayResult {
@@ -348,16 +424,19 @@ impl<'p> ReplayEngine<'p> {
             wall_ms: start.elapsed().as_millis() as u64,
             witness_argv: None,
             witness_assignment: None,
-            timed_out: true,
+            timed_out: outcome.timed_out,
+            exhausted: outcome.exhausted,
+            syscall_divergences: outcome.syscall_divergences,
+            frontier: outcome.frontier,
             last_run_stats: last_stats,
         }
     }
 }
 
-fn remember(seen: &mut HashSet<u64>, cs: &ConstraintSet) -> bool {
-    let mut h = DefaultHasher::new();
-    for l in &cs.lits {
-        (l.expr.0, l.positive).hash(&mut h);
-    }
-    seen.insert(h.finish())
+/// How a failed search ended (threaded into [`ReplayResult`]).
+struct Outcome {
+    timed_out: bool,
+    exhausted: bool,
+    syscall_divergences: u64,
+    frontier: FrontierStats,
 }

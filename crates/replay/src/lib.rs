@@ -302,6 +302,206 @@ mod e2e {
     }
 
     #[test]
+    fn syscall_divergence_recovery_reproduces() {
+        // The syscall ORDER depends on an unlogged symbolic branch: the
+        // first candidate takes the wrong side, issues the wrong syscall,
+        // and diverges from the syscall log before any branch log can
+        // catch it. The recovery set (path so far with the most recent
+        // unlogged decision flipped, on the priority lane) lets the log
+        // keep guiding — previously a syscall mismatch was a dead run.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char buf[4];
+                if (argv[1][0] == 'k') {
+                    int fd = sys_open("/cfg", 0);
+                    sys_read(fd, buf, 4);
+                    sys_close(fd);
+                } else {
+                    sys_time();
+                }
+                if (argv[1][1] == 'z') {
+                    int *p = 0;
+                    return *p;
+                }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 2);
+        // No branch instrumented, syscall results logged.
+        let mut plan = Plan::none(cp.n_branches());
+        plan.log_syscalls = true;
+        // Deployment: /cfg exists at the user site.
+        let mut kcfg = KernelConfig::default();
+        kcfg.fs.install_file("/cfg", b"abcd".to_vec());
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let parts = InputParts {
+            argv_sym: vec![b"kz".to_vec()],
+            ..InputParts::default()
+        };
+        let assignment = assignment_from_input(&spec, &parts);
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &kcfg);
+        let host = LoggingHost::new(Kernel::new(kcfg.clone()), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("kz crashes").clone();
+        let report = BugReport::capture(vm.host, crash);
+        assert!(
+            !report.syscalls.is_empty(),
+            "the read on the true path was logged"
+        );
+        assert_eq!(report.trace.len(), 0, "no branch was instrumented");
+
+        for policy in [
+            search::SearchPolicy::default(),
+            search::SearchPolicy::explorer(),
+        ] {
+            let mut rcfg = ReplayConfig::new(spec.clone());
+            rcfg.base_fs = kcfg.fs.clone();
+            rcfg.budget.max_runs = 64;
+            rcfg.budget.policy = policy.clone();
+            let res = ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce();
+            assert!(
+                res.syscall_divergences >= 1,
+                "{policy:?}: reproduction must survive a syscall mismatch"
+            );
+            assert!(
+                res.frontier.recovery_sets >= 1,
+                "{policy:?}: the guided recovery set was queued"
+            );
+            assert!(res.reproduced, "{policy:?}: replay failed: {res:?}");
+            assert_eq!(&res.witness_argv.unwrap()[1][..2], b"kz");
+        }
+    }
+
+    #[test]
+    fn recovery_suspect_skips_logged_branches() {
+        // A LOGGED symbolic branch executes between the unlogged suspect
+        // and the divergent syscall. The recovery set must flip the
+        // unlogged decision, not the logged one (which already agreed
+        // with the recorded bit — negating it would only buy a 2(b)
+        // abort at that spot).
+        let src = r#"
+            int main(int argc, char **argv) {
+                char buf[4];
+                int mode = 0;
+                if (argv[1][0] == 'k') { mode = 1; }
+                if (argv[1][2] == 'x') { mode = mode + 0; }
+                if (mode == 1) {
+                    int fd = sys_open("/cfg", 0);
+                    sys_read(fd, buf, 4);
+                    sys_close(fd);
+                } else {
+                    sys_time();
+                }
+                if (argv[1][1] == 'z') {
+                    int *p = 0;
+                    return *p;
+                }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 3);
+        // Cover ONLY the (argv[1][2] == 'x') branch (source order: id 1).
+        let mut instrumented = vec![false; cp.n_branches()];
+        instrumented[1] = true;
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented,
+            log_syscalls: true,
+        };
+        let mut kcfg = KernelConfig::default();
+        kcfg.fs.install_file("/cfg", b"abcd".to_vec());
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let parts = InputParts {
+            argv_sym: vec![b"kzq".to_vec()],
+            ..InputParts::default()
+        };
+        let assignment = assignment_from_input(&spec, &parts);
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &kcfg);
+        let host = LoggingHost::new(Kernel::new(kcfg.clone()), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("kzq crashes").clone();
+        let report = BugReport::capture(vm.host, crash);
+        assert_eq!(report.trace.len(), 1, "one logged branch execution");
+
+        let mut rcfg = ReplayConfig::new(spec);
+        rcfg.base_fs = kcfg.fs.clone();
+        rcfg.budget.max_runs = 16;
+        let res = ReplayEngine::new(&cp, plan, report, rcfg).reproduce();
+        assert!(
+            res.syscall_divergences >= 1,
+            "the first candidate must diverge at the syscall: {res:?}"
+        );
+        assert!(
+            res.frontier.recovery_sets >= 1,
+            "recovery set queued despite the deeper logged step"
+        );
+        assert!(
+            res.reproduced,
+            "flipping the unlogged suspect must recover within a tight \
+             budget: {res:?}"
+        );
+        assert_eq!(&res.witness_argv.unwrap()[1][..2], b"kz");
+    }
+
+    #[test]
+    fn drained_search_reports_exhaustion_not_timeout() {
+        // An unsatisfiable guard: the crash needs argv[1][0] both 'a' and
+        // 'b'. The log forces the recorded direction, every pending set is
+        // UNSAT, and the frontier drains long before the run budget.
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0] == 'a') {
+                    if (argv[1][0] == 'b') { return 1; }
+                    int *p = 0;
+                    return *p;
+                }
+                return 0;
+            }
+        "#;
+        let (_, report, _) = record_and_replay(
+            src,
+            InputSpec::argv_symbolic("prog", 1, 1),
+            InputParts {
+                argv_sym: vec![b"a".to_vec()],
+                ..InputParts::default()
+            },
+            Method::AllBranches,
+            true,
+            8,
+            64,
+        );
+        // Corrupt the trace so the forced direction contradicts the
+        // reachable paths: bit 0 flipped sends every candidate into a
+        // forced set that cannot be satisfied together with a re-visit.
+        let cp = build(&[("main", src)]).unwrap();
+        let mut bad = report;
+        bad.trace = bad.trace.corrupted(0);
+        bad.crash.loc = minic::Loc {
+            unit: minic::UnitId(0),
+            line: 9999,
+            col: 0,
+        };
+        let plan = Plan::build(
+            Method::AllBranches,
+            &vec![DynLabel::Unvisited; cp.n_branches()],
+            &vec![false; cp.n_branches()],
+            cp.n_branches(),
+        );
+        let mut rcfg = ReplayConfig::new(InputSpec::argv_symbolic("prog", 1, 1));
+        rcfg.budget.max_runs = 4096;
+        let res = ReplayEngine::new(&cp, plan, bad, rcfg).reproduce();
+        assert!(!res.reproduced);
+        assert!(
+            res.exhausted && !res.timed_out,
+            "a drained frontier is exhaustion, not the paper's ∞ timeout: {res:?}"
+        );
+    }
+
+    #[test]
     fn replay_of_signal_injected_server_crash() {
         // A tiny request loop crashed externally via the signal plan;
         // replay must find input reaching the same syscall site with the

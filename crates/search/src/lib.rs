@@ -1,0 +1,707 @@
+//! `search` — the shared frontier scheduler behind both guided searches.
+//!
+//! The concolic analysis engine (§2.1) and the replay engine (§3.2) both
+//! explore a tree of pending constraint sets: each run contributes
+//! candidate sets (path prefixes with one branch literal negated), and the
+//! scheduler decides which set the solver attacks next. The paper uses a
+//! plain depth-first stack; that is kept, bit for bit, as the default
+//! [`Strategy::DeepestFirst`]. On long server paths the deepest pending
+//! sets are routinely unsolvable within the solver budget, so pure DFS
+//! drains after a single run — the uServer coverage plateau. The cures are
+//! the classic search-scheduling ones:
+//!
+//! - [`Strategy::Generational`] — SAGE-style breadth mixing (Godefroid et
+//!   al., NDSS 2008): pops alternate between the shallowest and the
+//!   deepest pending set, so cheap shallow negations keep opening new
+//!   generations while deep suffixes still get attempts;
+//! - per-branch-location negation quotas ([`SearchPolicy::branch_quota`])
+//!   so one hot loop cannot monopolize the per-run scheduling cap;
+//! - restart-from-new-seed ([`SearchPolicy::restart_on_drain`]) when the
+//!   frontier drains before the run budget, instead of giving up.
+//!
+//! Engines interact with one [`Frontier`] per session:
+//!
+//! ```text
+//! frontier.begin_run();
+//! frontier.offer_priority(..);     // forced / recovery sets, tried first
+//! while !frontier.run_full() { frontier.offer(..); }
+//! frontier.end_run();
+//! while let Some(p) = frontier.pop() { .. frontier.note_solved(sat); }
+//! ```
+//!
+//! Deduplication keys pending sets on a 128-bit hash of the full
+//! `(ExprRef, bool)` literal vector — wide enough that a collision (which
+//! would silently drop an unexplored path forever) is out of reach, unlike
+//! the 64-bit `DefaultHasher` digest it replaces.
+
+use solver::ConstraintSet;
+use std::collections::{HashMap, HashSet};
+
+/// Frontier exploration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's §3.2 depth-first stack: the deepest pending set of the
+    /// newest run is tried first. Deterministic seed behavior; the
+    /// default.
+    #[default]
+    DeepestFirst,
+    /// Breadth-mixed generational search: pops alternate between the
+    /// shallowest and the deepest pending set in the frontier, escaping
+    /// the all-deep-sets-unsolvable plateau.
+    Generational,
+}
+
+impl Strategy {
+    /// Short label for tables and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::DeepestFirst => "deepest-first",
+            Strategy::Generational => "generational",
+        }
+    }
+
+    /// The order in which a run's candidate negation indices
+    /// (0 = shallowest, `n - 1` = deepest) should be offered. The
+    /// engines stop offering at the per-run cap, so this decides what a
+    /// long path's run actually schedules: DFS takes the deepest block
+    /// (the paper's behavior); generational interleaves both ends so
+    /// every run banks cheap shallow negations alongside deep suffixes —
+    /// without this, the cap fills with deep, routinely unsolvable sets
+    /// and the breadth-mixed pops have nothing shallow to mix in.
+    pub fn offer_order(self, n: usize) -> Vec<usize> {
+        match self {
+            Strategy::DeepestFirst => (0..n).rev().collect(),
+            Strategy::Generational => {
+                let mut out = Vec::with_capacity(n);
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    hi -= 1;
+                    out.push(hi);
+                    if lo < hi {
+                        out.push(lo);
+                        lo += 1;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Scheduling policy for one search session, threaded through the
+/// engines' budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchPolicy {
+    /// Frontier exploration order.
+    pub strategy: Strategy,
+    /// Maximum pending sets enqueued per branch location per run
+    /// (0 = unlimited). Keeps one hot loop from starving the queue.
+    pub branch_quota: usize,
+    /// When the frontier drains with run budget left, restart from a
+    /// fresh seeded input instead of declaring exhaustion.
+    pub restart_on_drain: bool,
+}
+
+impl Default for SearchPolicy {
+    fn default() -> Self {
+        SearchPolicy {
+            strategy: Strategy::DeepestFirst,
+            branch_quota: 0,
+            restart_on_drain: false,
+        }
+    }
+}
+
+impl SearchPolicy {
+    /// The plateau-breaking configuration used by the server benchmarks:
+    /// breadth-mixed pops, two negations per branch location per run, and
+    /// seed restarts when the frontier drains.
+    pub fn explorer() -> Self {
+        SearchPolicy {
+            strategy: Strategy::Generational,
+            branch_quota: 2,
+            restart_on_drain: true,
+        }
+    }
+}
+
+/// One scheduled pending constraint set.
+#[derive(Debug, Clone)]
+pub struct PendingSet {
+    /// The constraint set to solve.
+    pub cs: ConstraintSet,
+    /// Seed assignment handed to the solver (usually the producing run's
+    /// input).
+    pub seed: Vec<i64>,
+    /// Scheduling depth (number of literals).
+    pub depth: usize,
+    /// Index of the run that produced the set.
+    pub generation: u64,
+}
+
+/// Counters exposed in `AnalysisResult` / `ReplayResult` so the bench
+/// tables can report scheduling behavior per strategy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Exploration order in force.
+    pub strategy: Strategy,
+    /// Candidate sets presented by the engines.
+    pub offered: u64,
+    /// Candidates accepted into the frontier.
+    pub scheduled: u64,
+    /// Forced / recovery sets accepted onto the priority lane.
+    pub priority_scheduled: u64,
+    /// Syscall-divergence recovery sets accepted (replay only).
+    pub recovery_sets: u64,
+    /// Candidates rejected by the full-vector dedup.
+    pub skipped_duplicate: u64,
+    /// Candidates rejected for exceeding the literal cap.
+    pub skipped_depth: u64,
+    /// Candidates rejected by the per-branch-location quota.
+    pub skipped_quota: u64,
+    /// Solver calls on popped sets that found a model.
+    pub solved_sat: u64,
+    /// Solver calls on popped sets that found none.
+    pub solved_unsat: u64,
+    /// Times the frontier drained and the engine restarted from a fresh
+    /// seed (the starvation counter).
+    pub restarts: u64,
+}
+
+impl FrontierStats {
+    /// One-line rendering for analysis summaries and table footers.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} scheduled (+{} priority), {} sat / {} unsat, \
+             skipped {} dup / {} deep / {} quota, {} restarts",
+            self.strategy.label(),
+            self.scheduled,
+            self.priority_scheduled,
+            self.solved_sat,
+            self.solved_unsat,
+            self.skipped_duplicate,
+            self.skipped_depth,
+            self.skipped_quota,
+            self.restarts,
+        )
+    }
+}
+
+/// The shared priority frontier.
+///
+/// Holds the pending constraint sets of one search session. Forced /
+/// recovery sets live on a separate LIFO priority lane that every
+/// strategy pops first — this is what keeps the log *guiding* the replay
+/// search regardless of the exploration order.
+#[derive(Debug)]
+pub struct Frontier {
+    policy: SearchPolicy,
+    /// Per-run cap on accepted candidates (the engine budget's
+    /// `max_pendings_per_run`).
+    max_per_run: usize,
+    /// Pending sets longer than this many literals are skipped.
+    max_lits: usize,
+    /// The general pool. `DeepestFirst` treats it as a stack.
+    entries: Vec<PendingSet>,
+    /// Forced-direction and recovery sets: LIFO, always popped first.
+    priority: Vec<PendingSet>,
+    /// Current run's accepted candidates, committed by [`end_run`].
+    run_buffer: Vec<PendingSet>,
+    /// 128-bit signatures of every set ever accepted.
+    seen: HashSet<u128>,
+    /// Per-branch-location accepts this run.
+    quota_used: HashMap<u32, usize>,
+    accepted_this_run: usize,
+    generation: u64,
+    pop_tick: u64,
+    stats: FrontierStats,
+}
+
+/// 128-bit FNV-1a over the full `(ExprRef, bool)` literal vector.
+fn signature(cs: &ConstraintSet) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for l in &cs.lits {
+        h ^= l.expr.0 as u128;
+        h = h.wrapping_mul(PRIME);
+        h ^= l.positive as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl Frontier {
+    /// Creates a frontier for one session.
+    pub fn new(policy: SearchPolicy, max_pendings_per_run: usize, max_pending_lits: usize) -> Self {
+        let stats = FrontierStats {
+            strategy: policy.strategy,
+            ..FrontierStats::default()
+        };
+        Frontier {
+            policy,
+            max_per_run: max_pendings_per_run,
+            max_lits: max_pending_lits,
+            entries: Vec::new(),
+            priority: Vec::new(),
+            run_buffer: Vec::new(),
+            seen: HashSet::new(),
+            quota_used: HashMap::new(),
+            accepted_this_run: 0,
+            generation: 0,
+            pop_tick: 0,
+            stats,
+        }
+    }
+
+    /// Starts a new run: resets the per-run cap and quotas.
+    pub fn begin_run(&mut self) {
+        self.accepted_this_run = 0;
+        self.quota_used.clear();
+        self.generation += 1;
+    }
+
+    /// True once this run's scheduling cap is reached — the engine stops
+    /// offering standard candidates.
+    pub fn run_full(&self) -> bool {
+        self.accepted_this_run >= self.max_per_run
+    }
+
+    /// Cheap pre-check on a candidate's literal count, counted as a depth
+    /// skip. Engines call this BEFORE materializing the O(depth) prefix
+    /// constraint set, so too-deep candidates on long server paths cost
+    /// nothing (the cap exists to bound that quadratic copying).
+    pub fn depth_ok(&mut self, lits: usize) -> bool {
+        if lits > self.max_lits {
+            self.stats.skipped_depth += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Offers a standard pending set (a path prefix with one negated
+    /// branch literal). Applies, in order: the literal cap, the
+    /// per-branch quota, and the full-vector dedup. Returns whether the
+    /// set was accepted.
+    pub fn offer(&mut self, cs: ConstraintSet, seed: Vec<i64>, branch: Option<u32>) -> bool {
+        self.stats.offered += 1;
+        if cs.lits.len() > self.max_lits {
+            self.stats.skipped_depth += 1;
+            return false;
+        }
+        // Dedup before the quota: a re-offered duplicate must not burn
+        // the branch's budget for genuinely new candidates. A
+        // quota-rejected set stays out of `seen` so a later run can
+        // still schedule it.
+        let sig = signature(&cs);
+        if self.seen.contains(&sig) {
+            self.stats.skipped_duplicate += 1;
+            return false;
+        }
+        if self.policy.branch_quota > 0 {
+            if let Some(b) = branch {
+                let used = self.quota_used.entry(b).or_insert(0);
+                if *used >= self.policy.branch_quota {
+                    self.stats.skipped_quota += 1;
+                    return false;
+                }
+                *used += 1;
+            }
+        }
+        self.seen.insert(sig);
+        let depth = cs.lits.len();
+        self.run_buffer.push(PendingSet {
+            cs,
+            seed,
+            depth,
+            generation: self.generation,
+        });
+        self.accepted_this_run += 1;
+        self.stats.scheduled += 1;
+        true
+    }
+
+    /// Offers a forced-direction (2(b)) or recovery set onto the priority
+    /// lane: bypasses the run cap, literal cap and quota. A set that is
+    /// already *queued* (offered earlier as a standard pending set, not
+    /// yet solved) is promoted to the priority lane instead of being
+    /// dropped — the guided fix must not stay buried in the pool. Only a
+    /// set that was already popped (solved or being solved) is rejected.
+    pub fn offer_priority(&mut self, cs: ConstraintSet, seed: Vec<i64>, recovery: bool) -> bool {
+        let sig = signature(&cs);
+        if !self.seen.insert(sig) {
+            let pooled = self
+                .entries
+                .iter()
+                .position(|e| signature(&e.cs) == sig)
+                .map(|i| self.entries.remove(i))
+                .or_else(|| {
+                    self.run_buffer
+                        .iter()
+                        .position(|e| signature(&e.cs) == sig)
+                        .map(|i| self.run_buffer.remove(i))
+                });
+            let Some(entry) = pooled else {
+                self.stats.skipped_duplicate += 1;
+                return false;
+            };
+            self.priority.push(entry);
+            self.stats.priority_scheduled += 1;
+            if recovery {
+                self.stats.recovery_sets += 1;
+            }
+            return true;
+        }
+        let depth = cs.lits.len();
+        self.priority.push(PendingSet {
+            cs,
+            seed,
+            depth,
+            generation: self.generation,
+        });
+        self.stats.priority_scheduled += 1;
+        if recovery {
+            self.stats.recovery_sets += 1;
+        }
+        true
+    }
+
+    /// Commits this run's accepted candidates into the pool. Under DFS
+    /// candidates arrive deepest-first; committing in reverse puts the
+    /// deepest on top of the stack, matching the seed engines exactly.
+    /// (Generational pops select by depth, so its commit order is
+    /// immaterial.)
+    pub fn end_run(&mut self) {
+        let buffered = std::mem::take(&mut self.run_buffer);
+        self.entries.extend(buffered.into_iter().rev());
+    }
+
+    /// Pops the next pending set per the strategy (priority lane first).
+    pub fn pop(&mut self) -> Option<PendingSet> {
+        if let Some(p) = self.priority.pop() {
+            return Some(p);
+        }
+        if self.entries.is_empty() {
+            return None;
+        }
+        match self.policy.strategy {
+            Strategy::DeepestFirst => self.entries.pop(),
+            Strategy::Generational => {
+                // Alternate shallowest / deepest. Ties: the oldest
+                // shallow entry, the newest deep entry — both stable.
+                let idx = if self.pop_tick.is_multiple_of(2) {
+                    let mut best = 0;
+                    for (i, e) in self.entries.iter().enumerate() {
+                        if e.depth < self.entries[best].depth {
+                            best = i;
+                        }
+                    }
+                    best
+                } else {
+                    let mut best = 0;
+                    for (i, e) in self.entries.iter().enumerate() {
+                        if e.depth >= self.entries[best].depth {
+                            best = i;
+                        }
+                    }
+                    best
+                };
+                self.pop_tick += 1;
+                Some(self.entries.remove(idx))
+            }
+        }
+    }
+
+    /// Records the solver verdict for the last popped set.
+    pub fn note_solved(&mut self, sat: bool) {
+        if sat {
+            self.stats.solved_sat += 1;
+        } else {
+            self.stats.solved_unsat += 1;
+        }
+    }
+
+    /// Records a drain restart (starvation event).
+    pub fn note_restart(&mut self) {
+        self.stats.restarts += 1;
+    }
+
+    /// True if any set was ever accepted — the restart gate (a program
+    /// with no symbolic branches never restarts).
+    pub fn ever_scheduled(&self) -> bool {
+        self.stats.scheduled + self.stats.priority_scheduled > 0
+    }
+
+    /// Pending sets currently queued (both lanes).
+    pub fn len(&self) -> usize {
+        self.entries.len() + self.priority.len() + self.run_buffer.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> &SearchPolicy {
+        &self.policy
+    }
+
+    /// Scheduling counters so far.
+    pub fn stats(&self) -> &FrontierStats {
+        &self.stats
+    }
+
+    /// Consumes the frontier, returning its counters for the result
+    /// struct.
+    pub fn into_stats(self) -> FrontierStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver::{ExprRef, Lit};
+
+    fn set(ids: &[u32]) -> ConstraintSet {
+        let mut cs = ConstraintSet::new();
+        for id in ids {
+            cs.push(Lit {
+                expr: ExprRef(*id),
+                positive: true,
+            });
+        }
+        cs
+    }
+
+    fn frontier(policy: SearchPolicy) -> Frontier {
+        Frontier::new(policy, 64, 4000)
+    }
+
+    #[test]
+    fn deepest_first_pops_in_stack_order() {
+        let mut f = frontier(SearchPolicy::default());
+        f.begin_run();
+        // Engine offers deepest-first: depth 3, then 2, then 1.
+        assert!(f.offer(set(&[1, 2, 3]), vec![], None));
+        assert!(f.offer(set(&[1, 2]), vec![], None));
+        assert!(f.offer(set(&[1]), vec![], None));
+        f.end_run();
+        assert_eq!(f.pop().unwrap().depth, 3, "deepest first");
+        assert_eq!(f.pop().unwrap().depth, 2);
+        assert_eq!(f.pop().unwrap().depth, 1);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn generational_alternates_shallow_and_deep() {
+        let mut f = frontier(SearchPolicy {
+            strategy: Strategy::Generational,
+            ..SearchPolicy::default()
+        });
+        f.begin_run();
+        for d in (1..=4).rev() {
+            let ids: Vec<u32> = (1..=d).collect();
+            assert!(f.offer(set(&ids), vec![], None));
+        }
+        f.end_run();
+        assert_eq!(f.pop().unwrap().depth, 1, "first pop is shallowest");
+        assert_eq!(f.pop().unwrap().depth, 4, "second pop is deepest");
+        assert_eq!(f.pop().unwrap().depth, 2);
+        assert_eq!(f.pop().unwrap().depth, 3);
+    }
+
+    #[test]
+    fn priority_lane_is_lifo_and_first() {
+        let mut f = frontier(SearchPolicy::default());
+        f.begin_run();
+        assert!(f.offer(set(&[1, 2, 3]), vec![], None));
+        assert!(f.offer_priority(set(&[4]), vec![], false));
+        assert!(f.offer_priority(set(&[5, 6]), vec![], true));
+        f.end_run();
+        assert_eq!(f.pop().unwrap().depth, 2, "newest priority set first");
+        assert_eq!(f.pop().unwrap().depth, 1, "older priority set next");
+        assert_eq!(f.pop().unwrap().depth, 3, "then the pool");
+        assert_eq!(f.stats().recovery_sets, 1);
+        assert_eq!(f.stats().priority_scheduled, 2);
+    }
+
+    #[test]
+    fn duplicate_sets_are_rejected_across_lanes() {
+        let mut f = frontier(SearchPolicy::default());
+        f.begin_run();
+        assert!(f.offer_priority(set(&[1, 2]), vec![], true));
+        assert!(!f.offer(set(&[1, 2]), vec![], None), "dup of priority set");
+        assert!(
+            !f.offer_priority(set(&[1, 2]), vec![], true),
+            "already on the priority lane: nothing to promote"
+        );
+        assert_eq!(f.stats().skipped_duplicate, 2);
+        assert_eq!(f.stats().recovery_sets, 1);
+    }
+
+    #[test]
+    fn priority_offer_promotes_a_pooled_duplicate() {
+        let mut f = frontier(SearchPolicy::default());
+        // Run 1 queues two standard sets.
+        f.begin_run();
+        assert!(f.offer(set(&[1, 2]), vec![7], None));
+        assert!(f.offer(set(&[3]), vec![], None));
+        f.end_run();
+        // Run 2's recovery set is byte-identical to the pooled [1, 2]:
+        // it must jump to the priority lane, not be dropped.
+        f.begin_run();
+        assert!(f.offer_priority(set(&[1, 2]), vec![9], true));
+        f.end_run();
+        assert_eq!(f.stats().recovery_sets, 1);
+        let first = f.pop().unwrap();
+        assert_eq!(first.depth, 2, "promoted set is tried first");
+        assert_eq!(
+            first.seed,
+            vec![7],
+            "the pooled entry was moved, not copied"
+        );
+        assert_eq!(f.pop().unwrap().depth, 1);
+        assert!(f.pop().is_none(), "no duplicate left behind");
+    }
+
+    #[test]
+    fn depth_ok_counts_and_gates() {
+        let mut f = Frontier::new(SearchPolicy::default(), 64, 3);
+        assert!(f.depth_ok(3));
+        assert!(!f.depth_ok(4));
+        assert_eq!(f.stats().skipped_depth, 1);
+    }
+
+    #[test]
+    fn signature_distinguishes_polarity_and_order() {
+        let mut a = ConstraintSet::new();
+        a.push(Lit {
+            expr: ExprRef(1),
+            positive: true,
+        });
+        let mut b = ConstraintSet::new();
+        b.push(Lit {
+            expr: ExprRef(1),
+            positive: false,
+        });
+        assert_ne!(signature(&a), signature(&b));
+        assert_ne!(signature(&set(&[1, 2])), signature(&set(&[2, 1])));
+        assert_eq!(signature(&set(&[1, 2])), signature(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn branch_quota_limits_per_location_per_run() {
+        let mut f = Frontier::new(
+            SearchPolicy {
+                branch_quota: 2,
+                ..SearchPolicy::default()
+            },
+            64,
+            4000,
+        );
+        f.begin_run();
+        assert!(f.offer(set(&[1]), vec![], Some(7)));
+        assert!(f.offer(set(&[2]), vec![], Some(7)));
+        assert!(!f.offer(set(&[3]), vec![], Some(7)), "quota of 2 reached");
+        assert!(f.offer(set(&[4]), vec![], Some(8)), "other location fine");
+        assert_eq!(f.stats().skipped_quota, 1);
+        f.end_run();
+        // Quota resets per run.
+        f.begin_run();
+        assert!(f.offer(set(&[5]), vec![], Some(7)));
+    }
+
+    #[test]
+    fn duplicates_do_not_burn_the_branch_quota() {
+        let mut f = Frontier::new(
+            SearchPolicy {
+                branch_quota: 2,
+                ..SearchPolicy::default()
+            },
+            64,
+            4000,
+        );
+        f.begin_run();
+        assert!(f.offer(set(&[1]), vec![], Some(7)));
+        assert!(f.offer(set(&[2]), vec![], Some(7)));
+        f.end_run();
+        // Next run re-offers the same two sets (common: deep prefixes
+        // recur across runs) — rejected as duplicates, but the quota must
+        // stay unspent so a novel negation at the location still fits.
+        f.begin_run();
+        assert!(!f.offer(set(&[1]), vec![], Some(7)));
+        assert!(!f.offer(set(&[2]), vec![], Some(7)));
+        assert!(
+            f.offer(set(&[3]), vec![], Some(7)),
+            "novel candidate must not be starved by duplicate offers"
+        );
+        assert_eq!(f.stats().skipped_duplicate, 2);
+        assert_eq!(f.stats().skipped_quota, 0);
+    }
+
+    #[test]
+    fn quota_rejected_sets_can_be_scheduled_later() {
+        let mut f = Frontier::new(
+            SearchPolicy {
+                branch_quota: 1,
+                ..SearchPolicy::default()
+            },
+            64,
+            4000,
+        );
+        f.begin_run();
+        assert!(f.offer(set(&[1]), vec![], Some(7)));
+        assert!(!f.offer(set(&[2]), vec![], Some(7)), "over quota");
+        f.end_run();
+        f.begin_run();
+        assert!(
+            f.offer(set(&[2]), vec![], Some(7)),
+            "a quota-rejected set is not remembered as seen"
+        );
+    }
+
+    #[test]
+    fn run_cap_and_literal_cap_apply() {
+        let mut f = Frontier::new(SearchPolicy::default(), 2, 3);
+        f.begin_run();
+        assert!(!f.offer(set(&[1, 2, 3, 4]), vec![], None), "too deep");
+        assert_eq!(f.stats().skipped_depth, 1);
+        assert!(f.offer(set(&[1]), vec![], None));
+        assert!(!f.run_full());
+        assert!(f.offer(set(&[2]), vec![], None));
+        assert!(f.run_full(), "cap of 2 reached");
+    }
+
+    #[test]
+    fn restart_gate_requires_scheduling_history() {
+        let mut f = frontier(SearchPolicy::explorer());
+        assert!(!f.ever_scheduled());
+        f.begin_run();
+        assert!(f.offer(set(&[1]), vec![], None));
+        assert!(f.ever_scheduled());
+        f.note_restart();
+        assert_eq!(f.stats().restarts, 1);
+    }
+
+    #[test]
+    fn offer_order_matches_strategy() {
+        assert_eq!(Strategy::DeepestFirst.offer_order(4), vec![3, 2, 1, 0]);
+        assert_eq!(Strategy::Generational.offer_order(5), vec![4, 0, 3, 1, 2]);
+        assert_eq!(Strategy::Generational.offer_order(1), vec![0]);
+        assert_eq!(Strategy::Generational.offer_order(0), Vec::<usize>::new());
+        // Every index appears exactly once.
+        let mut o = Strategy::Generational.offer_order(100);
+        o.sort_unstable();
+        assert_eq!(o, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_summary_names_the_strategy() {
+        let f = frontier(SearchPolicy::explorer());
+        assert!(f.stats().summary().starts_with("generational:"));
+        let d = frontier(SearchPolicy::default());
+        assert!(d.stats().summary().starts_with("deepest-first:"));
+    }
+}

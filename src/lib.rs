@@ -57,6 +57,7 @@ pub use oskit;
 pub use progs;
 pub use replay;
 pub use retrace_core as core;
+pub use search;
 pub use solver;
 pub use staticax;
 pub use workloads;
@@ -69,4 +70,8 @@ pub mod prelude {
     pub use minic::{self, CompiledProgram, CrashKind, RunOutcome};
     pub use oskit::{KernelConfig, SignalPlan};
     pub use replay::{InputParts, ReplayResult};
+    // `Strategy` stays out of the prelude: it would shadow
+    // `proptest::prelude::Strategy` in downstream test globs. Reach it
+    // as `search::Strategy`.
+    pub use search::SearchPolicy;
 }
