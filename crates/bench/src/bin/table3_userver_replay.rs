@@ -62,6 +62,8 @@ fn main() {
                 row.cell(),
                 row.runs.to_string(),
                 format!("{} / {}", row.syscall_divergences, row.frontier_restarts),
+                row.concretization_cell(),
+                row.repair_cell(),
             ]);
             t4.push(vec![
                 format!("exp {exp_id}"),
@@ -82,6 +84,8 @@ fn main() {
                 "replay work / wall",
                 "runs",
                 "sysdiv / restarts",
+                "conc rng/pin+fb",
+                "repairs",
             ],
             &t3,
         )

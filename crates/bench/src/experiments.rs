@@ -132,6 +132,11 @@ pub fn replay_one(
             solver_calls: result.solver_calls,
             syscall_divergences: result.syscall_divergences,
             frontier_restarts: result.frontier.restarts,
+            concretization_ranges: result.concretization_ranges,
+            concretization_pins: result.concretization_pins,
+            pin_fallbacks: result.pin_fallbacks,
+            repairs: result.frontier.repairs_scheduled,
+            repair_cutoffs: result.frontier.repair_cutoffs,
         },
         stats,
         transfer,

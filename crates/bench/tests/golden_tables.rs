@@ -10,9 +10,9 @@
 //! ```
 
 use instrument::Method;
-use retrace_bench::experiments::analyze_coverages;
+use retrace_bench::experiments::{analyze_coverages, userver_analysis_bench};
 use retrace_bench::render;
-use retrace_bench::setup::fib;
+use retrace_bench::setup::{fib, userver_experiments, Coverage};
 use std::path::PathBuf;
 
 fn check_golden(name: &str, actual: &str) {
@@ -79,6 +79,93 @@ fn fib_location_table_matches_golden() {
         &rows,
     );
     check_golden("fib_locations.txt", &t);
+}
+
+/// The real uServer Table 2: instrumented branch locations per
+/// configuration at LC coverage. Fully deterministic (seeded analysis;
+/// no wall-clock columns exist in this table).
+#[test]
+fn userver_location_table_matches_golden() {
+    let abench = userver_analysis_bench(42);
+    let bundle = abench.wb.analyze(Coverage::Lc.runs());
+    let total = abench.wb.cp.n_branches();
+    let rows: Vec<Vec<String>> = [
+        ("dynamic (lc)", Method::Dynamic),
+        ("dynamic+static (lc)", Method::DynamicStatic),
+        ("static", Method::Static),
+        ("all branches", Method::AllBranches),
+    ]
+    .into_iter()
+    .map(|(name, method)| {
+        let plan = abench.wb.plan(method, &bundle);
+        vec![
+            name.to_string(),
+            plan.n_instrumented().to_string(),
+            total.to_string(),
+        ]
+    })
+    .collect();
+    let t = render::table(
+        "uServer: instrumented branch locations (lc analysis)",
+        &["config", "instrumented", "total"],
+        &rows,
+    );
+    check_golden("userver_locations.txt", &t);
+}
+
+/// The real uServer Table 3, experiment 1 (the fast scenario): replay
+/// effort per configuration with the wall-clock column masked — runs,
+/// solver calls, instructions, and the new concretization/repair
+/// counters are deterministic.
+#[test]
+fn userver_exp1_replay_table_matches_golden() {
+    let abench = userver_analysis_bench(42);
+    let bundle = abench.wb.analyze(Coverage::Lc.runs());
+    let exp = userver_experiments(42)
+        .into_iter()
+        .find(|e| e.name.ends_with(" 1"))
+        .expect("exp 1 exists");
+    let mut rows = Vec::new();
+    for (name, method) in [
+        ("dynamic (lc)", Method::Dynamic),
+        ("dynamic+static (lc)", Method::DynamicStatic),
+        ("static", Method::Static),
+        ("all branches", Method::AllBranches),
+    ] {
+        let plan = exp.wb.plan(method, &bundle);
+        let run = exp.wb.logged_run(&plan, &exp.parts);
+        let report = run.report.expect("deployment crashes");
+        let res = exp.wb.replay(&plan, &report, 300);
+        rows.push(vec![
+            name.to_string(),
+            if res.reproduced { "yes" } else { "∞" }.to_string(),
+            res.runs.to_string(),
+            res.solver_calls.to_string(),
+            res.total_instrs.to_string(),
+            format!(
+                "{}/{}+{}",
+                res.concretization_ranges, res.concretization_pins, res.pin_fallbacks
+            ),
+            format!(
+                "{}({})",
+                res.frontier.repairs_scheduled, res.frontier.repair_cutoffs
+            ),
+        ]);
+    }
+    let t = render::table(
+        "uServer exp 1: bug reproduction (deterministic columns; wall masked)",
+        &[
+            "config",
+            "reproduced",
+            "runs",
+            "solver calls",
+            "instrs",
+            "conc rng/pin+fb",
+            "repairs",
+        ],
+        &rows,
+    );
+    check_golden("userver_exp1_replay.txt", &t);
 }
 
 /// Table 3 analogue on a guarded crash: replay effort per configuration,

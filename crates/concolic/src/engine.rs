@@ -15,7 +15,7 @@
 
 use crate::input::{realize, InputSpec, InputVars};
 use crate::label::{LabelMap, Profile};
-use crate::shadow::{PathStep, StepOrigin, SymHost};
+use crate::shadow::{Concretization, PathStep, StepOrigin, SymHost};
 use minic::cost::Meter;
 use minic::memory::pack;
 use minic::vm::{CrashInfo, RunOutcome, Vm};
@@ -24,7 +24,7 @@ use oskit::{Kernel, KernelConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use search::{Frontier, FrontierStats, SearchPolicy};
-use solver::{ConstraintSet, ExprArena, Lit, SolveCfg, VarId};
+use solver::{mix_seed, ConstraintSet, ExprArena, Lit, SolveCfg, VarId};
 use std::collections::HashMap;
 
 /// Exploration budget. `max_runs` is the primary (deterministic) knob —
@@ -46,6 +46,10 @@ pub struct Budget {
     /// Frontier scheduling policy (strategy, per-branch quotas, drain
     /// restarts). The default is the paper's deterministic DFS.
     pub policy: SearchPolicy,
+    /// How symbolic address components are concretized (offset-
+    /// generalizing region bounds by default; `Pin` restores the classic
+    /// equality-pin behavior).
+    pub concretization: Concretization,
 }
 
 impl Default for Budget {
@@ -57,6 +61,7 @@ impl Default for Budget {
             max_pendings_per_run: 64,
             max_pending_lits: 4000,
             policy: SearchPolicy::default(),
+            concretization: Concretization::default(),
         }
     }
 }
@@ -107,6 +112,12 @@ pub struct RunRecord {
     pub labels: LabelMap,
     /// Profile of this run alone.
     pub profile: Profile,
+    /// Symbolic addresses concretized in this run.
+    pub concretizations: u64,
+    /// Concretizations emitted as offset-generalizing ranges.
+    pub concretization_ranges: u64,
+    /// Concretizations pinned at emission.
+    pub concretization_pins: u64,
 }
 
 /// A crash discovered during analysis (pre-ship bug finding).
@@ -138,6 +149,15 @@ pub struct AnalysisResult {
     pub arena_nodes: usize,
     /// Total instructions executed across runs.
     pub total_instrs: u64,
+    /// Symbolic addresses concretized across runs.
+    pub concretizations: u64,
+    /// Concretizations emitted in the offset-generalizing range form.
+    pub concretization_ranges: u64,
+    /// Concretizations that used (or fell back at emission to) the pin.
+    pub concretization_pins: u64,
+    /// Solver calls that retried with the hard-pinned variant after the
+    /// bounded form went unsolved.
+    pub pin_fallbacks: u64,
     /// True when exploration stopped because the frontier drained with
     /// run budget left (and the policy did not restart).
     pub exhausted: bool,
@@ -163,7 +183,7 @@ pub fn seeded_assignment(n: usize, seed: u64) -> Vec<i64> {
 /// The derived seed for the `r`-th drain restart of a session seeded
 /// with `seed`.
 pub fn restart_seed(seed: u64, r: u64) -> u64 {
-    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r + 1)
+    mix_seed(seed, r)
 }
 
 /// Marks every symbolic argv byte of a prepared VM with its variable.
@@ -208,7 +228,8 @@ impl<'p> Engine<'p> {
         assignment: &[i64],
     ) -> (RunRecord, ExprArena) {
         let (argv, kcfg) = realize(&self.cfg.spec, vars, assignment, &self.cfg.kernel);
-        let host = SymHost::new(arena, Kernel::new(kcfg), vars.clone(), self.cp.n_branches());
+        let mut host = SymHost::new(arena, Kernel::new(kcfg), vars.clone(), self.cp.n_branches());
+        host.concretization = self.cfg.budget.concretization;
         let mut vm = Vm::new(self.cp, host);
         vm.fuel = self.cfg.budget.fuel_per_run;
         vm.prepare(&argv);
@@ -226,6 +247,9 @@ impl<'p> Engine<'p> {
                 stdout: host.stdout,
                 labels: host.labels,
                 profile: host.profile,
+                concretizations: host.concretizations,
+                concretization_ranges: host.concretization_ranges,
+                concretization_pins: host.concretization_pins,
             },
             host.arena,
         )
@@ -252,6 +276,10 @@ impl<'p> Engine<'p> {
         let mut solver_calls = 0usize;
         let mut solver_sat = 0usize;
         let mut total_instrs = 0u64;
+        let mut concretizations = 0u64;
+        let mut concretization_ranges = 0u64;
+        let mut concretization_pins = 0u64;
+        let mut pin_fallbacks = 0u64;
 
         let mut assignment = self.initial_assignment();
         let mut frontier = Frontier::new(
@@ -273,6 +301,9 @@ impl<'p> Engine<'p> {
             labels.merge(&record.labels);
             profile.merge(&record.profile);
             total_instrs += record.meter.instrs;
+            concretizations += record.concretizations;
+            concretization_ranges += record.concretization_ranges;
+            concretization_pins += record.concretization_pins;
             if let RunOutcome::Crashed(info) = &record.outcome {
                 crashes.push(FoundCrash {
                     info: info.clone(),
@@ -304,6 +335,33 @@ impl<'p> Engine<'p> {
                     positive: step.lit.positive,
                 })
                 .collect();
+            // Range constraints (offset-generalized concretizations) get
+            // the same nondeterminism substitution on their expressions.
+            // Only the range-bearing steps are substituted — most steps
+            // carry none, and the whole-path DAG substitution above is
+            // already the engine's hotspot.
+            let ranged: Vec<(usize, solver::RangeConstraint)> = record
+                .path
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.range.map(|rc| (i, rc)))
+                .collect();
+            let range_exprs: Vec<_> = ranged.iter().map(|(_, rc)| rc.expr).collect();
+            let substituted_range_exprs = arena.substitute_many(&range_exprs, &pin);
+            let mut ranges: Vec<Option<solver::RangeConstraint>> = vec![None; record.path.len()];
+            for ((i, rc), expr) in ranged.iter().zip(&substituted_range_exprs) {
+                ranges[*i] = Some(solver::RangeConstraint { expr: *expr, ..*rc });
+            }
+            // A step contributes its range form when it has one, else its
+            // literal (branch condition or emission-time pin).
+            let push_prefix = |cs: &mut ConstraintSet, upto: usize| {
+                for i in 0..upto {
+                    match ranges[i] {
+                        Some(rc) => cs.push_range(rc),
+                        None => cs.push(substituted[i]),
+                    }
+                }
+            };
             let seed_controllables: Vec<i64> = assignment[..vars.n_controllable as usize].to_vec();
             frontier.begin_run();
             let order = self
@@ -327,24 +385,28 @@ impl<'p> Engine<'p> {
                     continue;
                 }
                 let mut cs = ConstraintSet::new();
-                for lit in &substituted[..i] {
-                    cs.push(*lit);
-                }
+                push_prefix(&mut cs, i);
                 cs.push(substituted[i].negated());
                 frontier.offer(cs, seed_controllables.clone(), Some(bid.0));
             }
             frontier.end_run();
 
             // Solve pending sets in the frontier's order until one is
-            // satisfiable.
+            // satisfiable; sets with range constraints retry pinned when
+            // the bounded form goes unsolved.
             let mut next: Option<Vec<i64>> = None;
             while let Some(pending) = frontier.pop() {
                 solver_calls += 1;
                 let cfg = SolveCfg {
-                    seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
+                    seed: mix_seed(self.cfg.seed, solver_calls as u64),
                     ..self.cfg.solve.clone()
                 };
-                if let Some(model) = solver::solve(&arena, &pending.cs, Some(&pending.seed), &cfg) {
+                let (model, sstats) =
+                    solver::solve_or_pin(&mut arena, &pending.cs, Some(&pending.seed), &cfg);
+                if sstats.pin_fallback {
+                    pin_fallbacks += 1;
+                }
+                if let Some(model) = model {
                     solver_sat += 1;
                     frontier.note_solved(true);
                     next = Some(model[..vars.n_controllable as usize].to_vec());
@@ -385,6 +447,10 @@ impl<'p> Engine<'p> {
             crashes,
             arena_nodes: arena.len(),
             total_instrs,
+            concretizations,
+            concretization_ranges,
+            concretization_pins,
+            pin_fallbacks,
             exhausted,
             timed_out,
             frontier: frontier.into_stats(),

@@ -21,4 +21,7 @@ pub use engine::{
 };
 pub use input::{realize, ArgSpec, ClientSpec, FileSpec, InputSpec, InputVars};
 pub use label::{BranchLabel, LabelMap, Profile};
-pub use shadow::{map_binop, map_unop, PathStep, StepOrigin, SymHost, SymV};
+pub use shadow::{
+    concretization_step, map_binop, map_unop, Concretization, PathStep, PtrComponent, StepOrigin,
+    SymHost, SymV,
+};

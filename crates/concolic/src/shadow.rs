@@ -2,9 +2,18 @@
 //!
 //! [`SymHost`] mirrors every VM value that depends on program input with
 //! an expression in the solver arena. Branches on shadowed conditions
-//! append literals to the run's path (§2.1's constraint collection);
-//! symbolic pointer offsets are concretized with a pinning constraint, as
-//! concolic engines in the CUTE lineage do.
+//! append literals to the run's path (§2.1's constraint collection).
+//!
+//! Symbolic pointer components are concretized — but, by default, with an
+//! **offset-generalizing** constraint rather than the equality pin of the
+//! CUTE lineage: the component is bounded to the values that keep the
+//! access inside the base pointer's object
+//! ([`Concretization::RegionBounds`]), with the observed value retained
+//! so the solver can fall back to the hard pin. Pins over-constrain:
+//! replay's forced prefixes routinely need a *different* stream offset
+//! than the failing run observed, and under pins every such prefix is
+//! UNSAT (the Table 3 combined-row thrash). [`Concretization::Pin`]
+//! restores the classic behavior for comparison.
 
 use crate::input::InputVars;
 use crate::label::{LabelMap, Profile};
@@ -12,32 +21,125 @@ use minic::ast::{BinOp, UnOp};
 use minic::cost::Meter;
 use minic::memory::Memory;
 use minic::types::Sys;
-use minic::vm::{CrashKind, Host, HostStop};
+use minic::vm::{CrashKind, Host, HostStop, PtrRegion};
 use minic::{BranchId, Loc};
 use oskit::Kernel;
-use solver::{ExprArena, ExprRef, Lit, Op, VarId, VarInfo};
+use solver::{div_ceil, div_floor, ExprArena, ExprRef, Lit, Op, RangeConstraint, VarId, VarInfo};
 
 /// Shadow value: `None` for concrete, `Some(expr)` for input-dependent.
 pub type SymV = Option<ExprRef>;
+
+/// How symbolic address components are concretized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concretization {
+    /// The classic CUTE-style equality pin (`expr == observed`).
+    Pin,
+    /// Offset-generalizing: bound the component to the values that keep
+    /// the access inside the object's region (plus stride alignment for
+    /// symbolic base pointers), falling back to the pin when no region is
+    /// known or the bounded form defeats the solver.
+    #[default]
+    RegionBounds,
+}
 
 /// Where a path literal came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOrigin {
     /// A branch instruction (negatable during exploration).
     Branch(BranchId),
-    /// A pinning constraint from concretizing a symbolic address.
+    /// A constraint from concretizing a symbolic address.
     Concretization,
 }
 
 /// One entry of a run's path condition.
 #[derive(Debug, Clone, Copy)]
 pub struct PathStep {
-    /// The literal asserted by this step.
+    /// The literal asserted by this step. For concretization steps this
+    /// is the hard pin (`expr == observed`).
     pub lit: Lit,
+    /// The offset-generalizing form of a concretization step, when a
+    /// region was known: engines add this *instead of* the pin literal,
+    /// and use the pin only as the solver's fallback.
+    pub range: Option<RangeConstraint>,
     /// Why the literal exists.
     pub origin: StepOrigin,
     /// The direction taken (meaningful for branch steps).
     pub taken: bool,
+}
+
+/// Which component of a `ptr + idx * stride` a concretization targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrComponent {
+    /// The base pointer itself is symbolic.
+    Base,
+    /// The element index is symbolic (the common stream-offset case).
+    Index,
+}
+
+/// Builds the path step concretizing one symbolic component of a pointer
+/// addition. Shared by the analysis host ([`SymHost`]) and the replay
+/// host.
+///
+/// Under [`Concretization::RegionBounds`] with a live region, the
+/// constraint keeps the access in bounds instead of pinning it:
+///
+/// - a symbolic *index* `i` of `ptr + i*stride` (base at cell offset
+///   `off` of a `cells`-cell object) is bounded to
+///   `ceil(-off/stride) <= i <= floor((cells-1-off)/stride)`;
+/// - a symbolic *base* `p` of `p + idx*stride` is bounded to the object
+///   with stride alignment relative to the object start.
+///
+/// The observed value always rides along; when it falls outside the
+/// computed bounds (dead object, exotic arithmetic) the step degrades to
+/// the pin.
+#[allow(clippy::too_many_arguments)]
+pub fn concretization_step(
+    arena: &mut ExprArena,
+    mode: Concretization,
+    expr: ExprRef,
+    observed: i64,
+    component: PtrComponent,
+    stride: u32,
+    other_observed: i64,
+    region: Option<PtrRegion>,
+) -> PathStep {
+    let c = arena.constant(observed);
+    let pin_expr = arena.bin(Op::Eq, expr, c);
+    let pin = Lit {
+        expr: pin_expr,
+        positive: true,
+    };
+    let stride = stride.max(1) as i64;
+    let range = match (mode, region) {
+        (Concretization::RegionBounds, Some(r)) if r.cells > 0 => {
+            let cells = r.cells as i64;
+            let rc = match component {
+                PtrComponent::Index => {
+                    // Cell offset of the base pointer within its object.
+                    let off = other_observed.wrapping_sub(r.base);
+                    let lo = div_ceil(-off, stride);
+                    let hi = div_floor(cells - 1 - off, stride);
+                    RangeConstraint::range(expr, lo, hi, observed)
+                }
+                PtrComponent::Base => {
+                    let shift = other_observed.wrapping_mul(stride);
+                    let lo = r.base.wrapping_sub(shift);
+                    let hi = r.base.wrapping_add(cells - 1).wrapping_sub(shift);
+                    RangeConstraint::aligned(expr, lo, hi, stride, r.base, observed)
+                }
+            };
+            // Sanity: the producing run's value must be admissible, or
+            // the region arithmetic does not describe this access.
+            (rc.lo <= rc.hi && rc.admits(observed)).then_some(rc)
+        }
+        _ => None,
+    };
+    PathStep {
+        lit: pin,
+        range,
+        origin: StepOrigin::Concretization,
+        taken: true,
+    }
 }
 
 /// Translates a VM binary operator to a solver operator.
@@ -91,6 +193,12 @@ pub struct SymHost {
     pub stdout: Vec<u8>,
     /// Number of symbolic addresses concretized.
     pub concretizations: u64,
+    /// Concretizations that emitted the offset-generalizing range form.
+    pub concretization_ranges: u64,
+    /// Concretizations that fell back to (or were configured as) the pin.
+    pub concretization_pins: u64,
+    /// How symbolic address components are concretized.
+    pub concretization: Concretization,
     /// Cap on path length (0 = unlimited): keeps pathological runs from
     /// exhausting memory.
     pub max_path_len: usize,
@@ -111,6 +219,9 @@ impl SymHost {
             nondet_values: Vec::new(),
             stdout: Vec::new(),
             concretizations: 0,
+            concretization_ranges: 0,
+            concretization_pins: 0,
+            concretization: Concretization::default(),
             max_path_len: 200_000,
             path_overflow: false,
         }
@@ -175,24 +286,34 @@ impl Host for SymHost {
         &mut self,
         ptr: (i64, &SymV),
         idx: (i64, &SymV),
-        _stride: u32,
+        stride: u32,
         _out: i64,
+        region: Option<PtrRegion>,
     ) -> SymV {
-        // Addresses stay concrete; pin any symbolic component to its
-        // observed value so solved inputs replay the same addresses.
-        for (val, sh) in [ptr, idx] {
+        // Addresses stay concrete; each symbolic component is concretized
+        // with a region-bounds constraint (pin fallback) per the policy.
+        for (component, (val, sh), other) in [
+            (PtrComponent::Base, ptr, idx.0),
+            (PtrComponent::Index, idx, ptr.0),
+        ] {
             if let Some(e) = sh {
-                let c = self.arena.constant(val);
-                let pin = self.arena.bin(Op::Eq, *e, c);
+                let step = concretization_step(
+                    &mut self.arena,
+                    self.concretization,
+                    *e,
+                    val,
+                    component,
+                    stride,
+                    other,
+                    region,
+                );
                 self.concretizations += 1;
-                self.push_step(PathStep {
-                    lit: Lit {
-                        expr: pin,
-                        positive: true,
-                    },
-                    origin: StepOrigin::Concretization,
-                    taken: true,
-                });
+                if step.range.is_some() {
+                    self.concretization_ranges += 1;
+                } else {
+                    self.concretization_pins += 1;
+                }
+                self.push_step(step);
             }
         }
         None
@@ -231,6 +352,7 @@ impl Host for SymHost {
                     expr: *e,
                     positive: taken,
                 },
+                range: None,
                 origin: StepOrigin::Branch(bid),
                 taken,
             });

@@ -22,6 +22,11 @@
 pub mod metrics;
 pub mod pipeline;
 
+pub use concolic::Concretization;
 pub use metrics::{LocationRow, Overhead, ReplayRow};
 pub use pipeline::{to_dyn_labels, AnalysisBundle, LoggedRun, Workbench};
-pub use search::{FrontierStats, SearchPolicy, Strategy};
+pub use search::{ForcedSetRepair, FrontierStats, SearchPolicy, Strategy};
+// The one documented home of the golden-ratio seed-mixing helper (the
+// engines' per-call solver seeds and restart seeds all derive through
+// it).
+pub use solver::{mix_seed, GOLDEN_RATIO};

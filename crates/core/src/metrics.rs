@@ -59,9 +59,32 @@ pub struct ReplayRow {
     pub syscall_divergences: u64,
     /// Frontier drain restarts (starvation events) during the search.
     pub frontier_restarts: u64,
+    /// Concretizations emitted as offset-generalizing ranges.
+    pub concretization_ranges: u64,
+    /// Concretizations pinned at emission.
+    pub concretization_pins: u64,
+    /// Solver calls that fell back to the hard-pinned variant.
+    pub pin_fallbacks: u64,
+    /// Earliest-suspect forced-set repairs scheduled.
+    pub repairs: u64,
+    /// Prefixes whose repair budget was cut off.
+    pub repair_cutoffs: u64,
 }
 
 impl ReplayRow {
+    /// The pin-vs-range concretization cell: `ranges/pins+fallbacks`.
+    pub fn concretization_cell(&self) -> String {
+        format!(
+            "{}/{}+{}",
+            self.concretization_ranges, self.concretization_pins, self.pin_fallbacks
+        )
+    }
+
+    /// The repair-activation cell: `scheduled(cutoffs)`.
+    pub fn repair_cell(&self) -> String {
+        format!("{}({})", self.repairs, self.repair_cutoffs)
+    }
+
     /// The table cell: work (and wall time), or ∞ on timeout.
     pub fn cell(&self) -> String {
         if !self.reproduced {
@@ -119,7 +142,14 @@ mod tests {
             solver_calls: 5,
             syscall_divergences: 0,
             frontier_restarts: 0,
+            concretization_ranges: 12,
+            concretization_pins: 3,
+            pin_fallbacks: 2,
+            repairs: 1,
+            repair_cutoffs: 0,
         };
         assert_eq!(r.cell(), "∞");
+        assert_eq!(r.concretization_cell(), "12/3+2");
+        assert_eq!(r.repair_cell(), "1(0)");
     }
 }

@@ -15,7 +15,8 @@
 
 use crate::metrics::Overhead;
 use concolic::{
-    realize, AnalysisResult, BranchLabel, Engine, InputSpec, InputVars, Profile, SessionConfig,
+    realize, AnalysisResult, BranchLabel, Concretization, Engine, InputSpec, InputVars, Profile,
+    SessionConfig,
 };
 use instrument::{BugReport, DynLabel, LoggingHost, Method, Plan};
 use minic::cost::Meter;
@@ -98,6 +99,10 @@ pub struct Workbench {
     /// and the replay search. Defaults to the paper's deterministic DFS;
     /// [`SearchPolicy::explorer`] breaks coverage plateaus on servers.
     pub policy: SearchPolicy,
+    /// How symbolic address components are concretized in both engines:
+    /// offset-generalizing region bounds by default,
+    /// [`Concretization::Pin`] for the classic equality pins.
+    pub concretization: Concretization,
 }
 
 impl Workbench {
@@ -110,6 +115,7 @@ impl Workbench {
             static_exclude: Vec::new(),
             seed: 17,
             policy: SearchPolicy::default(),
+            concretization: Concretization::default(),
         }
     }
 
@@ -120,6 +126,7 @@ impl Workbench {
         scfg.kernel = self.kernel_for_analysis();
         scfg.budget.max_runs = max_runs;
         scfg.budget.policy = self.policy.clone();
+        scfg.budget.concretization = self.concretization;
         scfg.seed = self.seed;
         let dyn_result = Engine::new(&self.cp, scfg).analyze();
         let dyn_labels = to_dyn_labels(&self.cp, &dyn_result.labels);
@@ -226,6 +233,7 @@ impl Workbench {
         rcfg.base_fs = self.kernel.fs.clone();
         rcfg.budget.max_runs = max_runs;
         rcfg.budget.policy = self.policy.clone();
+        rcfg.budget.concretization = self.concretization;
         rcfg.seed = self.seed ^ 0x5eed_cafe;
         ReplayEngine::new(&self.cp, plan.clone(), report.clone(), rcfg).reproduce()
     }

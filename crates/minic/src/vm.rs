@@ -96,6 +96,18 @@ pub enum HostStop {
     Crash(CrashKind),
 }
 
+/// Bounds of the memory object a pointer-arithmetic base refers to,
+/// passed to [`Host::shadow_ptr_add`] so concolic hosts can emit
+/// in-bounds-of-region constraints instead of hard equality pins when
+/// concretizing a symbolic address component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtrRegion {
+    /// Packed address of the object's first cell (`pack(obj, 0)`).
+    pub base: i64,
+    /// Number of cells in the object.
+    pub cells: u32,
+}
+
 /// Extension point observing and steering a VM run.
 ///
 /// `V` is the per-cell/per-operand *shadow* value: `()` for concrete runs,
@@ -142,13 +154,16 @@ pub trait Host {
     }
 
     /// Shadow of pointer arithmetic; hosts may concretize symbolic indices
-    /// here (adding a pinning constraint) as concolic engines do.
+    /// here, as concolic engines do — either with a pinning constraint or
+    /// with a region-bounds constraint derived from `region` (the bounds
+    /// of the object the base pointer refers to, when it is live).
     fn shadow_ptr_add(
         &mut self,
         _ptr: (i64, &Self::V),
         _idx: (i64, &Self::V),
         _stride: u32,
         _out: i64,
+        _region: Option<PtrRegion>,
     ) -> Self::V {
         Self::V::default()
     }
@@ -554,9 +569,16 @@ impl<'p, H: Host> Vm<'p, H> {
                     let (idx, shi) = pop!();
                     let (ptr, shp) = pop!();
                     let out = ptr.wrapping_add(idx.wrapping_mul(stride as i64));
-                    let sh = self
-                        .host
-                        .shadow_ptr_add((ptr, &shp), (idx, &shi), stride, out);
+                    // Bounds of the base pointer's object, for hosts that
+                    // emit region constraints on symbolic components.
+                    let (obj, _) = crate::memory::unpack(ptr);
+                    let region = self.mem.object_cells(obj).map(|cells| PtrRegion {
+                        base: pack(obj, 0),
+                        cells: cells.len() as u32,
+                    });
+                    let sh =
+                        self.host
+                            .shadow_ptr_add((ptr, &shp), (idx, &shi), stride, out, region);
                     self.stack.push((out, sh));
                 }
                 Instr::PtrDiff(stride) => {

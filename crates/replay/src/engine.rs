@@ -17,14 +17,17 @@
 
 use crate::env::{realize_streams, ReplayEnv, SyscallMode};
 use crate::host::{ReplayHost, BRANCH_DIVERGENCE, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE};
-use concolic::{restart_seed, seeded_assignment, InputSpec, InputVars, StepOrigin};
+use concolic::{
+    restart_seed, seeded_assignment, Concretization, InputSpec, InputVars, PathStep, StepOrigin,
+};
 use instrument::{BugReport, Plan};
 use minic::memory::pack;
 use minic::vm::{RunOutcome, Vm};
 use minic::CompiledProgram;
 use oskit::SimFs;
-use search::{Frontier, FrontierStats, SearchPolicy};
-use solver::{ConstraintSet, ExprArena, Lit, SolveCfg};
+use search::{Frontier, FrontierStats, RepairTracker, SearchPolicy};
+use solver::{mix_seed, ConstraintSet, ExprArena, Lit, SolveCfg};
+use std::collections::{HashMap, HashSet};
 
 /// Budget for one reproduction attempt. `max_runs` is the deterministic
 /// stand-in for the paper's 1-hour replay timeout.
@@ -41,8 +44,12 @@ pub struct ReplayBudget {
     /// Pending sets longer than this many literals are skipped.
     pub max_pending_lits: usize,
     /// Frontier scheduling policy (strategy, per-branch quotas, drain
-    /// restarts). The default is the paper's deterministic DFS.
+    /// restarts, forced-set repair). The default is the paper's
+    /// deterministic DFS with repair enabled.
     pub policy: SearchPolicy,
+    /// How symbolic address components are concretized (offset-
+    /// generalizing region bounds by default).
+    pub concretization: Concretization,
 }
 
 impl Default for ReplayBudget {
@@ -54,6 +61,7 @@ impl Default for ReplayBudget {
             max_pendings_per_run: 64,
             max_pending_lits: 4000,
             policy: SearchPolicy::default(),
+            concretization: Concretization::default(),
         }
     }
 }
@@ -72,6 +80,11 @@ pub struct ReplayConfig {
     pub solve: SolveCfg,
     /// Seed for the initial candidate input.
     pub seed: u64,
+    /// Optional starting candidate (controllable assignment). Developers
+    /// often have a plausible input at hand (a regression corpus entry,
+    /// a sanitized capture); starting the guided search there instead of
+    /// from random printables can skip most of the log re-derivation.
+    pub initial_hint: Option<Vec<i64>>,
 }
 
 impl ReplayConfig {
@@ -83,6 +96,7 @@ impl ReplayConfig {
             budget: ReplayBudget::default(),
             solve: SolveCfg::default(),
             seed: 11,
+            initial_hint: None,
         }
     }
 }
@@ -113,7 +127,16 @@ pub struct ReplayResult {
     pub exhausted: bool,
     /// Syscall-order divergence aborts survived during the search.
     pub syscall_divergences: u64,
-    /// Frontier scheduling counters.
+    /// Concretizations emitted as offset-generalizing ranges, summed
+    /// across runs.
+    pub concretization_ranges: u64,
+    /// Concretizations pinned at emission, summed across runs.
+    pub concretization_pins: u64,
+    /// Solver calls that retried with the hard-pinned variant after the
+    /// bounded form went unsolved.
+    pub pin_fallbacks: u64,
+    /// Frontier scheduling counters (including forced-set repair
+    /// activations and cutoffs).
     pub frontier: FrontierStats,
     /// Aggregate per-run stats of the last (or successful) run.
     pub last_run_stats: crate::host::ReplayRunStats,
@@ -140,7 +163,36 @@ impl<'p> ReplayEngine<'p> {
     }
 
     fn initial_assignment(&self, n: usize) -> Vec<i64> {
-        seeded_assignment(n, self.cfg.seed)
+        match &self.cfg.initial_hint {
+            Some(hint) => {
+                let mut a = hint.clone();
+                a.resize(n, 0x20);
+                a
+            }
+            None => seeded_assignment(n, self.cfg.seed),
+        }
+    }
+
+    /// Offers the first not-yet-explored rung of the forced set's repair
+    /// ladder (`attempt` is a starting offset). The frontier's dedup
+    /// rejects rungs explored on earlier bursts, so successive bursts
+    /// naturally walk deeper, and a duplicate flip never wastes the
+    /// attempt. Returns whether any repair was accepted.
+    fn offer_repair_ladder(frontier: &mut Frontier, info: &ForcedInfo, attempt: usize) -> bool {
+        for s in info.ladder().skip(attempt) {
+            let mut repair = ConstraintSet::new();
+            for st in &info.steps[..s] {
+                push_step(&mut repair, st);
+            }
+            repair.push(info.steps[s].lit.negated());
+            if frontier.offer_repair(repair, info.seed.clone()) {
+                if std::env::var("RETRACE_REPLAY_TRACE").is_ok() {
+                    eprintln!("  repair offered: suspect at step {s} (attempt {attempt})");
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// A fresh seeded candidate for the `r`-th drain restart.
@@ -166,6 +218,21 @@ impl<'p> ReplayEngine<'p> {
         let mut total_instrs = 0u64;
         let mut total_units = 0u64;
         let mut syscall_divergences = 0u64;
+        let mut concretization_ranges = 0u64;
+        let mut concretization_pins = 0u64;
+        let mut pin_fallbacks = 0u64;
+        // Forced-set repair state: metadata per queued forced set, thrash
+        // accounting per shared prefix key, and the log high-water mark
+        // that defines "progress" (bursts only accumulate while it
+        // stands still).
+        let mut forced_meta: HashMap<u128, ForcedInfo> = HashMap::new();
+        let mut tracker = RepairTracker::new();
+        let mut counted_cutoffs: HashSet<u128> = HashSet::new();
+        let mut bits_high_water = 0u64;
+        // High-water mark at the last dedup reset: a drain only earns a
+        // fresh re-derivation epoch after visible progress, so resets
+        // cannot loop.
+        let mut reset_high_water = u64::MAX;
         let mut timed_out = false;
         #[allow(unused_assignments)]
         let mut last_stats = crate::host::ReplayRunStats::default();
@@ -183,6 +250,14 @@ impl<'p> ReplayEngine<'p> {
         loop {
             // ---- one replay run -------------------------------------------
             let streams = realize_streams(&self.cfg.spec, &vars, &assignment);
+            let traced_conns: Option<Vec<String>> =
+                std::env::var("RETRACE_REPLAY_TRACE").ok().map(|_| {
+                    streams
+                        .conns
+                        .iter()
+                        .map(|c| String::from_utf8_lossy(c).escape_default().to_string())
+                        .collect()
+                });
             let nondet_assign: Vec<i64> = assignment
                 .get(n_controllable..)
                 .map(|s| s.to_vec())
@@ -194,7 +269,7 @@ impl<'p> ReplayEngine<'p> {
                 nondet_assign,
             );
             let argv = env.argv().to_vec();
-            let host = ReplayHost::new(
+            let mut host = ReplayHost::new(
                 arena,
                 env,
                 self.plan.clone(),
@@ -202,6 +277,7 @@ impl<'p> ReplayEngine<'p> {
                 vars.clone(),
                 self.report.crash.loc,
             );
+            host.concretization = self.cfg.budget.concretization;
             let mut vm = Vm::new(self.cp, host);
             vm.fuel = self.cfg.budget.fuel_per_run;
             vm.watch_loc = Some(self.report.crash.loc);
@@ -223,6 +299,18 @@ impl<'p> ReplayEngine<'p> {
             let host = vm.host;
             arena = host.arena;
             last_stats = host.stats.clone();
+            if let Some(conns) = traced_conns {
+                eprintln!(
+                    "run {runs}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} conns={conns:?}",
+                    host.stats.bits_consumed,
+                    host.stats.sym_logged_execs,
+                    host.stats.sym_unlogged_execs,
+                    host.path.len(),
+                    host.stats.divergent_branch,
+                );
+            }
+            concretization_ranges += last_stats.concretization_ranges;
+            concretization_pins += last_stats.concretization_pins;
             let path = host.path;
             let log_exhausted = host.bit_pos >= self.report.trace.len();
 
@@ -251,6 +339,9 @@ impl<'p> ReplayEngine<'p> {
                     timed_out: false,
                     exhausted: false,
                     syscall_divergences,
+                    concretization_ranges,
+                    concretization_pins,
+                    pin_fallbacks,
                     frontier: frontier.into_stats(),
                     last_run_stats: last_stats,
                 };
@@ -266,6 +357,9 @@ impl<'p> ReplayEngine<'p> {
                         timed_out: true,
                         exhausted: false,
                         syscall_divergences,
+                        concretization_ranges,
+                        concretization_pins,
+                        pin_fallbacks,
                         frontier: frontier.into_stats(),
                     },
                     last_stats,
@@ -301,8 +395,8 @@ impl<'p> ReplayEngine<'p> {
                 });
                 if let Some(d) = suspect {
                     let mut cs = ConstraintSet::new();
-                    for l in &lits[..d] {
-                        cs.push(*l);
+                    for st in &path[..d] {
+                        push_step(&mut cs, st);
                     }
                     cs.push(lits[d].negated());
                     frontier.offer_priority(cs, assignment.clone(), true);
@@ -332,22 +426,73 @@ impl<'p> ReplayEngine<'p> {
                     continue;
                 }
                 let mut cs = ConstraintSet::new();
-                for l in &lits[..i] {
-                    cs.push(*l);
+                for st in &path[..i] {
+                    push_step(&mut cs, st);
                 }
                 cs.push(lits[i].negated());
                 frontier.offer(cs, assignment.clone(), Some(bid.0));
             }
             frontier.end_run();
-            // The 2(b) forced set (whole path, last literal already
-            // pointing the recorded way) goes on the priority lane: tried
-            // first.
+            // The branch-divergence forced set (whole path; for a 2(b)
+            // abort its last literal already points the recorded way)
+            // goes on the priority lane: tried first. Its repair metadata
+            // (the unlogged suspects an UNSAT burst will backtrack to) is
+            // registered alongside; the evidence that triggers repair is
+            // collected in the solve loop, where forced sets earn UNSAT
+            // verdicts. (Divergence-count and duplicate-offer signals
+            // were measured as repair triggers too: they reach the
+            // 3(b)-style stalls whose forced sets always solve, but they
+            // also tax the healthy dynamic rows — exp 3 (hc) nearly
+            // tripled its run count — without making any combined row
+            // finite, so repair stays scoped to UNSAT bursts.)
             if forced {
-                let mut cs = ConstraintSet::new();
-                for l in &lits {
-                    cs.push(*l);
+                let progressed = last_stats.bits_consumed > bits_high_water;
+                if progressed {
+                    bits_high_water = last_stats.bits_consumed;
+                    tracker.reset_bursts();
                 }
+                let mut cs = ConstraintSet::new();
+                for st in &path {
+                    push_step(&mut cs, st);
+                }
+                let rp = self.cfg.budget.policy.forced_repair;
+                let mut info_for_meta = None;
+                if rp.enabled {
+                    // The suspect windows are wider than the attempt
+                    // budget so duplicate (already-explored) flips can be
+                    // walked past without exhausting the ladder.
+                    let window = (rp.max_repairs as usize).max(64);
+                    let suspects: Vec<usize> = path
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, st)| {
+                            matches!(st.origin, StepOrigin::Branch(b) if !self.plan.covers(b))
+                                && !arena.support(st.lit.expr).is_empty()
+                        })
+                        .map(|(i, _)| i)
+                        .take(window)
+                        .collect();
+                    if let (Some(_), Some(&last)) = (suspects.first(), suspects.last()) {
+                        // The burst key is the stall depth (the log
+                        // high-water mark): every UNSAT forced set while
+                        // the mark stands still pools its evidence into
+                        // one burst, however the aborting paths differ —
+                        // and each deeper stall gets a fresh repair
+                        // budget.
+                        let info = ForcedInfo {
+                            key: bits_high_water as u128,
+                            steps: path[..=last].to_vec(),
+                            suspects,
+                            seed: assignment.clone(),
+                        };
+                        info_for_meta = Some(info);
+                    }
+                }
+                let cs_sig = search::signature(&cs);
                 frontier.offer_priority(cs, assignment.clone(), false);
+                if let Some(info) = info_for_meta {
+                    forced_meta.insert(cs_sig, info);
+                }
             }
 
             // ---- pick and solve the next pending set -----------------------
@@ -355,16 +500,47 @@ impl<'p> ReplayEngine<'p> {
             while let Some(pending) = frontier.pop() {
                 solver_calls += 1;
                 let scfg = SolveCfg {
-                    seed: self.cfg.seed ^ (solver_calls as u64).wrapping_mul(0x9e37),
+                    seed: mix_seed(self.cfg.seed, solver_calls as u64),
                     ..self.cfg.solve.clone()
                 };
-                if let Some(model) = solver::solve(&arena, &pending.cs, Some(&pending.seed), &scfg)
-                {
+                let sig = search::signature(&pending.cs);
+                let (model, sstats) =
+                    solver::solve_or_pin(&mut arena, &pending.cs, Some(&pending.seed), &scfg);
+                if sstats.pin_fallback {
+                    pin_fallbacks += 1;
+                }
+                if let Some(model) = model {
                     frontier.note_solved(true);
                     next = Some(model);
                     break;
                 }
                 frontier.note_solved(false);
+                // A forced set went UNSAT: on a burst, backtrack to the
+                // earliest unlogged suspect (attempt k starts the ladder
+                // at the k-th rung; dedup walks past already-explored
+                // flips) and queue the repaired prefix on the priority
+                // lane.
+                if let Some(info) = forced_meta.get(&sig) {
+                    frontier.note_forced_unsat();
+                    let rp = self.cfg.budget.policy.forced_repair;
+                    match tracker.note_thrash(info.key, &rp) {
+                        Some(attempt) => {
+                            let offered =
+                                Self::offer_repair_ladder(&mut frontier, info, attempt as usize);
+                            if !offered && counted_cutoffs.insert(info.key) {
+                                frontier.note_repair_cutoff();
+                            }
+                        }
+                        None => {
+                            // Either the burst threshold is unmet, or the
+                            // per-prefix budget ran out (count the latter
+                            // once).
+                            if tracker.cut_off(info.key, &rp) && counted_cutoffs.insert(info.key) {
+                                frontier.note_repair_cutoff();
+                            }
+                        }
+                    }
+                }
                 if wall_expired(&start) {
                     timed_out = true;
                     break;
@@ -374,8 +550,13 @@ impl<'p> ReplayEngine<'p> {
                 Some(model) => assignment = model,
                 None => {
                     // Drained mid-budget: restart from a fresh seed if the
-                    // policy allows; otherwise report exhaustion (or the
-                    // wall timeout that cut the solve loop short).
+                    // policy allows; otherwise, if the search has made
+                    // progress since the last reset, forget the dedup
+                    // table and re-derive from the current candidate (the
+                    // suppressed sets were solved against seeds that have
+                    // long since moved on). Only then report exhaustion
+                    // (or the wall timeout that cut the solve loop
+                    // short).
                     if !timed_out
                         && self.cfg.budget.policy.restart_on_drain
                         && frontier.ever_scheduled()
@@ -383,6 +564,14 @@ impl<'p> ReplayEngine<'p> {
                         let r = frontier.stats().restarts;
                         frontier.note_restart();
                         assignment = self.restart_assignment(n_controllable, r);
+                        continue;
+                    }
+                    if !timed_out
+                        && frontier.ever_scheduled()
+                        && (reset_high_water == u64::MAX || bits_high_water > reset_high_water)
+                    {
+                        reset_high_water = bits_high_water;
+                        frontier.reset_dedup();
                         continue;
                     }
                     return self.failed(
@@ -395,6 +584,9 @@ impl<'p> ReplayEngine<'p> {
                             timed_out,
                             exhausted: !timed_out,
                             syscall_divergences,
+                            concretization_ranges,
+                            concretization_pins,
+                            pin_fallbacks,
                             frontier: frontier.into_stats(),
                         },
                         last_stats,
@@ -427,6 +619,9 @@ impl<'p> ReplayEngine<'p> {
             timed_out: outcome.timed_out,
             exhausted: outcome.exhausted,
             syscall_divergences: outcome.syscall_divergences,
+            concretization_ranges: outcome.concretization_ranges,
+            concretization_pins: outcome.concretization_pins,
+            pin_fallbacks: outcome.pin_fallbacks,
             frontier: outcome.frontier,
             last_run_stats: last_stats,
         }
@@ -438,5 +633,44 @@ struct Outcome {
     timed_out: bool,
     exhausted: bool,
     syscall_divergences: u64,
+    concretization_ranges: u64,
+    concretization_pins: u64,
+    pin_fallbacks: u64,
     frontier: FrontierStats,
+}
+
+/// Metadata retained for a queued forced (2(b)/3(b)) set so a thrash
+/// burst can be repaired by suspect backtracking.
+struct ForcedInfo {
+    /// Burst key: the log high-water mark (stall depth) at registration.
+    /// Every forced set produced while the mark stands still pools its
+    /// evidence into one burst, however the aborting paths differ, and
+    /// each deeper stall gets a fresh repair budget.
+    key: u128,
+    /// Path steps up to the last repairable suspect (inclusive).
+    steps: Vec<PathStep>,
+    /// Indices into `steps` of the *unlogged* symbolic suspects,
+    /// earliest first — the decisions the log never vouched for.
+    suspects: Vec<usize>,
+    /// The aborting run's assignment, used to seed repair solves.
+    seed: Vec<i64>,
+}
+
+impl ForcedInfo {
+    /// The repair ladder: the unlogged suspects, earliest first — an
+    /// early unverified decision is what corrupts a forced prefix, and
+    /// deepest-first is exactly what plain DFS already retried.
+    fn ladder(&self) -> impl Iterator<Item = usize> + '_ {
+        self.suspects.iter().copied()
+    }
+}
+
+/// Appends one path step to a pending constraint set: the
+/// offset-generalizing range form when the step has one, its literal
+/// (branch condition or emission-time pin) otherwise.
+fn push_step(cs: &mut ConstraintSet, step: &PathStep) {
+    match step.range {
+        Some(rc) => cs.push_range(rc),
+        None => cs.push(step.lit),
+    }
 }

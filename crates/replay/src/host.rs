@@ -14,13 +14,16 @@
 //! 4. **concrete, not instrumented** — proceed, log untouched.
 
 use crate::env::{ReplayEnv, SyscallDivergence};
-use concolic::{map_binop, map_unop, InputVars, PathStep, StepOrigin, SymV};
+use concolic::{
+    concretization_step, map_binop, map_unop, Concretization, InputVars, PathStep, PtrComponent,
+    StepOrigin, SymV,
+};
 use instrument::{BranchTrace, Plan};
 use minic::ast::{BinOp, UnOp};
 use minic::cost::Meter;
 use minic::memory::Memory;
 use minic::types::Sys;
-use minic::vm::{CrashKind, Host, HostStop};
+use minic::vm::{CrashKind, Host, HostStop, PtrRegion};
 use minic::{BranchId, Loc};
 use solver::{ExprArena, ExprRef, Lit, Op, VarId, VarInfo};
 
@@ -47,6 +50,13 @@ pub struct ReplayRunStats {
     pub concrete_logged_execs: u64,
     /// Whether the run ended in a 2(b) forced-direction abort.
     pub forced_abort: bool,
+    /// The branch the run diverged at, with whether its condition was
+    /// symbolic (`true` = case 2(b), `false` = case 3(b)).
+    pub divergent_branch: Option<(u32, bool)>,
+    /// Concretizations emitted as offset-generalizing ranges this run.
+    pub concretization_ranges: u64,
+    /// Concretizations pinned at emission this run.
+    pub concretization_pins: u64,
 }
 
 /// The replay host.
@@ -69,6 +79,8 @@ pub struct ReplayHost {
     pub stdout: Vec<u8>,
     /// Run statistics.
     pub stats: ReplayRunStats,
+    /// How symbolic address components are concretized.
+    pub concretization: Concretization,
     /// The crash site to reach.
     pub crash_loc: Loc,
 }
@@ -93,6 +105,7 @@ impl ReplayHost {
             path: Vec::new(),
             stdout: Vec::new(),
             stats: ReplayRunStats::default(),
+            concretization: Concretization::default(),
             crash_loc,
         }
     }
@@ -163,21 +176,31 @@ impl Host for ReplayHost {
         &mut self,
         ptr: (i64, &SymV),
         idx: (i64, &SymV),
-        _stride: u32,
+        stride: u32,
         _out: i64,
+        region: Option<PtrRegion>,
     ) -> SymV {
-        for (val, sh) in [ptr, idx] {
+        for (component, (val, sh), other) in [
+            (PtrComponent::Base, ptr, idx.0),
+            (PtrComponent::Index, idx, ptr.0),
+        ] {
             if let Some(e) = sh {
-                let c = self.arena.constant(val);
-                let pin = self.arena.bin(Op::Eq, *e, c);
-                self.path.push(PathStep {
-                    lit: Lit {
-                        expr: pin,
-                        positive: true,
-                    },
-                    origin: StepOrigin::Concretization,
-                    taken: true,
-                });
+                let step = concretization_step(
+                    &mut self.arena,
+                    self.concretization,
+                    *e,
+                    val,
+                    component,
+                    stride,
+                    other,
+                    region,
+                );
+                if step.range.is_some() {
+                    self.stats.concretization_ranges += 1;
+                } else {
+                    self.stats.concretization_pins += 1;
+                }
+                self.path.push(step);
             }
         }
         None
@@ -219,6 +242,7 @@ impl Host for ReplayHost {
                         expr: e,
                         positive: taken,
                     },
+                    range: None,
                     origin: StepOrigin::Branch(bid),
                     taken,
                 });
@@ -237,6 +261,7 @@ impl Host for ReplayHost {
                                 expr: e,
                                 positive: taken,
                             },
+                            range: None,
                             origin: StepOrigin::Branch(bid),
                             taken,
                         });
@@ -249,6 +274,7 @@ impl Host for ReplayHost {
                                 expr: e,
                                 positive: taken,
                             },
+                            range: None,
                             origin: StepOrigin::Branch(bid),
                             taken,
                         });
@@ -263,10 +289,12 @@ impl Host for ReplayHost {
                                 expr: e,
                                 positive: recorded,
                             },
+                            range: None,
                             origin: StepOrigin::Branch(bid),
                             taken: recorded,
                         });
                         self.stats.forced_abort = true;
+                        self.stats.divergent_branch = Some((bid.0, true));
                         Err(self.divergence())
                     }
                 }
@@ -280,6 +308,7 @@ impl Host for ReplayHost {
                     Some(_) => {
                         // Case 3(b): an earlier uninstrumented symbolic
                         // branch went the wrong way — abort, backtrack.
+                        self.stats.divergent_branch = Some((bid.0, false));
                         Err(self.divergence())
                     }
                 }

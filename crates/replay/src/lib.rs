@@ -448,6 +448,128 @@ mod e2e {
     }
 
     #[test]
+    fn earliest_suspect_repair_converges_where_deepest_first_thrashed() {
+        // The combined-plan pathology in miniature: an early UNLOGGED
+        // symbolic branch (s[0] == 'Q') decides which way a later LOGGED
+        // branch on the SAME condition must go. The first candidate takes
+        // the early branch the wrong way; at the logged twin the recorded
+        // bit forces the opposite direction, so every 2(b) forced set
+        // carries `!(s0=='Q') && (s0=='Q')` — UNSAT. A long unlogged
+        // byte-scan loop sits between the two, so with a small per-run
+        // scheduling cap the deepest-first standard sets only ever negate
+        // loop bytes: the search thrashes without repair, and converges
+        // once the earliest-unlogged-suspect repair flips the corrupted
+        // decision.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                int flag = 0;
+                if (s[0] == 'Q') { flag = 1; }
+                int acc = 0;
+                for (int i = 1; i < 40; i++) {
+                    if (s[i] > 'a') { acc++; }
+                }
+                if (s[0] == 'Q') {
+                    int *p = 0;
+                    return *p;
+                }
+                return acc;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 40);
+        // Log ONLY the second s[0]=='Q' branch (source order: branch 0 is
+        // the first if, 1 the for condition, 2 the loop-body if, 3 the
+        // crash guard).
+        let mut instrumented = vec![false; cp.n_branches()];
+        instrumented[3] = true;
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented,
+            log_syscalls: true,
+        };
+        let mut true_input = vec![b'b'; 40];
+        true_input[0] = b'Q';
+        let parts = InputParts {
+            argv_sym: vec![true_input],
+            ..InputParts::default()
+        };
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let assignment = assignment_from_input(&spec, &parts);
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+        let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("Q... crashes").clone();
+        let report = BugReport::capture(vm.host, crash);
+        assert_eq!(report.trace.len(), 1, "one logged branch execution");
+
+        let run = |repair: search::ForcedSetRepair| {
+            let mut rcfg = ReplayConfig::new(spec.clone());
+            rcfg.budget.max_runs = 48;
+            // Small cap: deepest-first offers only deep loop negations,
+            // starving the shallow suspect — the thrash precondition.
+            rcfg.budget.max_pendings_per_run = 4;
+            // UNSAT forced sets should fail fast, not burn a full proof
+            // budget (the repair path is what is under test).
+            rcfg.solve.max_iters = 2000;
+            rcfg.budget.policy.forced_repair = repair;
+            ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce()
+        };
+
+        let thrashed = run(search::ForcedSetRepair::disabled());
+        assert!(
+            !thrashed.reproduced,
+            "without repair the search must thrash within the budget: {:?}",
+            (thrashed.runs, &thrashed.frontier),
+        );
+
+        let repaired = run(search::ForcedSetRepair::default());
+        assert!(
+            repaired.reproduced,
+            "earliest-suspect repair must converge: {:?}",
+            (repaired.runs, &repaired.frontier),
+        );
+        assert!(
+            repaired.frontier.repairs_scheduled >= 1,
+            "the repair lane did the work: {:?}",
+            repaired.frontier,
+        );
+        assert_eq!(&repaired.witness_argv.unwrap()[1][..1], b"Q");
+    }
+
+    #[test]
+    fn initial_hint_skips_the_search() {
+        // A developer-supplied starting candidate that is already the
+        // true input must reproduce on the first run with no solving.
+        let (cp, report, _) = record_and_replay(
+            GUARDED_CRASH,
+            guarded_spec(),
+            guarded_parts(),
+            Method::AllBranches,
+            true,
+            16,
+            64,
+        );
+        let plan = Plan::build(
+            Method::AllBranches,
+            &vec![DynLabel::Unvisited; cp.n_branches()],
+            &vec![false; cp.n_branches()],
+            cp.n_branches(),
+        );
+        let mut rcfg = ReplayConfig::new(guarded_spec());
+        rcfg.budget.max_runs = 4;
+        rcfg.initial_hint = Some(crate::stats::assignment_from_input(
+            &guarded_spec(),
+            &guarded_parts(),
+        ));
+        let res = ReplayEngine::new(&cp, plan, report, rcfg).reproduce();
+        assert!(res.reproduced);
+        assert_eq!(res.runs, 1, "the hint is the witness");
+        assert_eq!(res.solver_calls, 0);
+    }
+
+    #[test]
     fn drained_search_reports_exhaustion_not_timeout() {
         // An unsatisfiable guard: the crash needs argv[1][0] both 'a' and
         // 'b'. The log forces the recorded direction, every pending set is

@@ -88,6 +88,111 @@ impl Strategy {
     }
 }
 
+/// Forced-set repair policy (replay's answer to 2(b) UNSAT thrash).
+///
+/// A corrupted forced prefix — one where an *unlogged* symbolic branch
+/// went the wrong way early and every later forced set inherits the
+/// contradiction — produces a burst of UNSAT solver calls on forced sets
+/// sharing a common prefix. The repair strategy backtracks to the
+/// **earliest** unlogged symbolic suspect (not the deepest, which is
+/// what plain DFS keeps retrying), negates it, and re-queues the
+/// repaired prefix on the priority lane. A per-prefix attempt budget
+/// cuts the thrash off after a bounded number of retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedSetRepair {
+    /// Whether repair is active.
+    pub enabled: bool,
+    /// Consecutive UNSAT forced solves on one prefix before the first
+    /// repair is issued (and between subsequent repairs).
+    pub unsat_burst: u32,
+    /// Maximum repairs issued per prefix; the cutoff that bounds thrash.
+    pub max_repairs: u32,
+}
+
+impl Default for ForcedSetRepair {
+    fn default() -> Self {
+        ForcedSetRepair {
+            enabled: true,
+            unsat_burst: 2,
+            max_repairs: 24,
+        }
+    }
+}
+
+impl ForcedSetRepair {
+    /// Repair disabled — the pre-repair behavior, kept for comparison
+    /// runs and ablations.
+    pub fn disabled() -> Self {
+        ForcedSetRepair {
+            enabled: false,
+            ..ForcedSetRepair::default()
+        }
+    }
+}
+
+/// Tracks thrash evidence per stall and meters repair attempts.
+///
+/// Keys are caller-chosen 128-bit values; the replay engine keys on the
+/// log high-water mark (the stall depth), so every forced set produced
+/// while the search is stuck at one depth pools its evidence into a
+/// single burst — however the aborting paths differ — and each deeper
+/// stall gets a fresh repair budget. *Evidence* is an UNSAT verdict on a
+/// forced set: the corrupted-prefix signature. (Broader signals —
+/// divergence counts, duplicate forced offers — were measured as
+/// triggers too; they reach stalls whose forced sets always solve, but
+/// they also tax healthy searches, so repair stays scoped to UNSAT
+/// bursts.)
+#[derive(Debug, Default)]
+pub struct RepairTracker {
+    bursts: HashMap<u128, u32>,
+    attempts: HashMap<u128, u32>,
+}
+
+impl RepairTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one piece of thrash evidence for `key`. Returns
+    /// `Some(attempt_index)` when a repair should be issued now (the
+    /// index selects which suspect to flip: 0 = earliest), `None` while
+    /// the burst threshold is unmet or the prefix is cut off.
+    pub fn note_thrash(&mut self, key: u128, policy: &ForcedSetRepair) -> Option<u32> {
+        if !policy.enabled {
+            return None;
+        }
+        let b = self.bursts.entry(key).or_insert(0);
+        *b += 1;
+        if *b < policy.unsat_burst {
+            return None;
+        }
+        let a = self.attempts.entry(key).or_insert(0);
+        if *a >= policy.max_repairs {
+            return None;
+        }
+        *a += 1;
+        let attempt = *a - 1;
+        self.bursts.insert(key, 0);
+        Some(attempt)
+    }
+
+    /// Clears every burst counter. Call when the search visibly advances
+    /// (the replay's log high-water mark rises): bursts measure *stalled*
+    /// repetition, so progress anywhere acquits all pending suspicions.
+    /// Attempt counts persist — a prefix's repair budget never refills.
+    pub fn reset_bursts(&mut self) {
+        self.bursts.clear();
+    }
+
+    /// True once `key` has exhausted its repair budget.
+    pub fn cut_off(&self, key: u128, policy: &ForcedSetRepair) -> bool {
+        self.attempts
+            .get(&key)
+            .is_some_and(|a| *a >= policy.max_repairs)
+    }
+}
+
 /// Scheduling policy for one search session, threaded through the
 /// engines' budgets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +205,8 @@ pub struct SearchPolicy {
     /// When the frontier drains with run budget left, restart from a
     /// fresh seeded input instead of declaring exhaustion.
     pub restart_on_drain: bool,
+    /// Forced-set repair on 2(b) UNSAT bursts (replay only).
+    pub forced_repair: ForcedSetRepair,
 }
 
 impl Default for SearchPolicy {
@@ -108,6 +215,7 @@ impl Default for SearchPolicy {
             strategy: Strategy::DeepestFirst,
             branch_quota: 0,
             restart_on_drain: false,
+            forced_repair: ForcedSetRepair::default(),
         }
     }
 }
@@ -121,6 +229,7 @@ impl SearchPolicy {
             strategy: Strategy::Generational,
             branch_quota: 2,
             restart_on_drain: true,
+            forced_repair: ForcedSetRepair::default(),
         }
     }
 }
@@ -166,6 +275,15 @@ pub struct FrontierStats {
     /// Times the frontier drained and the engine restarted from a fresh
     /// seed (the starvation counter).
     pub restarts: u64,
+    /// Times the dedup table was reset after a drain (re-derivation
+    /// epochs; see [`Frontier::reset_dedup`]).
+    pub dedup_resets: u64,
+    /// UNSAT solver verdicts on forced (2(b)) sets.
+    pub forced_unsat: u64,
+    /// Earliest-suspect repaired prefixes scheduled on the priority lane.
+    pub repairs_scheduled: u64,
+    /// Prefixes whose repair budget ran out (thrash cut off).
+    pub repair_cutoffs: u64,
 }
 
 impl FrontierStats {
@@ -173,7 +291,8 @@ impl FrontierStats {
     pub fn summary(&self) -> String {
         format!(
             "{}: {} scheduled (+{} priority), {} sat / {} unsat, \
-             skipped {} dup / {} deep / {} quota, {} restarts",
+             skipped {} dup / {} deep / {} quota, {} restarts, \
+             {} repairs (+{} cut off)",
             self.strategy.label(),
             self.scheduled,
             self.priority_scheduled,
@@ -183,6 +302,8 @@ impl FrontierStats {
             self.skipped_depth,
             self.skipped_quota,
             self.restarts,
+            self.repairs_scheduled,
+            self.repair_cutoffs,
         )
     }
 }
@@ -217,16 +338,28 @@ pub struct Frontier {
     stats: FrontierStats,
 }
 
-/// 128-bit FNV-1a over the full `(ExprRef, bool)` literal vector.
-fn signature(cs: &ConstraintSet) -> u128 {
+/// 128-bit FNV-1a over the full `(ExprRef, bool)` literal vector plus
+/// every range constraint's full shape. Public so the replay engine can
+/// key its forced-set metadata and the repair tracker on the same
+/// identity the dedup uses.
+pub fn signature(cs: &ConstraintSet) -> u128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut h = OFFSET;
+    let mut mix = |v: u128| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
     for l in &cs.lits {
-        h ^= l.expr.0 as u128;
-        h = h.wrapping_mul(PRIME);
-        h ^= l.positive as u128;
-        h = h.wrapping_mul(PRIME);
+        mix(l.expr.0 as u128);
+        mix(l.positive as u128);
+    }
+    for r in &cs.ranges {
+        mix(0x5eed_0000_0000_0000u128 ^ r.expr.0 as u128);
+        mix(r.lo as u128);
+        mix(r.hi as u128);
+        mix(r.align as u128);
+        mix(r.phase as u128);
     }
     h
 }
@@ -341,10 +474,15 @@ impl Frontier {
                         .position(|e| signature(&e.cs) == sig)
                         .map(|i| self.run_buffer.remove(i))
                 });
-            let Some(entry) = pooled else {
+            let Some(mut entry) = pooled else {
                 self.stats.skipped_duplicate += 1;
                 return false;
             };
+            // The promoted set adopts the fresh seed: the pooled entry's
+            // seed is generations stale, and solving the guided fix from
+            // an old candidate throws away every byte the search has
+            // since established.
+            entry.seed = seed;
             self.priority.push(entry);
             self.stats.priority_scheduled += 1;
             if recovery {
@@ -421,9 +559,45 @@ impl Frontier {
         }
     }
 
+    /// Records an UNSAT verdict on a forced (2(b)) set.
+    pub fn note_forced_unsat(&mut self) {
+        self.stats.forced_unsat += 1;
+    }
+
+    /// Records a prefix whose repair budget is exhausted.
+    pub fn note_repair_cutoff(&mut self) {
+        self.stats.repair_cutoffs += 1;
+    }
+
+    /// Offers an earliest-suspect repaired prefix onto the priority lane.
+    /// Same promotion/dedup semantics as [`offer_priority`]; counted
+    /// separately so the tables can report repair activations.
+    ///
+    /// [`offer_priority`]: Frontier::offer_priority
+    pub fn offer_repair(&mut self, cs: ConstraintSet, seed: Vec<i64>) -> bool {
+        let accepted = self.offer_priority(cs, seed, false);
+        if accepted {
+            self.stats.repairs_scheduled += 1;
+        }
+        accepted
+    }
+
     /// Records a drain restart (starvation event).
     pub fn note_restart(&mut self) {
         self.stats.restarts += 1;
+    }
+
+    /// Forgets every dedup signature, opening a fresh re-derivation
+    /// epoch. The dedup table is a redundancy-suppression optimization,
+    /// not a soundness device: when the frontier starves (every set the
+    /// search still needs has been consumed or suppressed), the engine
+    /// may clear it and re-offer from the current candidate — whose seeds
+    /// and prefixes have moved far beyond the ones the suppressed sets
+    /// were solved with. Callers gate this on visible progress so
+    /// back-to-back resets cannot loop.
+    pub fn reset_dedup(&mut self) {
+        self.seen.clear();
+        self.stats.dedup_resets += 1;
     }
 
     /// True if any set was ever accepted — the restart gate (a program
@@ -559,8 +733,8 @@ mod tests {
         assert_eq!(first.depth, 2, "promoted set is tried first");
         assert_eq!(
             first.seed,
-            vec![7],
-            "the pooled entry was moved, not copied"
+            vec![9],
+            "the promoted set adopts the fresh (current-candidate) seed"
         );
         assert_eq!(f.pop().unwrap().depth, 1);
         assert!(f.pop().is_none(), "no duplicate left behind");
@@ -703,5 +877,90 @@ mod tests {
         assert!(f.stats().summary().starts_with("generational:"));
         let d = frontier(SearchPolicy::default());
         assert!(d.stats().summary().starts_with("deepest-first:"));
+    }
+
+    #[test]
+    fn repair_tracker_waits_for_burst_then_walks_suspects() {
+        let policy = ForcedSetRepair {
+            enabled: true,
+            unsat_burst: 2,
+            max_repairs: 3,
+        };
+        let mut t = RepairTracker::new();
+        let key = 42u128;
+        assert_eq!(t.note_thrash(key, &policy), None, "burst of 1");
+        assert_eq!(t.note_thrash(key, &policy), Some(0), "earliest first");
+        // The burst counter resets after a repair: two more failures.
+        assert_eq!(t.note_thrash(key, &policy), None);
+        assert_eq!(t.note_thrash(key, &policy), Some(1), "next suspect");
+        assert_eq!(t.note_thrash(key, &policy), None);
+        assert_eq!(t.note_thrash(key, &policy), Some(2));
+        // Budget of 3 exhausted: cut off forever.
+        for _ in 0..10 {
+            assert_eq!(t.note_thrash(key, &policy), None);
+        }
+        assert!(t.cut_off(key, &policy));
+        // Other prefixes are independent.
+        assert_eq!(t.note_thrash(7u128, &policy), None);
+    }
+
+    #[test]
+    fn repair_tracker_resets_bursts_on_progress_but_keeps_attempts() {
+        let policy = ForcedSetRepair {
+            enabled: true,
+            unsat_burst: 2,
+            max_repairs: 1,
+        };
+        let mut t = RepairTracker::new();
+        let key = 9u128;
+        assert_eq!(t.note_thrash(key, &policy), None);
+        t.reset_bursts();
+        assert_eq!(t.note_thrash(key, &policy), None, "burst restarted");
+        assert_eq!(t.note_thrash(key, &policy), Some(0));
+        t.reset_bursts();
+        // The attempt budget (1) does not refill on progress.
+        assert_eq!(t.note_thrash(key, &policy), None);
+        assert_eq!(t.note_thrash(key, &policy), None, "cut off");
+        assert!(t.cut_off(key, &policy));
+    }
+
+    #[test]
+    fn repair_tracker_disabled_never_fires() {
+        let mut t = RepairTracker::new();
+        for _ in 0..20 {
+            assert_eq!(t.note_thrash(1u128, &ForcedSetRepair::disabled()), None);
+        }
+    }
+
+    #[test]
+    fn offer_repair_lands_on_priority_lane_and_counts() {
+        let mut f = frontier(SearchPolicy::default());
+        f.begin_run();
+        assert!(f.offer(set(&[1, 2, 3]), vec![], None));
+        f.end_run();
+        assert!(f.offer_repair(set(&[1, 9]), vec![5]));
+        assert_eq!(f.stats().repairs_scheduled, 1);
+        assert_eq!(f.pop().unwrap().depth, 2, "repair tried first");
+        assert!(
+            !f.offer_repair(set(&[1, 9]), vec![5]),
+            "duplicate repair rejected"
+        );
+        assert_eq!(f.stats().repairs_scheduled, 1);
+    }
+
+    #[test]
+    fn signature_distinguishes_range_constraints() {
+        use solver::RangeConstraint;
+        let base = set(&[1, 2]);
+        let mut with_range = base.clone();
+        with_range.push_range(RangeConstraint::range(ExprRef(7), 0, 10, 3));
+        assert_ne!(signature(&base), signature(&with_range));
+        let mut other_bounds = base.clone();
+        other_bounds.push_range(RangeConstraint::range(ExprRef(7), 0, 11, 3));
+        assert_ne!(signature(&with_range), signature(&other_bounds));
+        // The observed witness is a hint, not an identity.
+        let mut same_other_witness = base.clone();
+        same_other_witness.push_range(RangeConstraint::range(ExprRef(7), 0, 10, 4));
+        assert_eq!(signature(&with_range), signature(&same_other_witness));
     }
 }

@@ -4,8 +4,19 @@
 //! variable domains. Used to prune obviously-unsatisfiable pending
 //! constraint sets before spending search budget on them (the replay
 //! engine keeps a list of pending sets; cheap refutation matters).
+//!
+//! Besides the forward direction ([`range`]), this module implements
+//! **backward interval propagation** ([`propagate`]): given the
+//! first-class [`RangeConstraint`](crate::constraint::RangeConstraint)s of
+//! a set, per-variable domains are narrowed by pushing each constraint's
+//! target interval down the expression spine (inverting `+`, `-`, unary
+//! negation and multiplication by a constant). An empty intersection
+//! anywhere proves the set unsatisfiable without any search — this is what
+//! keeps the range/alignment/region constraint forms from blowing up the
+//! stochastic solver.
 
-use crate::arena::{ExprArena, ExprRef, Node};
+use crate::arena::{ExprArena, ExprRef, Node, VarInfo};
+use crate::constraint::ConstraintSet;
 use crate::op::{Op, UnOp};
 use std::collections::HashMap;
 
@@ -58,27 +69,80 @@ impl Interval {
             Interval::new(clamp(lo), clamp(hi))
         }
     }
+
+    /// Intersection of two intervals; `None` when they are disjoint (the
+    /// empty interval is unrepresentable by design — emptiness is the
+    /// UNSAT signal and must not be silently carried around).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Narrows the interval to the values `v` with
+    /// `(v - phase) % align == 0`, i.e. shrinks `lo` up to the first
+    /// aligned point and `hi` down to the last. `None` when no aligned
+    /// point exists in the interval; the interval unchanged when
+    /// `align <= 1`.
+    pub fn align_to(&self, align: i64, phase: i64) -> Option<Interval> {
+        if align <= 1 {
+            return Some(*self);
+        }
+        let lo = align_up(self.lo, align, phase)?;
+        let hi = align_down(self.hi, align, phase)?;
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+/// Smallest `v >= x` with `(v - phase) % align == 0` (`align > 1`).
+fn align_up(x: i64, align: i64, phase: i64) -> Option<i64> {
+    let rem = (x as i128 - phase as i128).rem_euclid(align as i128);
+    let v = x as i128 + if rem == 0 { 0 } else { align as i128 - rem };
+    (v <= i64::MAX as i128).then_some(v as i64)
+}
+
+/// Largest `v <= x` with `(v - phase) % align == 0` (`align > 1`).
+fn align_down(x: i64, align: i64, phase: i64) -> Option<i64> {
+    let rem = (x as i128 - phase as i128).rem_euclid(align as i128);
+    let v = x as i128 - rem;
+    (v >= i64::MIN as i128).then_some(v as i64)
 }
 
 /// Computes a conservative range for `root` under the arena's variable
 /// domains.
 pub fn range(arena: &ExprArena, root: ExprRef) -> Interval {
     let mut memo: HashMap<ExprRef, Interval> = HashMap::new();
-    range_memo(arena, root, &mut memo)
+    range_memo(arena, root, None, &mut memo)
 }
 
-fn range_memo(arena: &ExprArena, r: ExprRef, memo: &mut HashMap<ExprRef, Interval>) -> Interval {
+/// Like [`range`], but with the variable domains overridden by `domains`
+/// (indexed by `VarId`; variables beyond its length fall back to the
+/// arena's declared domains). Used by [`propagate`] so each narrowing pass
+/// sees the domains the previous pass produced.
+pub fn range_in(arena: &ExprArena, root: ExprRef, domains: &[VarInfo]) -> Interval {
+    let mut memo: HashMap<ExprRef, Interval> = HashMap::new();
+    range_memo(arena, root, Some(domains), &mut memo)
+}
+
+fn range_memo(
+    arena: &ExprArena,
+    r: ExprRef,
+    domains: Option<&[VarInfo]>,
+    memo: &mut HashMap<ExprRef, Interval>,
+) -> Interval {
     if let Some(i) = memo.get(&r) {
         return *i;
     }
     let out = match arena.node(r) {
         Node::Const(v) => Interval::point(v),
         Node::Var(v) => {
-            let info = arena.var_info(v);
+            let info = domains
+                .and_then(|d| d.get(v.0 as usize).copied())
+                .unwrap_or_else(|| arena.var_info(v));
             Interval::new(info.lo, info.hi)
         }
         Node::Un(op, a) => {
-            let ia = range_memo(arena, a, memo);
+            let ia = range_memo(arena, a, domains, memo);
             match op {
                 UnOp::Neg => Interval::from_i128(-(ia.hi as i128), -(ia.lo as i128)),
                 UnOp::Not => {
@@ -94,8 +158,8 @@ fn range_memo(arena: &ExprArena, r: ExprRef, memo: &mut HashMap<ExprRef, Interva
             }
         }
         Node::Bin(op, a, b) => {
-            let ia = range_memo(arena, a, memo);
-            let ib = range_memo(arena, b, memo);
+            let ia = range_memo(arena, a, domains, memo);
+            let ib = range_memo(arena, b, domains, memo);
             bin_range(op, ia, ib)
         }
     };
@@ -185,6 +249,128 @@ fn cmp_range(always: bool, never: bool) -> Interval {
     }
 }
 
+/// Narrows the per-variable domains of `arena` under the range
+/// constraints of `cs` by backward interval propagation.
+///
+/// Returns the narrowed domains (indexed by `VarId`), or `None` when some
+/// constraint's target interval is provably empty — an UNSAT proof that
+/// costs O(constraints × expression size) instead of a search.
+///
+/// Two passes are run so information can flow between constraints sharing
+/// variables (constraint A narrowing `x` tightens the forward interval B
+/// sees). Alignment requirements participate by shrinking the target
+/// interval to its aligned sub-range before the backward walk; the
+/// alignment itself is not pushed below the constraint root (bounds
+/// propagate soundly through any spine, phases do not).
+pub fn propagate(arena: &ExprArena, cs: &ConstraintSet) -> Option<Vec<VarInfo>> {
+    let mut dom: Vec<VarInfo> = arena.var_infos().to_vec();
+    if cs.ranges.is_empty() {
+        return Some(dom);
+    }
+    for _pass in 0..2 {
+        for rc in &cs.ranges {
+            let fwd = range_in(arena, rc.expr, &dom);
+            let want = fwd.intersect(&rc.interval())?;
+            let want = want.align_to(rc.align, rc.phase)?;
+            narrow(arena, rc.expr, want, &mut dom)?;
+        }
+    }
+    Some(dom)
+}
+
+/// Pushes `want` (the interval the expression must land in) down the
+/// expression, narrowing variable domains. Returns `None` on an empty
+/// intersection. Conservative: spines it cannot invert narrow nothing.
+fn narrow(arena: &ExprArena, r: ExprRef, want: Interval, dom: &mut [VarInfo]) -> Option<()> {
+    match arena.node(r) {
+        Node::Const(v) => want.contains(v).then_some(()),
+        Node::Var(v) => {
+            let i = v.0 as usize;
+            let cur = Interval::new(dom[i].lo, dom[i].hi);
+            let n = cur.intersect(&want)?;
+            dom[i] = VarInfo::range(n.lo, n.hi);
+            Some(())
+        }
+        Node::Un(UnOp::Neg, a) => {
+            let flipped = Interval::from_i128(-(want.hi as i128), -(want.lo as i128));
+            narrow(arena, a, flipped, dom)
+        }
+        Node::Bin(Op::Add, a, b) => {
+            // a ∈ want − I(b), b ∈ want − I(a).
+            let ib = range_in(arena, b, dom);
+            let wa = Interval::from_i128(
+                want.lo as i128 - ib.hi as i128,
+                want.hi as i128 - ib.lo as i128,
+            );
+            narrow(arena, a, wa, dom)?;
+            let ia = range_in(arena, a, dom);
+            let wb = Interval::from_i128(
+                want.lo as i128 - ia.hi as i128,
+                want.hi as i128 - ia.lo as i128,
+            );
+            narrow(arena, b, wb, dom)
+        }
+        Node::Bin(Op::Sub, a, b) => {
+            // a ∈ want + I(b), b ∈ I(a) − want.
+            let ib = range_in(arena, b, dom);
+            let wa = Interval::from_i128(
+                want.lo as i128 + ib.lo as i128,
+                want.hi as i128 + ib.hi as i128,
+            );
+            narrow(arena, a, wa, dom)?;
+            let ia = range_in(arena, a, dom);
+            let wb = Interval::from_i128(
+                ia.lo as i128 - want.hi as i128,
+                ia.hi as i128 - want.lo as i128,
+            );
+            narrow(arena, b, wb, dom)
+        }
+        Node::Bin(Op::Mul, a, b) => {
+            // Invertible only against a nonzero constant factor.
+            let (sym, c) = match (arena.node(a), arena.node(b)) {
+                (_, Node::Const(c)) if c != 0 => (a, c),
+                (Node::Const(c), _) if c != 0 => (b, c),
+                _ => return Some(()),
+            };
+            // sym ∈ [ceil(lo/c), floor(hi/c)] (for c > 0; flipped else).
+            let (lo, hi) = if c > 0 {
+                (div_ceil(want.lo, c), div_floor(want.hi, c))
+            } else {
+                (div_ceil(want.hi, c), div_floor(want.lo, c))
+            };
+            if lo > hi {
+                return None;
+            }
+            narrow(arena, sym, Interval { lo, hi }, dom)
+        }
+        // Anything else (masks, shifts, comparisons, two-sided products):
+        // no narrowing, but no false refutation either.
+        _ => Some(()),
+    }
+}
+
+/// Floor division on signed integers (rounds toward negative infinity).
+/// Shared with the concolic hosts' region-bound arithmetic.
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division on signed integers (rounds toward positive
+/// infinity). Shared with the concolic hosts' region-bound arithmetic.
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +453,148 @@ mod tests {
         let c = a.constant(-2);
         let e = a.bin(Op::Mul, x, c);
         assert_eq!(range(&a, e), Interval::new(-8, 6));
+    }
+
+    #[test]
+    fn intersect_detects_empty() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(11, 20);
+        assert_eq!(a.intersect(&b), None, "disjoint intervals have no meet");
+        assert_eq!(
+            a.intersect(&Interval::new(5, 20)),
+            Some(Interval::new(5, 10))
+        );
+        assert_eq!(a.intersect(&Interval::point(10)), Some(Interval::point(10)));
+    }
+
+    #[test]
+    fn align_to_shrinks_to_aligned_points() {
+        // Multiples of 4 in [3, 18]: 4..16.
+        assert_eq!(
+            Interval::new(3, 18).align_to(4, 0),
+            Some(Interval::new(4, 16))
+        );
+        // Phase shifts the lattice: v ≡ 2 (mod 4) in [3, 18]: 6..18.
+        assert_eq!(
+            Interval::new(3, 18).align_to(4, 2),
+            Some(Interval::new(6, 18))
+        );
+        // align <= 1 is a no-op.
+        assert_eq!(
+            Interval::new(3, 18).align_to(1, 0),
+            Some(Interval::new(3, 18))
+        );
+        // No aligned point in a narrow window.
+        assert_eq!(Interval::new(5, 7).align_to(8, 0), None);
+        // Negative bounds round correctly.
+        assert_eq!(
+            Interval::new(-7, -1).align_to(4, 0),
+            Some(Interval::point(-4))
+        );
+    }
+}
+
+#[cfg(test)]
+mod propagate_tests {
+    use super::*;
+    use crate::arena::VarInfo;
+    use crate::constraint::{ConstraintSet, RangeConstraint};
+
+    #[test]
+    fn var_domain_narrows_through_add_and_mul() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let four = a.constant(4);
+        let seven = a.constant(7);
+        let scaled = a.bin(Op::Mul, x, four);
+        let off = a.bin(Op::Add, scaled, seven); // x*4 + 7
+        let mut cs = ConstraintSet::new();
+        // 27 <= x*4 + 7 <= 48  ⇒  5 <= x <= 10 (ceil(20/4), floor(41/4)).
+        cs.push_range(RangeConstraint::range(off, 27, 48, 31));
+        let dom = propagate(&a, &cs).expect("satisfiable");
+        assert_eq!((dom[0].lo, dom[0].hi), (5, 10));
+    }
+
+    #[test]
+    fn empty_interval_is_detected() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let ten = a.constant(10);
+        let sum = a.bin(Op::Add, x, ten); // x + 10 ∈ [10, 265]
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(sum, 300, 400, 300));
+        assert_eq!(propagate(&a, &cs), None, "disjoint bounds refute");
+    }
+
+    #[test]
+    fn contradicting_ranges_refute_each_other() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(x, 0, 10, 5));
+        cs.push_range(RangeConstraint::range(x, 20, 30, 25));
+        assert_eq!(propagate(&a, &cs), None);
+    }
+
+    #[test]
+    fn alignment_intersection_narrows_bounds() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(0, 100));
+        let mut cs = ConstraintSet::new();
+        // x ∈ [10, 30] and x ≡ 0 (mod 8): {16, 24}.
+        cs.push_range(RangeConstraint::aligned(x, 10, 30, 8, 0, 16));
+        let dom = propagate(&a, &cs).expect("satisfiable");
+        assert_eq!((dom[0].lo, dom[0].hi), (16, 24));
+    }
+
+    #[test]
+    fn alignment_with_no_admissible_point_refutes() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let mut cs = ConstraintSet::new();
+        // x ∈ [33, 38] with x ≡ 0 (mod 16): nothing.
+        cs.push_range(RangeConstraint::aligned(x, 33, 38, 16, 0, 33));
+        assert_eq!(propagate(&a, &cs), None);
+    }
+
+    #[test]
+    fn second_pass_flows_between_constraints() {
+        // Constraint on x narrows what x + y can reach; the second pass
+        // then narrows y further than one pass could.
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let (_, y) = a.fresh_var(VarInfo::byte());
+        let sum = a.bin(Op::Add, x, y);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(sum, 0, 20, 10));
+        cs.push_range(RangeConstraint::range(x, 15, 200, 15));
+        let dom = propagate(&a, &cs).expect("satisfiable");
+        assert!(dom[0].lo >= 15 && dom[0].hi <= 20, "x: {:?}", dom[0]);
+        assert!(
+            dom[1].hi <= 5,
+            "y must fit under the sum bound: {:?}",
+            dom[1]
+        );
+    }
+
+    #[test]
+    fn negation_spine_inverts() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(-100, 100));
+        let neg = a.un(crate::op::UnOp::Neg, x);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(neg, 10, 20, 15));
+        let dom = propagate(&a, &cs).expect("satisfiable");
+        assert_eq!((dom[0].lo, dom[0].hi), (-20, -10));
+    }
+
+    #[test]
+    fn uninvertible_spines_do_not_false_refute() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::range(-1000, 1000));
+        let masked = a.mask_char(x); // x & 0xff: not invertible
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(masked, 0, 200, 100));
+        assert!(propagate(&a, &cs).is_some(), "conservative, not wrong");
     }
 }

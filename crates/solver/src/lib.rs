@@ -3,12 +3,33 @@
 //! The reproduction's stand-in for the STP-class solver behind the paper's
 //! concolic engine. Program inputs are bounded integer variables (bytes of
 //! argv/socket data, modelled syscall returns); path conditions are
-//! conjunctions of literals over a hash-consed expression DAG
-//! ([`ExprArena`]). [`solve()`](solve()) finds satisfying assignments using interval
-//! refutation, algebraic inversion, and guided stochastic search — exactly
-//! the workload shapes the benchmarks generate (§5 of the paper).
+//! conjunctions over a hash-consed expression DAG ([`ExprArena`]).
+//! [`solve()`](solve()) finds satisfying assignments using interval
+//! refutation, backward interval propagation, algebraic inversion, and
+//! guided stochastic search — exactly the workload shapes the benchmarks
+//! generate (§5 of the paper).
 //!
-//! # Example
+//! # The constraint vocabulary
+//!
+//! A [`ConstraintSet`] is a conjunction of two constraint forms:
+//!
+//! | form | meaning | produced by |
+//! |------|---------|-------------|
+//! | [`Lit`] | `expr != 0` (or `== 0` when negated) | every symbolic branch |
+//! | [`RangeConstraint`] | `lo <= expr <= hi`, optional alignment | address concretization |
+//!
+//! `RangeConstraint` subsumes the four concretization shapes, from most
+//! to least constraining: the **equality pin**
+//! ([`RangeConstraint::pin`], the classic CUTE-style `expr == observed`),
+//! a plain **interval** ([`RangeConstraint::range`]), an **aligned
+//! interval** ([`RangeConstraint::aligned`], `(expr - phase) % align ==
+//! 0` — element pointers into arrays of stride > 1), and
+//! **in-bounds-of-region** sugar ([`RangeConstraint::in_region`]). Every
+//! range carries the *observed* witness value from the producing run, so
+//! [`solve_or_pin`] can fall back to the hard pin when the bounded form
+//! defeats the stochastic search.
+//!
+//! # Branch literals
 //!
 //! ```
 //! use solver::{ExprArena, VarInfo, ConstraintSet, Lit, Op, solve, SolveCfg};
@@ -22,6 +43,63 @@
 //! let model = solve(&arena, &cs, None, &SolveCfg::default()).unwrap();
 //! assert_eq!(model[0], b'G' as i64);
 //! ```
+//!
+//! # Range constraints and interval propagation
+//!
+//! A region bound leaves the solver freedom an equality pin would
+//! destroy: below, the offset `x + 2` must stay inside a 10-cell buffer
+//! *and* the branch literal demands `x > 5` — satisfiable together,
+//! while the pin `x + 2 == 3` (the observed offset) would be UNSAT.
+//!
+//! ```
+//! use solver::{
+//!     ExprArena, VarInfo, ConstraintSet, Lit, Op, RangeConstraint, solve, SolveCfg,
+//! };
+//!
+//! let mut arena = ExprArena::new();
+//! let (_, x) = arena.fresh_var(VarInfo::byte());
+//! let two = arena.constant(2);
+//! let off = arena.bin(Op::Add, x, two);      // the address offset
+//! let five = arena.constant(5);
+//! let deep = arena.bin(Op::Gt, x, five);     // a later forced branch
+//!
+//! let mut cs = ConstraintSet::new();
+//! cs.push_range(RangeConstraint::in_region(off, 0, 10, 3)); // 0 <= x+2 <= 9
+//! cs.push(Lit { expr: deep, positive: true });               // x > 5
+//! let model = solve(&arena, &cs, None, &SolveCfg::default()).unwrap();
+//! assert!(model[0] > 5 && model[0] + 2 <= 9);
+//!
+//! // The pinned variant of the same set is provably unsatisfiable.
+//! let pinned = cs.pinned(&mut arena);        // x + 2 == 3  &&  x > 5
+//! assert!(solve(&arena, &pinned, None, &SolveCfg::default()).is_none());
+//! ```
+//!
+//! Backward propagation ([`propagate`]) narrows
+//! variable domains under the range constraints before any search, and
+//! proves emptiness (UNSAT) outright when bounds or alignment cannot be
+//! met:
+//!
+//! ```
+//! use solver::{ExprArena, VarInfo, ConstraintSet, RangeConstraint, interval::propagate};
+//!
+//! let mut arena = ExprArena::new();
+//! let (_, x) = arena.fresh_var(VarInfo::byte());
+//! let hundred = arena.constant(100);
+//! let sum = arena.bin(solver::Op::Add, x, hundred);
+//!
+//! // 120 <= x + 100 <= 140 narrows x to [20, 40].
+//! let mut cs = ConstraintSet::new();
+//! cs.push_range(RangeConstraint::range(sum, 120, 140, 130));
+//! let domains = propagate(&arena, &cs).expect("satisfiable");
+//! assert_eq!((domains[0].lo, domains[0].hi), (20, 40));
+//!
+//! // An alignment no value in the meet satisfies is refuted without search:
+//! // 10 <= x <= 12 with x ≡ 5 (mod 8) admits nothing.
+//! let mut empty = ConstraintSet::new();
+//! let (_, y) = arena.fresh_var(VarInfo::byte());
+//! empty.push_range(RangeConstraint::aligned(y, 10, 12, 8, 5, 10));
+//! assert!(propagate(&arena, &empty).is_none());
+//! ```
 
 pub mod arena;
 pub mod constraint;
@@ -30,10 +108,12 @@ pub mod op;
 pub mod solve;
 
 pub use arena::{ExprArena, ExprRef, Node, VarId, VarInfo};
-pub use constraint::{ConstraintSet, Lit};
-pub use interval::{range, Interval};
+pub use constraint::{ConstraintSet, Lit, RangeConstraint};
+pub use interval::{div_ceil, div_floor, propagate, range, range_in, Interval};
 pub use op::{eval_op, eval_unop, Op, UnOp};
-pub use solve::{solve, solve_with_stats, SolveCfg, SolveStats, XorShift};
+pub use solve::{
+    mix_seed, solve, solve_or_pin, solve_with_stats, SolveCfg, SolveStats, XorShift, GOLDEN_RATIO,
+};
 
 #[cfg(test)]
 mod proptests {

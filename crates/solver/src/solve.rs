@@ -20,12 +20,33 @@
 //!    each move re-evaluates only the literals depending on the mutated
 //!    variable (with a generation-stamped shared memo). Deterministic via
 //!    an internal xorshift PRNG seeded by the caller.
+//!
+//! First-class [`RangeConstraint`]s ride the same pipeline: backward
+//! interval propagation ([`propagate`]) narrows the variable domains
+//! before the search (step 1.5 — an empty domain is a sound UNSAT proof),
+//! range items participate in the satisfaction count, and their repair
+//! move snaps the expression to the nearest admissible value. When the
+//! bounded form defeats the (incomplete) search, [`solve_or_pin`] retries
+//! with every range collapsed to its observed-value pin — the
+//! pre-generalization behavior.
 
-use crate::arena::{Evaluator, ExprArena, ExprRef, Node, VarId};
-use crate::constraint::ConstraintSet;
+use crate::arena::{Evaluator, ExprArena, ExprRef, Node, VarId, VarInfo};
+use crate::constraint::{ConstraintSet, RangeConstraint};
+use crate::interval::propagate;
 use crate::op::Op;
 use crate::op::UnOp;
 use std::collections::HashMap;
+
+/// The 64-bit golden-ratio constant (`2^64 / φ`), the standard
+/// multiplicative seed-mixing step.
+pub const GOLDEN_RATIO: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives a decorrelated seed from a base seed and a salt (run index,
+/// solver-call counter, restart number …). One documented home for the
+/// golden-ratio mixing that was previously copy-pasted per engine.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    seed ^ GOLDEN_RATIO.wrapping_mul(salt.wrapping_add(1))
+}
 
 /// Configuration for a [`solve`] call.
 #[derive(Debug, Clone)]
@@ -58,6 +79,11 @@ pub struct SolveStats {
     pub inversions: usize,
     /// Random restarts taken.
     pub restarts: usize,
+    /// The set was *proved* unsatisfiable (interval refutation or empty
+    /// propagated domain) rather than merely not solved within budget.
+    pub refuted: bool,
+    /// [`solve_or_pin`] had to fall back to the hard-pinned variant.
+    pub pin_fallback: bool,
 }
 
 /// Minimal deterministic PRNG (xorshift64*), dependency-free.
@@ -109,9 +135,28 @@ pub fn solve(
     solve_with_stats(arena, cs, seed_assign, cfg).0
 }
 
+/// One search item: a path literal or a first-class range constraint.
+/// Items `0..cs.len()` are literals; the rest are ranges, in order.
+#[derive(Clone, Copy)]
+enum Item {
+    Lit(crate::constraint::Lit),
+    Range(RangeConstraint),
+}
+
+impl Item {
+    fn expr(&self) -> ExprRef {
+        match self {
+            Item::Lit(l) => l.expr,
+            Item::Range(r) => r.expr,
+        }
+    }
+}
+
 struct Search<'a> {
     arena: &'a ExprArena,
-    cs: &'a ConstraintSet,
+    items: Vec<Item>,
+    /// Narrowed per-variable domains (from interval propagation).
+    domains: Vec<VarInfo>,
     ev: Evaluator,
     assign: Vec<i64>,
     sat: Vec<bool>,
@@ -121,20 +166,33 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn new(arena: &'a ExprArena, cs: &'a ConstraintSet, assign: Vec<i64>) -> Self {
-        let supports: Vec<Vec<VarId>> = cs.lits.iter().map(|l| arena.support(l.expr)).collect();
+    fn new(
+        arena: &'a ExprArena,
+        cs: &'a ConstraintSet,
+        domains: Vec<VarInfo>,
+        assign: Vec<i64>,
+    ) -> Self {
+        let items: Vec<Item> = cs
+            .lits
+            .iter()
+            .map(|l| Item::Lit(*l))
+            .chain(cs.ranges.iter().map(|r| Item::Range(*r)))
+            .collect();
+        let supports: Vec<Vec<VarId>> = items.iter().map(|l| arena.support(l.expr())).collect();
         let mut var_lits: HashMap<VarId, Vec<usize>> = HashMap::new();
         for (i, sup) in supports.iter().enumerate() {
             for v in sup {
                 var_lits.entry(*v).or_default().push(i);
             }
         }
+        let n = items.len();
         let mut s = Search {
             arena,
-            cs,
+            items,
+            domains,
             ev: Evaluator::new(arena),
             assign,
-            sat: vec![false; cs.len()],
+            sat: vec![false; n],
             n_sat: 0,
             supports,
             var_lits,
@@ -144,14 +202,18 @@ impl<'a> Search<'a> {
     }
 
     fn lit_holds(&mut self, i: usize) -> bool {
-        let lit = self.cs.lits[i];
-        (self.ev.eval(self.arena, lit.expr, &self.assign) != 0) == lit.positive
+        match self.items[i] {
+            Item::Lit(lit) => {
+                (self.ev.eval(self.arena, lit.expr, &self.assign) != 0) == lit.positive
+            }
+            Item::Range(rc) => rc.admits(self.ev.eval(self.arena, rc.expr, &self.assign)),
+        }
     }
 
     fn recompute_all(&mut self) {
         self.ev.invalidate();
         self.n_sat = 0;
-        for i in 0..self.cs.len() {
+        for i in 0..self.items.len() {
             let h = self.lit_holds(i);
             self.sat[i] = h;
             if h {
@@ -223,25 +285,49 @@ pub fn solve_with_stats(
 ) -> (Option<Vec<i64>>, SolveStats) {
     let mut stats = SolveStats::default();
     if cs.obviously_unsat(arena) {
+        stats.refuted = true;
+        return (None, stats);
+    }
+    // Backward interval propagation: narrow the variable domains under
+    // the range constraints; an empty domain is a sound UNSAT proof.
+    let Some(domains) = propagate(arena, cs) else {
+        stats.refuted = true;
+        return (None, stats);
+    };
+    // Re-run the literal refutation under the narrowed domains — this is
+    // where a branch literal contradicting a region bound is caught.
+    if cs.has_ranges()
+        && cs.lits.iter().any(|l| {
+            let r = crate::interval::range_in(arena, l.expr, &domains);
+            if l.positive {
+                r.is_zero()
+            } else {
+                !r.contains(0)
+            }
+        })
+    {
+        stats.refuted = true;
         return (None, stats);
     }
     let n_vars = arena.n_vars();
     let init: Vec<i64> = (0..n_vars)
         .map(|i| {
-            let info = arena.var_info(VarId(i as u32));
+            let info = domains.get(i).copied().unwrap_or(VarInfo::byte());
             match seed_assign.and_then(|s| s.get(i)) {
                 Some(v) => info.clamp(*v),
                 None => info.clamp(0),
             }
         })
         .collect();
-    let mut search = Search::new(arena, cs, init);
-    if search.n_sat == cs.len() {
+    let n_items = cs.n_constraints();
+    let mut search = Search::new(arena, cs, domains, init);
+    if search.n_sat == n_items {
         return (Some(search.assign), stats);
     }
-    // A constant-false literal (empty support) can never be repaired.
+    // A constant-false item (empty support) can never be repaired.
     for (i, sup) in search.supports.iter().enumerate() {
         if sup.is_empty() && !search.sat[i] {
+            stats.refuted = true;
             return (None, stats);
         }
     }
@@ -256,26 +342,51 @@ pub fn solve_with_stats(
         let Some(unsat_idx) = search.first_unsat() else {
             return (Some(search.assign), stats);
         };
-        let lit = cs.lits[unsat_idx];
+        let item = search.items[unsat_idx];
 
-        // Phase 1: algebraic inversion of the violated literal.
+        // Phase 1: algebraic repair of the violated item — inversion of a
+        // literal, or snapping a range's expression to the nearest
+        // admissible value.
         let mut ev = std::mem::replace(&mut search.ev, Evaluator::new(arena));
         ev.invalidate();
-        let changed = invert_lit(
-            arena,
-            lit.expr,
-            lit.positive,
-            &mut search.assign,
-            &mut ev,
-            &mut rng,
-        );
+        let changed = match item {
+            Item::Lit(lit) => invert_lit(
+                arena,
+                lit.expr,
+                lit.positive,
+                &mut search.assign,
+                &search.domains,
+                &mut ev,
+                &mut rng,
+            ),
+            Item::Range(rc) => {
+                let cur = ev.eval(arena, rc.expr, &search.assign);
+                // Mostly snap from the current value; sometimes aim at
+                // the observed witness to escape local minima.
+                let target = if rng.below(4) == 0 {
+                    rc.snap(rc.observed)
+                } else {
+                    rc.snap(cur)
+                };
+                target.and_then(|t| {
+                    invert_value(
+                        arena,
+                        rc.expr,
+                        t,
+                        &mut search.assign,
+                        &search.domains,
+                        &mut ev,
+                    )
+                })
+            }
+        };
         search.ev = ev;
         if let Some(var) = changed {
             stats.inversions += 1;
             search.update_var(var);
         }
 
-        // Phase 2: if the literal is still violated, do a WalkSAT move on
+        // Phase 2: if the item is still violated, do a WalkSAT move on
         // one of its support variables.
         if !search.sat[unsat_idx] {
             let support = &search.supports[unsat_idx];
@@ -283,8 +394,8 @@ pub fn solve_with_stats(
                 return (None, stats);
             }
             let var = support[rng.below(support.len())];
-            let info = arena.var_info(var);
-            let candidates = candidate_values(arena, lit.expr, &mut rng, info.lo, info.hi);
+            let info = search.domains[var.0 as usize];
+            let candidates = candidate_values(arena, item.expr(), &mut rng, info.lo, info.hi);
             let mut best_v = None;
             let mut best_delta = i64::MIN;
             for cand in candidates {
@@ -307,7 +418,7 @@ pub fn solve_with_stats(
             }
         }
 
-        if search.n_sat == cs.len() {
+        if search.n_sat == n_items {
             return (Some(search.assign), stats);
         }
         if search.n_sat > best_score {
@@ -323,7 +434,7 @@ pub fn solve_with_stats(
                     search.assign = best.clone();
                 } else {
                     for i in 0..n_vars {
-                        let info = arena.var_info(VarId(i as u32));
+                        let info = search.domains[i];
                         search.assign[i] = rng.in_range(info.lo, info.hi);
                     }
                 }
@@ -334,6 +445,47 @@ pub fn solve_with_stats(
     (None, stats)
 }
 
+/// [`solve`], with the pin fallback: when a set carrying range
+/// constraints is not solved within budget (and was not *refuted* — a
+/// refuted bounded form implies the stricter pinned form is unsatisfiable
+/// too), retry with every range collapsed to its observed-value equality
+/// pin. This restores the pre-generalization behavior exactly when
+/// generality does not pay.
+///
+/// The iteration budget is *split* between the two attempts (bounded
+/// first, pinned with whatever remains), so an unsatisfiable set costs no
+/// more search than it did before ranges existed — the generalization
+/// must not tax the UNSAT-heavy replay workloads twice.
+pub fn solve_or_pin(
+    arena: &mut ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+) -> (Option<Vec<i64>>, SolveStats) {
+    if !cs.has_ranges() {
+        return solve_with_stats(arena, cs, seed_assign, cfg);
+    }
+    let bounded_cfg = SolveCfg {
+        max_iters: (cfg.max_iters / 2).max(1),
+        ..cfg.clone()
+    };
+    let (model, mut stats) = solve_with_stats(arena, cs, seed_assign, &bounded_cfg);
+    if model.is_some() || stats.refuted {
+        return (model, stats);
+    }
+    let pinned = cs.pinned(arena);
+    let pin_cfg = SolveCfg {
+        max_iters: cfg.max_iters.saturating_sub(stats.iters).max(1),
+        ..cfg.clone()
+    };
+    let (model, pin_stats) = solve_with_stats(arena, &pinned, seed_assign, &pin_cfg);
+    stats.iters += pin_stats.iters;
+    stats.inversions += pin_stats.inversions;
+    stats.restarts += pin_stats.restarts;
+    stats.pin_fallback = true;
+    (model, stats)
+}
+
 /// Tries to make `expr` truthy (`positive`) or falsy by direct inversion.
 /// Returns the variable it assigned, if any.
 fn invert_lit(
@@ -341,11 +493,12 @@ fn invert_lit(
     expr: ExprRef,
     positive: bool,
     assign: &mut [i64],
+    domains: &[VarInfo],
     ev: &mut Evaluator,
     rng: &mut XorShift,
 ) -> Option<VarId> {
     match arena.node(expr) {
-        Node::Un(UnOp::Not, inner) => invert_lit(arena, inner, !positive, assign, ev, rng),
+        Node::Un(UnOp::Not, inner) => invert_lit(arena, inner, !positive, assign, domains, ev, rng),
         Node::Bin(op, lhs, rhs) if op.is_comparison() => {
             // Normalize to `sym REL const` when possible.
             let (sym, cst, rel) = if arena.support(rhs).is_empty() {
@@ -373,12 +526,12 @@ fn invert_lit(
                 Op::Ge => cst,
                 _ => unreachable!("comparison ops only"),
             };
-            invert_value(arena, sym, target, assign, ev)
+            invert_value(arena, sym, target, assign, domains, ev)
         }
         // Raw truthiness of a non-comparison: make it 1 or 0.
         _ => {
             let target = if positive { 1 } else { 0 };
-            invert_value(arena, expr, target, assign, ev)
+            invert_value(arena, expr, target, assign, domains, ev)
         }
     }
 }
@@ -390,11 +543,15 @@ fn invert_value(
     expr: ExprRef,
     target: i64,
     assign: &mut [i64],
+    domains: &[VarInfo],
     ev: &mut Evaluator,
 ) -> Option<VarId> {
     match arena.node(expr) {
         Node::Var(v) => {
-            let info = arena.var_info(v);
+            let info = domains
+                .get(v.0 as usize)
+                .copied()
+                .unwrap_or_else(|| arena.var_info(v));
             if target < info.lo || target > info.hi {
                 return None;
             }
@@ -403,11 +560,13 @@ fn invert_value(
             Some(v)
         }
         Node::Const(_) => None,
-        Node::Un(UnOp::Neg, a) => invert_value(arena, a, target.wrapping_neg(), assign, ev),
-        Node::Un(UnOp::BitNot, a) => invert_value(arena, a, !target, assign, ev),
+        Node::Un(UnOp::Neg, a) => {
+            invert_value(arena, a, target.wrapping_neg(), assign, domains, ev)
+        }
+        Node::Un(UnOp::BitNot, a) => invert_value(arena, a, !target, assign, domains, ev),
         Node::Un(UnOp::Not, a) => match target {
-            1 => invert_value(arena, a, 0, assign, ev),
-            0 => invert_value(arena, a, 1, assign, ev),
+            1 => invert_value(arena, a, 0, assign, domains, ev),
+            0 => invert_value(arena, a, 1, assign, domains, ev),
             _ => None,
         },
         Node::Bin(op, a, b) => {
@@ -418,48 +577,48 @@ fn invert_value(
             match op {
                 Op::Add => {
                     if b_concrete || !a_concrete {
-                        invert_value(arena, a, target.wrapping_sub(vb), assign, ev)
+                        invert_value(arena, a, target.wrapping_sub(vb), assign, domains, ev)
                     } else {
-                        invert_value(arena, b, target.wrapping_sub(va), assign, ev)
+                        invert_value(arena, b, target.wrapping_sub(va), assign, domains, ev)
                     }
                 }
                 Op::Sub => {
                     if b_concrete || !a_concrete {
-                        invert_value(arena, a, target.wrapping_add(vb), assign, ev)
+                        invert_value(arena, a, target.wrapping_add(vb), assign, domains, ev)
                     } else {
-                        invert_value(arena, b, va.wrapping_sub(target), assign, ev)
+                        invert_value(arena, b, va.wrapping_sub(target), assign, domains, ev)
                     }
                 }
                 Op::Mul => {
                     if b_concrete && vb != 0 && target % vb == 0 {
-                        invert_value(arena, a, target / vb, assign, ev)
+                        invert_value(arena, a, target / vb, assign, domains, ev)
                     } else if a_concrete && va != 0 && target % va == 0 {
-                        invert_value(arena, b, target / va, assign, ev)
+                        invert_value(arena, b, target / va, assign, domains, ev)
                     } else {
                         None
                     }
                 }
                 Op::Xor => {
                     if b_concrete {
-                        invert_value(arena, a, target ^ vb, assign, ev)
+                        invert_value(arena, a, target ^ vb, assign, domains, ev)
                     } else if a_concrete {
-                        invert_value(arena, b, target ^ va, assign, ev)
+                        invert_value(arena, b, target ^ va, assign, domains, ev)
                     } else {
                         None
                     }
                 }
                 Op::And => {
                     if b_concrete && (target & !vb) == 0 {
-                        invert_value(arena, a, target, assign, ev)
+                        invert_value(arena, a, target, assign, domains, ev)
                     } else if a_concrete && (target & !va) == 0 {
-                        invert_value(arena, b, target, assign, ev)
+                        invert_value(arena, b, target, assign, domains, ev)
                     } else {
                         None
                     }
                 }
                 Op::Div => {
                     if b_concrete && vb != 0 {
-                        invert_value(arena, a, target.wrapping_mul(vb), assign, ev)
+                        invert_value(arena, a, target.wrapping_mul(vb), assign, domains, ev)
                     } else {
                         None
                     }
@@ -468,7 +627,7 @@ fn invert_value(
                     if b_concrete && (0..63).contains(&vb) {
                         let shifted = target >> vb;
                         if shifted << vb == target {
-                            invert_value(arena, a, shifted, assign, ev)
+                            invert_value(arena, a, shifted, assign, domains, ev)
                         } else {
                             None
                         }
@@ -478,7 +637,7 @@ fn invert_value(
                 }
                 Op::Shr => {
                     if b_concrete && (0..63).contains(&vb) {
-                        invert_value(arena, a, target << vb, assign, ev)
+                        invert_value(arena, a, target << vb, assign, domains, ev)
                     } else {
                         None
                     }
@@ -748,5 +907,140 @@ mod tests {
             let v = r.in_range(-5, 5);
             assert!((-5..=5).contains(&v));
         }
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_and_is_deterministic() {
+        assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+        assert_ne!(mix_seed(7, 3), mix_seed(7, 4));
+        assert_ne!(mix_seed(7, 0), 7, "salt 0 still mixes");
+    }
+
+    #[test]
+    fn range_constraint_solved_with_literals() {
+        // The offset-generalization shape: a region bound on an address
+        // expression plus a branch literal that contradicts the observed
+        // pin but not the region.
+        let (mut a, v) = bytes(1);
+        let two = a.constant(2);
+        let off = a.bin(Op::Add, v[0], two);
+        let five = a.constant(5);
+        let deep = a.bin(Op::Gt, v[0], five);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::in_region(off, 0, 10, 3)); // observed x = 1
+        cs.push(Lit {
+            expr: deep,
+            positive: true,
+        });
+        // Seed is the observed witness (x = 1), as engines pass it.
+        let sol = solve(&a, &cs, Some(&[1]), &SolveCfg::default()).expect("solvable");
+        assert!(cs.satisfied(&a, &sol));
+        assert!(sol[0] > 5 && sol[0] + 2 <= 9);
+    }
+
+    #[test]
+    fn aligned_range_constraint_is_respected() {
+        let mut a = ExprArena::new();
+        let (_, p) = a.fresh_var(VarInfo::range(0, 1 << 20));
+        let mut cs = ConstraintSet::new();
+        // Element pointer: base 4096, 16 elements of stride 4.
+        cs.push_range(RangeConstraint::aligned(
+            p,
+            4096,
+            4096 + 15 * 4,
+            4,
+            4096,
+            4104,
+        ));
+        let sol = solve(&a, &cs, None, &SolveCfg::default()).expect("solvable");
+        assert!((4096..=4156).contains(&sol[0]));
+        assert_eq!((sol[0] - 4096) % 4, 0, "alignment respected: {}", sol[0]);
+    }
+
+    #[test]
+    fn refuted_range_set_reports_refuted() {
+        let (a, v) = bytes(1);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(v[0], 300, 400, 300)); // byte can't
+        let (m, stats) = solve_with_stats(&a, &cs, None, &SolveCfg::default());
+        assert!(m.is_none());
+        assert!(stats.refuted, "interval refutation is a proof");
+        assert_eq!(stats.iters, 0, "no search was spent");
+    }
+
+    #[test]
+    fn propagation_refutes_lit_against_region() {
+        // The literal demands x > 200 while the region bound keeps
+        // x + 2 <= 100: only visible once domains are narrowed.
+        let (mut a, v) = bytes(1);
+        let two = a.constant(2);
+        let off = a.bin(Op::Add, v[0], two);
+        let c200 = a.constant(200);
+        let deep = a.bin(Op::Gt, v[0], c200);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(off, 0, 100, 50));
+        cs.push(Lit {
+            expr: deep,
+            positive: true,
+        });
+        let (m, stats) = solve_with_stats(&a, &cs, None, &SolveCfg::default());
+        assert!(m.is_none());
+        assert!(stats.refuted, "propagation catches lit-vs-range conflicts");
+        assert_eq!(stats.iters, 0);
+    }
+
+    #[test]
+    fn solve_or_pin_falls_back_when_bounded_form_stalls() {
+        // A two-sided symbolic product (169 = 13 × 13, both factors
+        // symbolic) that neither inversion nor a short stochastic search
+        // can crack from a cold seed — but whose pinned variant is solved
+        // by two trivial pin inversions.
+        let (mut a, v) = bytes(2);
+        let prod = a.bin(Op::Mul, v[0], v[1]);
+        let c169 = a.constant(169);
+        let hit = a.bin(Op::Eq, prod, c169);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(v[0], 0, 255, 13));
+        cs.push_range(RangeConstraint::range(v[1], 0, 255, 13));
+        cs.push(Lit {
+            expr: hit,
+            positive: true,
+        });
+        let cfg = SolveCfg {
+            max_iters: 64, // plenty for the pins, hopeless for x*y == 169
+            ..SolveCfg::default()
+        };
+        let (m, stats) = solve_or_pin(&mut a, &cs, Some(&[0, 0]), &cfg);
+        let m = m.expect("pin fallback must solve via the witness values");
+        assert!(stats.pin_fallback, "fallback path must be taken");
+        assert_eq!(m[0] * m[1], 169);
+    }
+
+    #[test]
+    fn solve_or_pin_skips_fallback_when_refuted() {
+        let (mut a, v) = bytes(1);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(v[0], 300, 400, 300));
+        let (m, stats) = solve_or_pin(&mut a, &cs, None, &SolveCfg::default());
+        assert!(m.is_none());
+        assert!(stats.refuted);
+        assert!(
+            !stats.pin_fallback,
+            "a refuted bounded form refutes the pin too"
+        );
+    }
+
+    #[test]
+    fn pinned_variant_matches_classic_behavior() {
+        let (mut a, v) = bytes(1);
+        let two = a.constant(2);
+        let off = a.bin(Op::Add, v[0], two);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::in_region(off, 0, 10, 3));
+        let pinned = cs.pinned(&mut a);
+        assert!(pinned.ranges.is_empty());
+        assert_eq!(pinned.lits.len(), 1);
+        let sol = solve(&a, &pinned, None, &SolveCfg::default()).expect("solvable");
+        assert_eq!(sol[0] + 2, 3, "pin forces the observed offset");
     }
 }
