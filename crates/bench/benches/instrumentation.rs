@@ -36,6 +36,7 @@ fn bench_instrumentation(c: &mut Criterion) {
             method: Method::AllBranches,
             instrumented,
             log_syscalls: true,
+            format: instrument::LogFormat::Flat,
         };
         group.bench_function(BenchmarkId::new("config", name), |b| {
             b.iter(|| {
@@ -65,6 +66,7 @@ fn bench_instrumentation(c: &mut Criterion) {
             method: Method::AllBranches,
             instrumented: vec![true; nl],
             log_syscalls: false,
+            format: instrument::LogFormat::Flat,
         };
         b.iter(|| {
             let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan.clone());

@@ -20,6 +20,7 @@ fn main() {
         method: Method::AllBranches,
         instrumented: vec![true; n],
         log_syscalls: false,
+        format: instrument::LogFormat::Flat,
     };
     let run = exp.wb.logged_run(&all, &exp.parts);
 

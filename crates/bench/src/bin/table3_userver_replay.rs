@@ -61,6 +61,7 @@ fn main() {
                 name.clone(),
                 row.cell(),
                 row.runs.to_string(),
+                row.spend_cell(),
                 format!("{} / {}", row.syscall_divergences, row.frontier_restarts),
                 row.concretization_cell(),
                 row.repair_cell(),
@@ -83,6 +84,7 @@ fn main() {
                 "config",
                 "replay work / wall",
                 "runs",
+                "instr spend",
                 "sysdiv / restarts",
                 "conc rng/pin+fb",
                 "repairs",

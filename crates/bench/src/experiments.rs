@@ -137,6 +137,9 @@ pub fn replay_one(
             pin_fallbacks: result.pin_fallbacks,
             repairs: result.frontier.repairs_scheduled,
             repair_cutoffs: result.frontier.repair_cutoffs,
+            log_bits: run.log_bits,
+            cursor_locations: run.cursor_locations,
+            cursor_spend_units: run.cursor_spend_units,
         },
         stats,
         transfer,
@@ -149,7 +152,7 @@ pub fn log_compression_ratio(exp: &Experiment, plan: &Plan) -> f64 {
     // Reconstruct raw log bytes: logged_run reports bits; use a fresh
     // logged run through the report to get the raw bytes.
     match run.report {
-        Some(r) => compress::ratio(r.trace.raw_bytes()),
+        Some(r) => compress::ratio(&r.trace.wire_bytes()),
         None => {
             // No crash: rebuild the trace from a crashing variant is not
             // possible; approximate using a synthetic all-ones log of the

@@ -136,12 +136,18 @@ fn userver_exp1_replay_table_matches_golden() {
         let run = exp.wb.logged_run(&plan, &exp.parts);
         let report = run.report.expect("deployment crashes");
         let res = exp.wb.replay(&plan, &report, 300);
+        let spend = retrace_core::metrics::spend_cell(
+            run.log_bits,
+            run.cursor_locations,
+            run.cursor_spend_units,
+        );
         rows.push(vec![
             name.to_string(),
             if res.reproduced { "yes" } else { "∞" }.to_string(),
             res.runs.to_string(),
             res.solver_calls.to_string(),
             res.total_instrs.to_string(),
+            spend,
             format!(
                 "{}/{}+{}",
                 res.concretization_ranges, res.concretization_pins, res.pin_fallbacks
@@ -160,6 +166,7 @@ fn userver_exp1_replay_table_matches_golden() {
             "runs",
             "solver calls",
             "instrs",
+            "instr spend",
             "conc rng/pin+fb",
             "repairs",
         ],

@@ -69,6 +69,13 @@ pub struct ReplayRow {
     pub repairs: u64,
     /// Prefixes whose repair budget was cut off.
     pub repair_cutoffs: u64,
+    /// Branch-log bits the deployment shipped.
+    pub log_bits: u64,
+    /// Branch locations with their own bit stream (0 = flat format).
+    pub cursor_locations: usize,
+    /// Extra instrumentation units the per-location cursor format spent
+    /// at the user site (0 = flat format).
+    pub cursor_spend_units: u64,
 }
 
 impl ReplayRow {
@@ -85,6 +92,18 @@ impl ReplayRow {
         format!("{}({})", self.repairs, self.repair_cutoffs)
     }
 
+    /// The instrumentation-spend cell: shipped log bits, and — under the
+    /// per-location cursor format — the stream count and the extra units
+    /// the cursor table cost at the user site (`bits b @N loc +U u`).
+    /// A flat-format row reads `bits b`: zero extra spend, by design.
+    pub fn spend_cell(&self) -> String {
+        spend_cell(
+            self.log_bits,
+            self.cursor_locations,
+            self.cursor_spend_units,
+        )
+    }
+
     /// The table cell: work (and wall time), or ∞ on timeout.
     pub fn cell(&self) -> String {
         if !self.reproduced {
@@ -96,6 +115,18 @@ impl ReplayRow {
             format!("{:.1}Ki", self.total_instrs as f64 / 1e3)
         };
         format!("{work} / {}ms", self.wall_ms)
+    }
+}
+
+/// Formats an instrumentation-spend cell from its raw counters — the
+/// one definition of the `instr spend` column's shape, shared by
+/// [`ReplayRow::spend_cell`] and the golden-table tests (so a format
+/// change cannot silently diverge from the pinned tables).
+pub fn spend_cell(log_bits: u64, cursor_locations: usize, cursor_spend_units: u64) -> String {
+    if cursor_locations == 0 {
+        format!("{log_bits}b")
+    } else {
+        format!("{log_bits}b@{cursor_locations}loc+{cursor_spend_units}u")
     }
 }
 
@@ -147,9 +178,19 @@ mod tests {
             pin_fallbacks: 2,
             repairs: 1,
             repair_cutoffs: 0,
+            log_bits: 120,
+            cursor_locations: 0,
+            cursor_spend_units: 0,
         };
         assert_eq!(r.cell(), "∞");
         assert_eq!(r.concretization_cell(), "12/3+2");
         assert_eq!(r.repair_cell(), "1(0)");
+        assert_eq!(r.spend_cell(), "120b");
+        let cursored = ReplayRow {
+            cursor_locations: 9,
+            cursor_spend_units: 720,
+            ..r
+        };
+        assert_eq!(cursored.spend_cell(), "120b@9loc+720u");
     }
 }

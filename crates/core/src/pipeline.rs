@@ -18,7 +18,7 @@ use concolic::{
     realize, AnalysisResult, BranchLabel, Concretization, Engine, InputSpec, InputVars, Profile,
     SessionConfig,
 };
-use instrument::{BugReport, DynLabel, LoggingHost, Method, Plan};
+use instrument::{BugReport, DynLabel, LogFormat, LoggingHost, Method, Plan};
 use minic::cost::Meter;
 use minic::vm::{RunOutcome, Vm};
 use minic::{CompiledProgram, UnitId};
@@ -76,6 +76,14 @@ pub struct LoggedRun {
     pub syscall_records: usize,
     /// Syscall-log bytes.
     pub syscall_log_bytes: u64,
+    /// Log format the run emitted.
+    pub log_format: LogFormat,
+    /// Branch locations with their own bit stream (0 under flat).
+    pub cursor_locations: usize,
+    /// Extra instrumentation units spent on per-location cursor
+    /// maintenance (0 under flat) — the spend counter of the tables'
+    /// instrumentation-spend column.
+    pub cursor_spend_units: u64,
     /// Requests completed by the kernel (servers).
     pub requests: u64,
     /// Captured stdout.
@@ -151,13 +159,22 @@ impl Workbench {
     }
 
     /// Builds an instrumentation plan from analysis results.
+    ///
+    /// Combined (`dynamic+static`) plans additionally opt into the
+    /// per-branch-location cursor log format when they partially
+    /// instrument a loop cluster — the configuration whose flat
+    /// bitvector is fragile against trip-count errors (the Table 3
+    /// combined-row ∞). All other methods keep the paper's flat format
+    /// bit for bit.
     pub fn plan(&self, method: Method, bundle: &AnalysisBundle) -> Plan {
+        let infos = (0..self.cp.n_branches()).map(|i| self.cp.branch(minic::BranchId(i as u32)));
         Plan::build(
             method,
             &bundle.dyn_labels,
             &bundle.static_symbolic,
             self.cp.n_branches(),
         )
+        .with_cursor_opt_in(infos)
     }
 
     fn realize_deployment(&self, parts: &InputParts) -> (Vec<Vec<u8>>, KernelConfig) {
@@ -187,6 +204,9 @@ impl Workbench {
         let host = vm.host;
         let log_bits = host.log.len();
         let log_flushes = host.log.flushes();
+        let log_format = host.plan.format;
+        let cursor_locations = host.log.n_locations();
+        let cursor_spend_units = host.log.spend_units();
         let instrumented_execs = host.instrumented_execs;
         let syscall_records = host.syscalls.len();
         let syscall_log_bytes = host.syscalls.bytes();
@@ -205,6 +225,9 @@ impl Workbench {
             instrumented_execs,
             syscall_records,
             syscall_log_bytes,
+            log_format,
+            cursor_locations,
+            cursor_spend_units,
             requests,
             stdout,
         }

@@ -7,8 +7,8 @@
 //! packages the crash site and the logs — the artifact shipped to the
 //! developer.
 
-use crate::logger::{BitLog, BranchTrace};
-use crate::plan::{Method, Plan};
+use crate::logger::{BitLog, CursorLog, TraceLog};
+use crate::plan::{LogFormat, Method, Plan};
 use crate::syscall_log::{is_logged, SysRecord, SyscallLog};
 use minic::cost::Meter;
 use minic::memory::Memory;
@@ -18,6 +18,82 @@ use minic::{BranchId, Loc};
 use oskit::{apply_effect, Kernel};
 use serde::{Deserialize, Serialize};
 
+/// The accumulating branch log in the plan's format: the flat bitvector,
+/// or one bit stream per branch location (see [`LogFormat`]).
+#[derive(Debug, Clone)]
+pub enum BranchLogger {
+    /// The paper's flat bit log.
+    Flat(BitLog),
+    /// The per-location cursor log.
+    Cursors(CursorLog),
+}
+
+impl BranchLogger {
+    /// An empty logger in the given format.
+    pub fn new(format: LogFormat) -> Self {
+        match format {
+            LogFormat::Flat => BranchLogger::Flat(BitLog::new()),
+            LogFormat::PerLocation => BranchLogger::Cursors(CursorLog::new()),
+        }
+    }
+
+    /// Appends one direction for branch location `loc`, returning the
+    /// cost units charged.
+    pub fn push(&mut self, loc: u32, taken: bool) -> u64 {
+        match self {
+            BranchLogger::Flat(l) => l.push(taken),
+            BranchLogger::Cursors(l) => l.push(loc, taken),
+        }
+    }
+
+    /// Total bits recorded.
+    pub fn len(&self) -> u64 {
+        match self {
+            BranchLogger::Flat(l) => l.len(),
+            BranchLogger::Cursors(l) => l.len(),
+        }
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Buffer flushes performed.
+    pub fn flushes(&self) -> u64 {
+        match self {
+            BranchLogger::Flat(l) => l.flushes(),
+            BranchLogger::Cursors(l) => l.flushes(),
+        }
+    }
+
+    /// Branch locations with at least one recorded bit (0 under flat —
+    /// the flat format keeps no per-location table).
+    pub fn n_locations(&self) -> usize {
+        match self {
+            BranchLogger::Flat(_) => 0,
+            BranchLogger::Cursors(l) => l.n_locations(),
+        }
+    }
+
+    /// Extra instrumentation units spent on cursor maintenance (0 under
+    /// flat) — the spend counter behind the tables' spend column.
+    pub fn spend_units(&self) -> u64 {
+        match self {
+            BranchLogger::Flat(_) => 0,
+            BranchLogger::Cursors(l) => l.spend_units(),
+        }
+    }
+
+    /// Finalizes into the shippable trace.
+    pub fn finish(self) -> TraceLog {
+        match self {
+            BranchLogger::Flat(l) => TraceLog::Flat(l.finish()),
+            BranchLogger::Cursors(l) => TraceLog::Cursors(l.finish()),
+        }
+    }
+}
+
 /// Concrete host with branch + syscall logging per an instrumentation
 /// [`Plan`].
 #[derive(Debug)]
@@ -26,8 +102,8 @@ pub struct LoggingHost {
     pub kernel: Kernel,
     /// The instrumentation plan (what to log).
     pub plan: Plan,
-    /// The branch-bit log being accumulated.
-    pub log: BitLog,
+    /// The branch log being accumulated, in the plan's format.
+    pub log: BranchLogger,
     /// The syscall-result log being accumulated.
     pub syscalls: SyscallLog,
     /// Captured stdout.
@@ -39,10 +115,11 @@ pub struct LoggingHost {
 impl LoggingHost {
     /// Creates a logging host.
     pub fn new(kernel: Kernel, plan: Plan) -> Self {
+        let log = BranchLogger::new(plan.format);
         LoggingHost {
             kernel,
             plan,
-            log: BitLog::new(),
+            log,
             syscalls: SyscallLog::new(),
             stdout: Vec::new(),
             instrumented_execs: 0,
@@ -62,7 +139,7 @@ impl Host for LoggingHost {
     ) -> Result<u64, HostStop> {
         if self.plan.covers(bid) {
             self.instrumented_execs += 1;
-            Ok(self.log.push(taken))
+            Ok(self.log.push(bid.0, taken))
         } else {
             Ok(0)
         }
@@ -122,8 +199,12 @@ impl Host for LoggingHost {
 pub struct BugReport {
     /// Where and why the program crashed.
     pub crash: CrashInfo,
-    /// The partial branch trace.
-    pub trace: BranchTrace,
+    /// The partial branch trace (flat, or per-location cursor streams).
+    pub trace: TraceLog,
+    /// Extra instrumentation units the cursor format spent at the user
+    /// site (0 under flat) — ships as metadata so the developer-side
+    /// tables can report the spend without re-running the deployment.
+    pub cursor_spend_units: u64,
     /// Logged syscall results (empty when disabled).
     pub syscalls: SyscallLog,
     /// Which method produced the instrumentation (metadata).
@@ -133,15 +214,18 @@ pub struct BugReport {
 impl BugReport {
     /// Packages a report after a crash.
     pub fn capture(host: LoggingHost, crash: CrashInfo) -> BugReport {
+        let cursor_spend_units = host.log.spend_units();
         BugReport {
             crash,
             trace: host.log.finish(),
+            cursor_spend_units,
             syscalls: host.syscalls,
             method: host.plan.method,
         }
     }
 
-    /// Total transfer size in bytes before compression.
+    /// Total transfer size in bytes before compression (the cursor
+    /// format counts its compact on-wire encoding).
     pub fn transfer_bytes(&self) -> u64 {
         self.trace.bytes() + self.syscalls.bytes()
     }
@@ -199,6 +283,7 @@ mod tests {
             method: Method::Dynamic,
             instrumented: vec![false, true],
             log_syscalls: true,
+            format: LogFormat::Flat,
         };
         let (_, host, _) = run_with_plan(plan, b"x");
         assert_eq!(host.log.len(), 8);
@@ -210,14 +295,52 @@ mod tests {
             method: Method::Dynamic,
             instrumented: vec![false, true],
             log_syscalls: false,
+            format: LogFormat::Flat,
         };
         let (_, host, _) = run_with_plan(plan.clone(), b"x");
         let trace = host.log.finish();
+        let trace = trace.as_flat().expect("flat plan ships a flat trace");
         // 'x' matches: all 8 bits taken.
         assert!((0..8).all(|i| trace.get(i) == Some(true)));
         let (_, host2, _) = run_with_plan(plan, b"y");
         let trace2 = host2.log.finish();
+        let trace2 = trace2.as_flat().unwrap();
         assert!((0..8).all(|i| trace2.get(i) == Some(false)));
+    }
+
+    #[test]
+    fn cursor_format_splits_the_log_by_location_and_records_spend() {
+        // Same program, same coverage, per-location format: the loop
+        // condition (b0) and the input test (b1) land in separate
+        // streams instead of interleaving in one bitvector.
+        let plan = Plan::build(
+            Method::AllBranches,
+            &[DynLabel::Unvisited; 2],
+            &[false; 2],
+            2,
+        )
+        .with_format(LogFormat::PerLocation);
+        let (out, host, meter) = run_with_plan(plan, b"x");
+        assert_eq!(out, RunOutcome::Exited(8));
+        assert_eq!(host.log.len(), 17, "same bit count as flat");
+        assert_eq!(host.log.n_locations(), 2);
+        assert_eq!(
+            host.log.spend_units(),
+            17 * minic::cost::CURSOR_STEP_COST,
+            "every cursored bit charges the indirection"
+        );
+        assert!(
+            meter.instrumentation_units
+                >= 17 * (minic::cost::BRANCH_LOG_COST + minic::cost::CURSOR_STEP_COST),
+            "the spend reaches the cost model"
+        );
+        let trace = host.log.finish();
+        let c = trace.as_cursors().expect("cursor plan ships cursors");
+        // Loop: 8 taken + 1 exit; if: 8 taken ('x' matches every time).
+        assert_eq!(c.stream(0).unwrap().len(), 9);
+        assert_eq!(c.stream(0).unwrap().get(8), Some(false));
+        assert_eq!(c.stream(1).unwrap().len(), 8);
+        assert!((0..8).all(|i| c.stream(1).unwrap().get(i) == Some(true)));
     }
 
     #[test]
@@ -245,6 +368,7 @@ mod tests {
             method: Method::Static,
             instrumented: vec![true, true],
             log_syscalls: true,
+            format: LogFormat::Flat,
         };
         let (_, host, meter) = run_with_plan(plan, b"a");
         assert_eq!(host.syscalls.len(), 1); // the sys_time call

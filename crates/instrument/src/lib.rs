@@ -4,9 +4,14 @@
 //! "a bug report arrives" (§2.3 + §4 of the paper):
 //!
 //! - [`Plan`]: which branch locations are logged, per the four methods
-//!   (`dynamic`, `static`, `dynamic+static`, `all branches`);
-//! - [`BitLog`]/[`BranchTrace`]: the bit-per-branch log with 4 KiB
+//!   (`dynamic`, `static`, `dynamic+static`, `all branches`), plus the
+//!   log-format decision ([`LogFormat`]);
+//! - [`BitLog`]/[`BranchTrace`]: the flat bit-per-branch log with 4 KiB
 //!   buffered flushing and its 17-instruction per-branch cost;
+//! - [`CursorLog`]/[`CursorTrace`]: the per-branch-location log-format
+//!   extension (one bit stream and cursor per location, with a spend
+//!   counter and a compact on-wire encoding), unified with the flat
+//!   format under [`TraceLog`];
 //! - [`SyscallLog`]: selective syscall-result logging (`read` counts,
 //!   `select` ready sets — never input data);
 //! - [`LoggingHost`]: the instrumented execution host;
@@ -20,7 +25,9 @@ pub mod logger;
 pub mod plan;
 pub mod syscall_log;
 
-pub use host::{BugReport, LoggingHost};
-pub use logger::{BitLog, BranchTrace, TraceCursor};
-pub use plan::{DynLabel, Method, Plan};
+pub use host::{BranchLogger, BugReport, LoggingHost};
+pub use logger::{
+    BitLog, BranchTrace, CursorLog, CursorTable, CursorTrace, LocStream, TraceCursor, TraceLog,
+};
+pub use plan::{DynLabel, LogFormat, Method, Plan};
 pub use syscall_log::{is_logged, SysCursor, SysRecord, SyscallLog};

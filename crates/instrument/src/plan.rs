@@ -8,8 +8,9 @@
 //! > by the static analysis, with the exception of those labeled concrete
 //! > by the dynamic analysis."
 
-use minic::BranchId;
+use minic::{BranchId, BranchInfo, BranchKind};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Dynamic-analysis labels as the instrumentation layer consumes them.
 ///
@@ -60,6 +61,23 @@ impl Method {
     }
 }
 
+/// On-wire layout of the branch log a plan's runtime produces.
+///
+/// The flat format is the paper's single bitvector. The per-location
+/// format spends extra instrumentation (a cursor-table indirection per
+/// logged execution, `minic::cost::CURSOR_STEP_COST`) to give every
+/// branch location its own bit stream, so one wrong unlogged loop exit
+/// cannot shift which branch instance consumes which bit across the
+/// whole log — the combined-row misalignment pathology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum LogFormat {
+    /// One flat bitvector in global execution order (the paper's §4).
+    #[default]
+    Flat,
+    /// One bit stream per instrumented branch location.
+    PerLocation,
+}
+
 /// A concrete instrumentation plan for one program build.
 ///
 /// The developer retains this ("the list of instrumented branches is
@@ -73,6 +91,8 @@ pub struct Plan {
     pub instrumented: Vec<bool>,
     /// Whether selected system-call results are logged too.
     pub log_syscalls: bool,
+    /// Log format the runtime emits (and replay expects).
+    pub format: LogFormat,
 }
 
 impl Plan {
@@ -108,6 +128,7 @@ impl Plan {
             method,
             instrumented,
             log_syscalls: true,
+            format: LogFormat::Flat,
         }
     }
 
@@ -117,7 +138,56 @@ impl Plan {
             method: Method::Dynamic,
             instrumented: vec![false; n_branches],
             log_syscalls: false,
+            format: LogFormat::Flat,
         }
+    }
+
+    /// Overrides the log format (ablations and tests).
+    pub fn with_format(mut self, format: LogFormat) -> Plan {
+        self.format = format;
+        self
+    }
+
+    /// True when this plan leaves a loop-kind branch unlogged inside a
+    /// function where it logs at least one other branch — a *partially
+    /// instrumented loop cluster*. A wrong trip count at such a loop is
+    /// exactly what shifts the flat bitvector out of alignment: every
+    /// logged branch downstream consumes bits recorded for other
+    /// instances.
+    pub fn has_partial_loop_cluster<'a>(
+        &self,
+        branches: impl IntoIterator<Item = &'a BranchInfo>,
+    ) -> bool {
+        // Cluster key: (unit, enclosing function).
+        let mut logged: HashSet<(u16, &str)> = HashSet::new();
+        let mut unlogged_loops: HashSet<(u16, &str)> = HashSet::new();
+        for b in branches {
+            let key = (b.unit.0, b.func.as_str());
+            if self.covers(b.id) {
+                logged.insert(key);
+            } else if matches!(
+                b.kind,
+                BranchKind::While | BranchKind::DoWhile | BranchKind::For
+            ) {
+                unlogged_loops.insert(key);
+            }
+        }
+        logged.iter().any(|k| unlogged_loops.contains(k))
+    }
+
+    /// The combined method's log-format opt-in: spend the per-location
+    /// cursor table exactly where the flat format is fragile (a partially
+    /// instrumented loop cluster), keep the flat format — bit for bit —
+    /// everywhere else. Fully-logged and single-analysis plans never
+    /// switch, so their baselines stay untouched.
+    pub fn with_cursor_opt_in<'a>(
+        mut self,
+        branches: impl IntoIterator<Item = &'a BranchInfo>,
+    ) -> Plan {
+        if self.method == Method::DynamicStatic && self.has_partial_loop_cluster(branches) {
+            self.format = LogFormat::PerLocation;
+        }
+        self
     }
 
     /// Whether a branch is instrumented.
@@ -221,5 +291,68 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let q: Plan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, q);
+    }
+
+    fn branch_infos(kinds: &[(BranchKind, &str)]) -> Vec<BranchInfo> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, (kind, func))| BranchInfo {
+                id: BranchId(i as u32),
+                kind: *kind,
+                unit: minic::UnitId(0),
+                line: i as u32,
+                col: 0,
+                func: func.to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cursor_opt_in_fires_on_partially_instrumented_loop_cluster() {
+        use BranchKind::*;
+        // parse(): an unlogged while + a logged if — the fragile cluster.
+        let infos = branch_infos(&[(While, "parse"), (If, "parse"), (If, "main")]);
+        let plan = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![false, true, false],
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert!(plan.has_partial_loop_cluster(&infos));
+        assert_eq!(
+            plan.with_cursor_opt_in(&infos).format,
+            LogFormat::PerLocation
+        );
+    }
+
+    #[test]
+    fn cursor_opt_in_keeps_flat_when_not_justified() {
+        use BranchKind::*;
+        let infos = branch_infos(&[(While, "parse"), (If, "parse"), (If, "main")]);
+        // Fully logged: no unlogged loop, flat stays.
+        let full = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![true, true, true],
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert_eq!(full.with_cursor_opt_in(&infos).format, LogFormat::Flat);
+        // The unlogged loop lives in a cluster with no logged branch.
+        let disjoint = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![false, false, true],
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert_eq!(disjoint.with_cursor_opt_in(&infos).format, LogFormat::Flat);
+        // Non-combined methods never switch, even with the fragile shape.
+        let dynamic = Plan {
+            method: Method::Dynamic,
+            instrumented: vec![false, true, false],
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert_eq!(dynamic.with_cursor_opt_in(&infos).format, LogFormat::Flat);
     }
 }

@@ -15,6 +15,14 @@ use serde::{Deserialize, Serialize};
 /// Cost of logging one branch execution (paper: 17 instructions).
 pub const BRANCH_LOG_COST: u64 = 17;
 
+/// Extra cost per branch execution logged through a per-location bit
+/// cursor (load the location's cursor, bump it, store it back — the
+/// cursor-table indirection the flat format does not pay). Charged on
+/// top of [`BRANCH_LOG_COST`] and accounted separately so the
+/// instrumentation-spend columns stay honest about what the log-format
+/// extension costs.
+pub const CURSOR_STEP_COST: u64 = 6;
+
 /// Branch-log buffer size in bytes (paper: 4 KiB buffer flushed to disk).
 pub const LOG_BUFFER_BYTES: usize = 4096;
 

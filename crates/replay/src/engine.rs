@@ -16,7 +16,9 @@
 //! through [`ReplayBudget::policy`].
 
 use crate::env::{realize_streams, ReplayEnv, SyscallMode};
-use crate::host::{ReplayHost, BRANCH_DIVERGENCE, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE};
+use crate::host::{
+    ReplayHost, BRANCH_DIVERGENCE, CURSOR_OVERRUN, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE,
+};
 use concolic::{
     restart_seed, seeded_assignment, Concretization, InputSpec, InputVars, PathStep, StepOrigin,
 };
@@ -127,6 +129,10 @@ pub struct ReplayResult {
     pub exhausted: bool,
     /// Syscall-order divergence aborts survived during the search.
     pub syscall_divergences: u64,
+    /// Per-location stream overrun aborts (cursor format only): runs
+    /// killed early because one location consumed past its recorded
+    /// stream while other bits remained.
+    pub cursor_overruns: u64,
     /// Concretizations emitted as offset-generalizing ranges, summed
     /// across runs.
     pub concretization_ranges: u64,
@@ -218,6 +224,7 @@ impl<'p> ReplayEngine<'p> {
         let mut total_instrs = 0u64;
         let mut total_units = 0u64;
         let mut syscall_divergences = 0u64;
+        let mut cursor_overruns = 0u64;
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
@@ -297,22 +304,23 @@ impl<'p> ReplayEngine<'p> {
             total_instrs += vm.meter.instrs;
             total_units += vm.meter.units;
             let host = vm.host;
+            let log_exhausted = host.log_exhausted();
             arena = host.arena;
             last_stats = host.stats.clone();
             if let Some(conns) = traced_conns {
                 eprintln!(
-                    "run {runs}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} conns={conns:?}",
+                    "run {runs}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} cursors={:?} conns={conns:?}",
                     host.stats.bits_consumed,
                     host.stats.sym_logged_execs,
                     host.stats.sym_unlogged_execs,
                     host.path.len(),
                     host.stats.divergent_branch,
+                    host.cursors.positions(),
                 );
             }
             concretization_ranges += last_stats.concretization_ranges;
             concretization_pins += last_stats.concretization_pins;
             let path = host.path;
-            let log_exhausted = host.bit_pos >= self.report.trace.len();
 
             // ---- success checks --------------------------------------------
             let success = match &outcome {
@@ -339,6 +347,7 @@ impl<'p> ReplayEngine<'p> {
                     timed_out: false,
                     exhausted: false,
                     syscall_divergences,
+                    cursor_overruns,
                     concretization_ranges,
                     concretization_pins,
                     pin_fallbacks,
@@ -357,6 +366,7 @@ impl<'p> ReplayEngine<'p> {
                         timed_out: true,
                         exhausted: false,
                         syscall_divergences,
+                        cursor_overruns,
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
@@ -369,8 +379,12 @@ impl<'p> ReplayEngine<'p> {
             // ---- schedule pending sets -------------------------------------
             let forced = matches!(&outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
             let syscall_div = matches!(&outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
+            let overrun = matches!(&outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN);
             if syscall_div {
                 syscall_divergences += 1;
+            }
+            if overrun {
+                cursor_overruns += 1;
             }
 
             let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
@@ -383,23 +397,54 @@ impl<'p> ReplayEngine<'p> {
             // guided analogue of the 2(b) forced set. (The literal
             // path-so-far would be a no-op: the current candidate already
             // satisfies it, so the solver would hand it straight back.)
-            if syscall_div {
+            // A per-location stream overrun earns the same recovery: the
+            // prime suspect for a location executing too often is the
+            // most recent unlogged symbolic decision — usually the loop
+            // exit that kept the scan going.
+            if syscall_div || overrun {
                 // Only UNLOGGED branches qualify as suspects: a logged
                 // step (case 2a) already agreed with the recorded
                 // direction, and negating it would just force the next
                 // candidate into a 2(b) divergence at that spot.
-                let suspect = (0..lits.len()).rev().find(|&i| {
+                let unlogged_sym = |i: usize| {
                     i < self.cfg.budget.max_pending_lits
                         && matches!(path[i].origin, StepOrigin::Branch(b) if !self.plan.covers(b))
                         && !arena.support(lits[i].expr).is_empty()
-                });
-                if let Some(d) = suspect {
+                };
+                let offer_flip = |frontier: &mut Frontier, d: usize| {
                     let mut cs = ConstraintSet::new();
                     for st in &path[..d] {
                         push_step(&mut cs, st);
                     }
                     cs.push(lits[d].negated());
                     frontier.offer_priority(cs, assignment.clone(), true);
+                };
+                let recent = (0..lits.len()).rev().find(|&i| unlogged_sym(i));
+                if let Some(d) = recent {
+                    offer_flip(&mut frontier, d);
+                }
+                // An overrun names a more precise suspect class: the
+                // location re-executed because some unlogged *loop*
+                // decision kept a scan going, and that decision may sit
+                // above several unlogged body branches. Offer the most
+                // recent unlogged loop-kind flip too (LIFO: popped
+                // first); the dedup absorbs it when it IS the most
+                // recent decision.
+                if overrun {
+                    let is_loop = |i: usize| {
+                        matches!(path[i].origin, StepOrigin::Branch(b) if matches!(
+                            self.cp.branch(b).kind,
+                            minic::BranchKind::While
+                                | minic::BranchKind::DoWhile
+                                | minic::BranchKind::For
+                        ))
+                    };
+                    let loop_suspect = (0..lits.len())
+                        .rev()
+                        .find(|&i| unlogged_sym(i) && is_loop(i));
+                    if let Some(d) = loop_suspect.filter(|d| Some(*d) != recent) {
+                        offer_flip(&mut frontier, d);
+                    }
                 }
             }
 
@@ -473,14 +518,22 @@ impl<'p> ReplayEngine<'p> {
                         .take(window)
                         .collect();
                     if let (Some(_), Some(&last)) = (suspects.first(), suspects.last()) {
-                        // The burst key is the stall depth (the log
-                        // high-water mark): every UNSAT forced set while
-                        // the mark stands still pools its evidence into
-                        // one burst, however the aborting paths differ —
-                        // and each deeper stall gets a fresh repair
-                        // budget.
+                        // The burst key is the stall identity. Flat logs
+                        // key on the log high-water mark: every UNSAT
+                        // forced set while the mark stands still pools
+                        // its evidence into one burst, however the
+                        // aborting paths differ — and each deeper stall
+                        // gets a fresh repair budget. Per-location logs
+                        // key on the (location, cursor) that diverged:
+                        // stalls at different locations are independent
+                        // pathologies and must not share a burst or a
+                        // repair budget.
+                        let key = match last_stats.divergent_cursor {
+                            Some((loc, pos)) => search::location_key(loc, pos),
+                            None => bits_high_water as u128,
+                        };
                         let info = ForcedInfo {
-                            key: bits_high_water as u128,
+                            key,
                             steps: path[..=last].to_vec(),
                             suspects,
                             seed: assignment.clone(),
@@ -584,6 +637,7 @@ impl<'p> ReplayEngine<'p> {
                             timed_out,
                             exhausted: !timed_out,
                             syscall_divergences,
+                            cursor_overruns,
                             concretization_ranges,
                             concretization_pins,
                             pin_fallbacks,
@@ -619,6 +673,7 @@ impl<'p> ReplayEngine<'p> {
             timed_out: outcome.timed_out,
             exhausted: outcome.exhausted,
             syscall_divergences: outcome.syscall_divergences,
+            cursor_overruns: outcome.cursor_overruns,
             concretization_ranges: outcome.concretization_ranges,
             concretization_pins: outcome.concretization_pins,
             pin_fallbacks: outcome.pin_fallbacks,
@@ -633,6 +688,7 @@ struct Outcome {
     timed_out: bool,
     exhausted: bool,
     syscall_divergences: u64,
+    cursor_overruns: u64,
     concretization_ranges: u64,
     concretization_pins: u64,
     pin_fallbacks: u64,
@@ -642,10 +698,12 @@ struct Outcome {
 /// Metadata retained for a queued forced (2(b)/3(b)) set so a thrash
 /// burst can be repaired by suspect backtracking.
 struct ForcedInfo {
-    /// Burst key: the log high-water mark (stall depth) at registration.
-    /// Every forced set produced while the mark stands still pools its
-    /// evidence into one burst, however the aborting paths differ, and
-    /// each deeper stall gets a fresh repair budget.
+    /// Burst key: the log high-water mark (stall depth) at registration
+    /// for flat logs, or [`search::location_key`] of the divergent
+    /// (location, cursor) pair for per-location logs. Every forced set
+    /// produced at the same stall pools its evidence into one burst,
+    /// however the aborting paths differ, and each new stall gets a
+    /// fresh repair budget.
     key: u128,
     /// Path steps up to the last repairable suspect (inclusive).
     steps: Vec<PathStep>,

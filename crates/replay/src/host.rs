@@ -1,8 +1,8 @@
 //! The replay host: log-guided symbolic execution (§3.1).
 //!
 //! A concolic host (like the analysis engine's) that additionally follows
-//! the shipped branch bitvector. At every executed branch the four cases
-//! of §3.1 apply:
+//! the shipped branch log. At every executed branch the four cases of
+//! §3.1 apply:
 //!
 //! 1. **symbolic, not instrumented** — record the constraint, keep going
 //!    (the engine may later negate it: pending set);
@@ -12,13 +12,20 @@
 //! 3. **concrete, instrumented** — compare; mismatch aborts (an earlier
 //!    uninstrumented symbolic branch went the wrong way);
 //! 4. **concrete, not instrumented** — proceed, log untouched.
+//!
+//! "The next log bit" depends on the report's [`TraceLog`] format: the
+//! flat bitvector advances one global position; the per-location format
+//! advances the executing branch location's own cursor, so a trip-count
+//! error at an unlogged loop surfaces as a *local* mismatch at the first
+//! affected location instead of hundreds of coincidentally-agreeing bits
+//! downstream.
 
 use crate::env::{ReplayEnv, SyscallDivergence};
 use concolic::{
     concretization_step, map_binop, map_unop, Concretization, InputVars, PathStep, PtrComponent,
     StepOrigin, SymV,
 };
-use instrument::{BranchTrace, Plan};
+use instrument::{CursorTable, Plan, TraceLog};
 use minic::ast::{BinOp, UnOp};
 use minic::cost::Meter;
 use minic::memory::Memory;
@@ -35,6 +42,15 @@ pub const BRANCH_DIVERGENCE: &str = "branch direction diverges from log";
 
 /// Host abort reason for syscall-order divergence.
 pub const SYSCALL_DIVERGENCE: &str = "syscall order diverges from log";
+
+/// Host abort reason for a per-location stream overrun: an instrumented
+/// branch executed more times than its recorded stream holds while other
+/// locations still have unconsumed bits. The recorded run executed that
+/// location exactly stream-length times in its *entire* execution, so a
+/// candidate that overruns is structurally wrong — usually an unlogged
+/// loop exit taken the wrong way. Only the per-location format can see
+/// this; the flat format must read exhaustion as "recording stopped".
+pub const CURSOR_OVERRUN: &str = "per-location stream overrun";
 
 /// Per-run statistics of a replay attempt.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +69,13 @@ pub struct ReplayRunStats {
     /// The branch the run diverged at, with whether its condition was
     /// symbolic (`true` = case 2(b), `false` = case 3(b)).
     pub divergent_branch: Option<(u32, bool)>,
+    /// Under the per-location format: the (location, bit index) that
+    /// diverged — the mismatching bit on a 2(b)/3(b), or one past the
+    /// recorded stream on an overrun. `None` under flat (or no
+    /// divergence). This keys the forced-set repair per location.
+    pub divergent_cursor: Option<(u32, u64)>,
+    /// Whether the run aborted on a per-location stream overrun.
+    pub cursor_overrun: bool,
     /// Concretizations emitted as offset-generalizing ranges this run.
     pub concretization_ranges: u64,
     /// Concretizations pinned at emission this run.
@@ -67,10 +90,11 @@ pub struct ReplayHost {
     pub env: ReplayEnv,
     /// The instrumentation plan (retained by the developer).
     pub plan: Plan,
-    /// The shipped bitvector.
-    pub trace: BranchTrace,
-    /// Next unconsumed bit.
-    pub bit_pos: u64,
+    /// The shipped branch log (flat or per-location).
+    pub trace: TraceLog,
+    /// Consumption positions: one flat position, or one cursor per
+    /// branch location.
+    pub cursors: CursorTable,
     /// Input variable tables.
     pub vars: InputVars,
     /// Path condition of this run.
@@ -91,16 +115,19 @@ impl ReplayHost {
         arena: ExprArena,
         env: ReplayEnv,
         plan: Plan,
-        trace: BranchTrace,
+        mut trace: TraceLog,
         vars: InputVars,
         crash_loc: Loc,
     ) -> Self {
+        // The report may have been deserialized from external JSON; the
+        // cursor lookups rely on the sorted-unique stream invariant.
+        trace.normalize();
         ReplayHost {
             arena,
             env,
             plan,
             trace,
-            bit_pos: 0,
+            cursors: CursorTable::new(),
             vars,
             path: Vec::new(),
             stdout: Vec::new(),
@@ -117,16 +144,38 @@ impl ReplayHost {
         }
     }
 
-    fn next_bit(&mut self) -> Option<bool> {
-        let b = self.trace.get(self.bit_pos)?;
-        self.bit_pos += 1;
+    fn next_bit(&mut self, bid: BranchId) -> Option<bool> {
+        let b = self.trace.next_bit(&mut self.cursors, bid.0)?;
         self.stats.bits_consumed += 1;
         Some(b)
     }
 
+    /// Records where a divergence happened: under the per-location
+    /// format, the (location, cursor) of the offending bit index.
+    /// `consumed` distinguishes a mismatch (the cursor advanced past
+    /// the bit, so it sits at position − 1) from an overrun (nothing
+    /// was consumed: the offending index IS the current position, one
+    /// past the recorded stream) — without it the two stall identities
+    /// would collide at the stream's final bit.
+    fn note_divergence(&mut self, bid: BranchId, symbolic: bool, consumed: bool) {
+        self.stats.divergent_branch = Some((bid.0, symbolic));
+        if matches!(self.trace, TraceLog::Cursors(_)) {
+            let pos = self.cursors.position(bid.0);
+            let pos = if consumed { pos.saturating_sub(1) } else { pos };
+            self.stats.divergent_cursor = Some((bid.0, pos));
+        }
+    }
+
     /// True once every shipped bit has been consumed.
     pub fn log_exhausted(&self) -> bool {
-        self.bit_pos >= self.trace.len()
+        self.trace.exhausted(&self.cursors)
+    }
+
+    /// True when a per-location stream just ran out while the rest of
+    /// the log still holds bits — the overrun divergence signal. Always
+    /// false under the flat format (one stream: its end IS the log's).
+    fn overrun(&self) -> bool {
+        matches!(self.trace, TraceLog::Cursors(_)) && !self.log_exhausted()
     }
 
     /// The solver variable backing model event `k` (allocated on first
@@ -252,10 +301,20 @@ impl Host for ReplayHost {
             (true, true) => {
                 self.stats.sym_logged_execs += 1;
                 let e = *cond.1.as_ref().expect("symbolic condition has a shadow");
-                match self.next_bit() {
-                    // Log exhausted (recording stopped at the crash):
-                    // explore freely from here on.
+                match self.next_bit(bid) {
+                    // This location's bits ran out. Whole log exhausted
+                    // (recording stopped at the crash): explore freely.
+                    // One stream overrun while others still hold bits:
+                    // the candidate executes this location more often
+                    // than the recorded run ever did — abort, and let
+                    // the engine flip the most recent unlogged decision
+                    // (usually the loop exit that overshot).
                     None => {
+                        if self.overrun() {
+                            self.stats.cursor_overrun = true;
+                            self.note_divergence(bid, true, false);
+                            return Err(HostStop::Abort(CURSOR_OVERRUN.to_string()));
+                        }
                         self.path.push(PathStep {
                             lit: Lit {
                                 expr: e,
@@ -294,7 +353,7 @@ impl Host for ReplayHost {
                             taken: recorded,
                         });
                         self.stats.forced_abort = true;
-                        self.stats.divergent_branch = Some((bid.0, true));
+                        self.note_divergence(bid, true, true);
                         Err(self.divergence())
                     }
                 }
@@ -302,13 +361,20 @@ impl Host for ReplayHost {
             // Case 3: concrete, instrumented.
             (false, true) => {
                 self.stats.concrete_logged_execs += 1;
-                match self.next_bit() {
-                    None => Ok(0),
+                match self.next_bit(bid) {
+                    None => {
+                        if self.overrun() {
+                            self.stats.cursor_overrun = true;
+                            self.note_divergence(bid, false, false);
+                            return Err(HostStop::Abort(CURSOR_OVERRUN.to_string()));
+                        }
+                        Ok(0)
+                    }
                     Some(recorded) if recorded == taken => Ok(0),
                     Some(_) => {
                         // Case 3(b): an earlier uninstrumented symbolic
                         // branch went the wrong way — abort, backtrack.
-                        self.stats.divergent_branch = Some((bid.0, false));
+                        self.note_divergence(bid, false, true);
                         Err(self.divergence())
                     }
                 }

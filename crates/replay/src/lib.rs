@@ -9,6 +9,23 @@
 //!
 //! Reproduction = finding an input that drives execution to the recorded
 //! crash site along a path consistent with the log.
+//!
+//! # Run tracing (`RETRACE_REPLAY_TRACE`)
+//!
+//! Set the `RETRACE_REPLAY_TRACE` environment variable (any value) to
+//! make [`ReplayEngine::reproduce`] print one diagnostic line per run to
+//! stderr: the outcome, bits consumed, logged/unlogged symbolic
+//! execution counts, path length, the divergent branch (if any), the
+//! per-location cursor positions (empty for flat logs — the `bits`
+//! count is the flat position), and the candidate connection payloads.
+//! Repair-ladder offers are traced too. This is the first tool to reach
+//! for when a replay row goes ∞: a misalignment hunt starts by looking
+//! at which location's cursor stopped advancing.
+//!
+//! ```text
+//! RETRACE_REPLAY_TRACE=1 cargo run --release -p retrace-bench \
+//!     --bin table3_userver_replay 2>trace.log
+//! ```
 
 pub mod engine;
 pub mod env;
@@ -31,6 +48,7 @@ mod e2e {
     use minic::vm::Vm;
     use minic::{build, CompiledProgram};
     use oskit::{Kernel, KernelConfig};
+    use proptest::prelude::*;
     use solver::ExprArena;
 
     fn to_dyn_labels(cp: &CompiledProgram, labels: &concolic::LabelMap) -> Vec<DynLabel> {
@@ -410,6 +428,7 @@ mod e2e {
             method: Method::Dynamic,
             instrumented,
             log_syscalls: true,
+            format: instrument::LogFormat::Flat,
         };
         let mut kcfg = KernelConfig::default();
         kcfg.fs.install_file("/cfg", b"abcd".to_vec());
@@ -487,6 +506,7 @@ mod e2e {
             method: Method::Dynamic,
             instrumented,
             log_syscalls: true,
+            format: instrument::LogFormat::Flat,
         };
         let mut true_input = vec![b'b'; 40];
         true_input[0] = b'Q';
@@ -536,6 +556,219 @@ mod e2e {
             repaired.frontier,
         );
         assert_eq!(&repaired.witness_argv.unwrap()[1][..1], b"Q");
+    }
+
+    /// Record `src` on `parts` under a fully-instrumented plan in the
+    /// given log format, then replay. Returns (report, result).
+    fn record_replay_full(
+        src: &str,
+        spec: &InputSpec,
+        parts: &InputParts,
+        format: instrument::LogFormat,
+        replay_runs: usize,
+    ) -> (BugReport, crate::ReplayResult) {
+        let cp = build(&[("main", src)]).unwrap();
+        let plan = Plan::build(
+            Method::AllBranches,
+            &vec![DynLabel::Unvisited; cp.n_branches()],
+            &vec![false; cp.n_branches()],
+            cp.n_branches(),
+        )
+        .with_format(format);
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, spec);
+        let assignment = assignment_from_input(spec, parts);
+        let (argv, kcfg) = realize(spec, &vars, &assignment, &KernelConfig::default());
+        let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("deployment crashes").clone();
+        let report = BugReport::capture(vm.host, crash);
+        let mut rcfg = ReplayConfig::new(spec.clone());
+        rcfg.budget.max_runs = replay_runs;
+        let res = ReplayEngine::new(&cp, plan, report.clone(), rcfg).reproduce();
+        (report, res)
+    }
+
+    #[test]
+    fn fully_logged_replay_is_bit_identical_flat_vs_cursors() {
+        // A fully-instrumented plan leaves no unlogged symbolic branch,
+        // so the two formats record the same directions and must guide
+        // the search identically: same run count, same solver calls,
+        // same witness.
+        let spec = guarded_spec();
+        let parts = guarded_parts();
+        let (flat_rep, flat) = record_replay_full(
+            GUARDED_CRASH,
+            &spec,
+            &parts,
+            instrument::LogFormat::Flat,
+            64,
+        );
+        let (cur_rep, cur) = record_replay_full(
+            GUARDED_CRASH,
+            &spec,
+            &parts,
+            instrument::LogFormat::PerLocation,
+            64,
+        );
+        assert_eq!(flat_rep.trace.len(), cur_rep.trace.len());
+        assert!(flat.reproduced && cur.reproduced);
+        assert_eq!(flat.runs, cur.runs);
+        assert_eq!(flat.solver_calls, cur.solver_calls);
+        assert_eq!(flat.witness_argv, cur.witness_argv);
+        assert_eq!(
+            flat.last_run_stats.bits_consumed,
+            cur.last_run_stats.bits_consumed
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        // Any fully-logged program replays bit-identically under flat
+        // vs. per-location cursor logs: with every branch instrumented
+        // there is nothing for misalignment to exploit, so the formats
+        // must be behaviorally indistinguishable end to end.
+        #[test]
+        fn fully_logged_formats_replay_identically(
+            magic in proptest::collection::vec(0x21u8..0x7f, 2..4),
+        ) {
+            let src = format!(
+                r#"
+                int main(int argc, char **argv) {{
+                    char *s = argv[1];
+                    int ok = 1;
+                    for (int i = 0; i < {n}; i++) {{
+                        if (s[i] != "{lit}"[i]) {{ ok = 0; }}
+                    }}
+                    if (ok) {{ int *p = 0; return *p; }}
+                    return 0;
+                }}
+                "#,
+                n = magic.len(),
+                lit = magic.iter().map(|b| *b as char).collect::<String>(),
+            );
+            let spec = InputSpec::argv_symbolic("prog", 1, magic.len());
+            let parts = InputParts {
+                argv_sym: vec![magic.clone()],
+                ..InputParts::default()
+            };
+            let (flat_rep, flat) = record_replay_full(
+                &src, &spec, &parts, instrument::LogFormat::Flat, 128,
+            );
+            let (cur_rep, cur) = record_replay_full(
+                &src, &spec, &parts, instrument::LogFormat::PerLocation, 128,
+            );
+            prop_assert_eq!(flat_rep.trace.len(), cur_rep.trace.len());
+            prop_assert!(flat.reproduced);
+            prop_assert!(cur.reproduced);
+            prop_assert_eq!(flat.runs, cur.runs);
+            prop_assert_eq!(flat.solver_calls, cur.solver_calls);
+            prop_assert_eq!(flat.witness_argv, cur.witness_argv);
+        }
+    }
+
+    #[test]
+    fn cursor_log_localizes_loop_misalignment() {
+        // The combined-row pathology in miniature. The scan loop's exit
+        // (b0) is NOT logged; the loop-body branch (b1) and the crash
+        // guard (b2) are. Under the flat format a candidate with the
+        // wrong trip count shifts b2's bit into b1's stretch of
+        // low-entropy loop bits, so structurally wrong candidates keep
+        // "agreeing"; under per-location cursors b2 always reads ITS OWN
+        // recorded bit, so the forced set pins the crash guard on the
+        // first divergence — a local mismatch instead of a downstream
+        // one.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                int acc = 0;
+                int i = 0;
+                while (s[i] != '.') {
+                    if (s[i] > 'm') { acc++; }
+                    i = i + 1;
+                }
+                if (s[19] == 'Z') {
+                    int *p = 0;
+                    return *p;
+                }
+                return acc;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 20);
+        // Source order: b0 = while, b1 = loop-body if, b2 = crash guard.
+        let mut instrumented = vec![false; cp.n_branches()];
+        instrumented[1] = true;
+        instrumented[2] = true;
+        let base_plan = Plan {
+            method: Method::DynamicStatic,
+            instrumented,
+            log_syscalls: true,
+            format: instrument::LogFormat::Flat,
+        };
+        // The true input: 8 loop iterations, then the crash guard.
+        let mut true_input = vec![b'b'; 20];
+        true_input[8] = b'.';
+        true_input[19] = b'Z';
+        let parts = InputParts {
+            argv_sym: vec![true_input],
+            ..InputParts::default()
+        };
+        let run = |format: instrument::LogFormat, max_runs: usize, hint: Option<Vec<i64>>| {
+            let plan = base_plan.clone().with_format(format);
+            let mut arena = ExprArena::new();
+            let vars = InputVars::alloc(&mut arena, &spec);
+            let assignment = assignment_from_input(&spec, &parts);
+            let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+            let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+            let mut vm = Vm::new(&cp, host);
+            let crash = vm.run(&argv).crash().expect("crashes").clone();
+            let report = BugReport::capture(vm.host, crash);
+            let mut rcfg = ReplayConfig::new(spec.clone());
+            rcfg.budget.max_runs = max_runs;
+            rcfg.initial_hint = hint;
+            ReplayEngine::new(&cp, plan, report, rcfg).reproduce()
+        };
+        // A candidate with the WRONG trip count (dot at 4, not 8) but
+        // the right guard byte — the misaligned shape an unlogged loop
+        // exit produces. One run each, and look at the diagnostics:
+        let mut misaligned = vec![b'b' as i64; 20];
+        misaligned[4] = b'.' as i64;
+        misaligned[19] = b'Z' as i64;
+        let flat_probe = run(instrument::LogFormat::Flat, 1, Some(misaligned.clone()));
+        assert!(!flat_probe.reproduced);
+        assert_eq!(
+            flat_probe.last_run_stats.divergent_branch,
+            Some((2, true)),
+            "flat: the guard reads a shifted LOOP bit (0) and 'diverges' — \
+             the forced set will pin the guard the WRONG way"
+        );
+        let cursor_probe = run(
+            instrument::LogFormat::PerLocation,
+            1,
+            Some(misaligned.clone()),
+        );
+        assert!(!cursor_probe.reproduced, "under-consumed streams fail 3(a)");
+        assert_eq!(
+            cursor_probe.last_run_stats.divergent_branch, None,
+            "cursors: the guard reads its OWN bit and agrees; only the \
+             loop stream is short"
+        );
+        assert_eq!(
+            cursor_probe.last_run_stats.bits_consumed, 5,
+            "4 loop-body bits + the guard's own bit"
+        );
+        // And end to end, the cursor format converges from that
+        // misaligned start within a small budget.
+        let budget = 64;
+        let cursors = run(instrument::LogFormat::PerLocation, budget, Some(misaligned));
+        assert!(
+            cursors.reproduced,
+            "per-location cursors must converge within {budget} runs: {:?}",
+            (cursors.runs, &cursors.frontier),
+        );
+        let w = cursors.witness_argv.unwrap();
+        assert_eq!(w[1][19], b'Z');
     }
 
     #[test]

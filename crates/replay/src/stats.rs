@@ -124,6 +124,7 @@ mod tests {
             method: Method::Dynamic,
             instrumented: vec![true, false, true, false],
             log_syscalls: true,
+            format: instrument::LogFormat::Flat,
         };
         let s = LogStats::from_profile(&p, &plan);
         assert_eq!(s.logged_locs, 1);

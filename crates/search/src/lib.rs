@@ -130,13 +130,24 @@ impl ForcedSetRepair {
     }
 }
 
+/// Burst key for a per-location cursor stall: the (branch location,
+/// cursor position) pair that diverged, lifted into a key space disjoint
+/// from the flat format's bits-high-water keys (which occupy the low
+/// 64 bits). Two stalls at different locations — or at different depths
+/// of one location's stream — are independent pathologies: they must
+/// not pool burst evidence or share a repair budget.
+pub fn location_key(loc: u32, pos: u64) -> u128 {
+    (1u128 << 100) | (u128::from(loc) << 64) | u128::from(pos)
+}
+
 /// Tracks thrash evidence per stall and meters repair attempts.
 ///
 /// Keys are caller-chosen 128-bit values; the replay engine keys on the
-/// log high-water mark (the stall depth), so every forced set produced
-/// while the search is stuck at one depth pools its evidence into a
-/// single burst — however the aborting paths differ — and each deeper
-/// stall gets a fresh repair budget. *Evidence* is an UNSAT verdict on a
+/// log high-water mark (the stall depth) for flat logs and on
+/// [`location_key`] for per-location cursor logs, so every forced set
+/// produced while the search is stuck at one stall pools its evidence
+/// into a single burst — however the aborting paths differ — and each
+/// new stall gets a fresh repair budget. *Evidence* is an UNSAT verdict on a
 /// forced set: the corrupted-prefix signature. (Broader signals —
 /// divergence counts, duplicate forced offers — were measured as
 /// triggers too; they reach stalls whose forced sets always solve, but
@@ -922,6 +933,17 @@ mod tests {
         assert_eq!(t.note_thrash(key, &policy), None);
         assert_eq!(t.note_thrash(key, &policy), None, "cut off");
         assert!(t.cut_off(key, &policy));
+    }
+
+    #[test]
+    fn location_keys_are_distinct_and_disjoint_from_flat_keys() {
+        // Distinct locations, distinct positions.
+        assert_ne!(location_key(1, 0), location_key(2, 0));
+        assert_ne!(location_key(1, 0), location_key(1, 1));
+        assert_eq!(location_key(3, 9), location_key(3, 9));
+        // Flat keys are raw bit counts (< 2^64): never collide with the
+        // lifted per-location space.
+        assert!(location_key(0, 0) > u128::from(u64::MAX));
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! reproduces the execution from the partial branch log — recovering
 //! what the requests must have looked like without ever seeing them.
 //!
-//! The example also reproduces Table 3's headline contrast: with the
-//! low-coverage dynamic analysis the combined method cannot reproduce the
-//! server bug (the paper's ∞ entries), while the static method can.
+//! The example also reproduces Table 3's instrumentation-vs-debugging
+//! balance. The combined (dynamic+static) plan logs far fewer branches
+//! than static, and for three PRs that thrift made the server bug
+//! irreproducible (the old ∞ rows: partially-instrumented scan loops
+//! shifted the flat bitvector out of alignment). The combined plan now
+//! *spends* a little more instrumentation — per-branch-location bit
+//! cursors — and reproduces too; the static plan stays the cheap-replay
+//! / expensive-logging end of the tradeoff.
 
 use retrace::prelude::*;
 use retrace::{progs, workloads};
@@ -76,10 +81,10 @@ fn main() {
         bundle.coverage_pct()
     );
 
-    // User site: serve the scenario, crash, capture the report. The
-    // deployment below logs under the *static* plan — §5.3's reliable
-    // configuration: with low dynamic coverage, Table 3 reports ∞ for the
-    // dynamic methods on the uServer, while the static method reproduces.
+    // User site, combined plan: partial instrumentation of the parse
+    // loops makes the flat bitvector fragile, so the plan opts into the
+    // per-location cursor format (visible in the report's spend counter)
+    // — that spend is what turned this row from ∞ into a finite one.
     let parts = InputParts {
         conns: scenario.requests.clone(),
         ..InputParts::default()
@@ -89,13 +94,17 @@ fn main() {
     let combined_result = wb.replay(&combined, &combined_report, 128);
     if combined_result.reproduced {
         println!(
-            "dynamic+static (lc): reproduced after {} run(s) — coverage has improved \
-             past the paper's LC setting; update this example's narrative",
-            combined_result.runs
+            "dynamic+static (lc): reproduced after {} run(s) — {} log bits across {} \
+             per-location streams, +{} cost units of cursor spend",
+            combined_result.runs,
+            combined_run.log_bits,
+            combined_run.cursor_locations,
+            combined_run.cursor_spend_units,
         );
     } else {
         println!(
-            "dynamic+static (lc): NOT reproduced after {} run(s) — the paper's ∞ row",
+            "dynamic+static (lc): NOT reproduced after {} run(s) — the pre-cursor ∞ row \
+             is back; see ROADMAP's combined-row item",
             combined_result.runs
         );
     }

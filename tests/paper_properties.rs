@@ -72,6 +72,7 @@ proptest! {
             method: Method::AllBranches,
             instrumented: vec![true; n],
             log_syscalls: true,
+            format: retrace::instrument::LogFormat::Flat,
         };
         let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
         let run = wb.logged_run(&plan, &parts);
@@ -103,6 +104,7 @@ proptest! {
             method: Method::AllBranches,
             instrumented: vec![true; n],
             log_syscalls: true,
+            format: retrace::instrument::LogFormat::Flat,
         };
         let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
         let a = wb.logged_run(&plan, &parts);
