@@ -15,6 +15,7 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(512);
+    let workers = retrace_bench::workers_arg();
     let mut rows = Vec::new();
     for prog in [
         Program::Mkdir,
@@ -22,7 +23,8 @@ fn main() {
         Program::Mkfifo,
         Program::Paste,
     ] {
-        let exp = coreutil(prog);
+        let mut exp = coreutil(prog);
+        exp.wb.workers = workers;
         let bundles = analyze_coverages(&exp.wb);
         for method in Method::ALL {
             let plan = exp.wb.plan(method, &bundles.hc);

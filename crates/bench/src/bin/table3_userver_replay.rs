@@ -18,7 +18,9 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(300);
-    let abench = userver_analysis_bench(42);
+    let workers = retrace_bench::workers_arg();
+    let mut abench = userver_analysis_bench(42);
+    abench.wb.workers = workers;
     let bundles = analyze_coverages(&abench.wb);
     println!("{}", analysis_summary("LC", &bundles.lc));
     println!("{}", analysis_summary("HC", &bundles.hc));
@@ -42,7 +44,8 @@ fn main() {
 
     let mut t3 = Vec::new();
     let mut t4 = Vec::new();
-    for exp_def in userver_experiments(42) {
+    for mut exp_def in userver_experiments(42) {
+        exp_def.wb.workers = workers;
         for (name, method, cov) in &configs {
             let bundle = match cov {
                 Coverage::Lc => &bundles.lc,
@@ -78,7 +81,10 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &format!("Table 3: uServer bug reproduction (budget {budget} runs; ∞ = timeout)"),
+            &format!(
+                "Table 3: uServer bug reproduction (budget {budget} runs, {workers} worker{}; ∞ = timeout)",
+                if workers == 1 { "" } else { "s" }
+            ),
             &[
                 "experiment",
                 "config",

@@ -16,7 +16,9 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(300);
-    let abench = userver_analysis_bench(42);
+    let workers = retrace_bench::workers_arg();
+    let mut abench = userver_analysis_bench(42);
+    abench.wb.workers = workers;
     let bundles = analyze_coverages(&abench.wb);
 
     let configs: Vec<(String, Method, Coverage)> = vec![
@@ -32,10 +34,11 @@ fn main() {
 
     let mut t5 = Vec::new();
     let mut t8 = Vec::new();
-    for exp_def in userver_experiments(42)
+    for mut exp_def in userver_experiments(42)
         .into_iter()
         .filter(|e| e.name.ends_with('1') || e.name.ends_with('4'))
     {
+        exp_def.wb.workers = workers;
         for (name, method, cov) in &configs {
             let bundle = match cov {
                 Coverage::Lc => &bundles.lc,

@@ -13,3 +13,16 @@
 pub mod experiments;
 pub mod render;
 pub mod setup;
+
+/// Parses `--workers N` from the command line (default 1, the serial
+/// engines). Replay/analysis results are identical for every worker
+/// count; `N > 1` only changes wall-clock time.
+pub fn workers_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}

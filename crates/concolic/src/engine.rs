@@ -50,6 +50,12 @@ pub struct Budget {
     /// generalizing region bounds by default; `Pin` restores the classic
     /// equality-pin behavior).
     pub concretization: Concretization,
+    /// Worker threads for the candidate search. `1` (the default) is the
+    /// fully serial engine; `N > 1` solves up to `N` speculatively popped
+    /// pending sets concurrently — and runs their SAT models — committing
+    /// verdicts strictly in pop order, so the analysis is identical for
+    /// every worker count.
+    pub workers: usize,
 }
 
 impl Default for Budget {
@@ -62,6 +68,7 @@ impl Default for Budget {
             max_pending_lits: 4000,
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
+            workers: 1,
         }
     }
 }
@@ -266,7 +273,104 @@ impl<'p> Engine<'p> {
 
     /// Full exploration: runs until the budget is exhausted or no
     /// unexplored pending constraint set remains.
+    ///
+    /// `budget.workers <= 1` runs the fully serial engine; larger values
+    /// shard the candidate search across that many worker threads with
+    /// speculative solving committed strictly in pop order, so the
+    /// result is worker-count invariant (see the replay engine's
+    /// parallel protocol — this is the same, minus forced-set repair).
     pub fn analyze(&self) -> AnalysisResult {
+        if self.cfg.budget.workers <= 1 {
+            self.analyze_serial()
+        } else {
+            self.analyze_parallel()
+        }
+    }
+
+    /// Banks one finished run into the frontier: substitutes the run's
+    /// nondeterminism into the path condition, then offers negated
+    /// branch literals in the strategy's order (caps, quotas and dedup
+    /// live in the frontier). Mutates the arena (substitution interns
+    /// new expressions), so the parallel engine calls it only between
+    /// speculative phases.
+    fn bank_offers(
+        &self,
+        record: &RunRecord,
+        assignment: &[i64],
+        vars: &InputVars,
+        arena: &mut ExprArena,
+        frontier: &mut Frontier,
+    ) {
+        let pin: HashMap<VarId, i64> = record.nondet.iter().copied().collect();
+        let exprs: Vec<_> = record.path.iter().map(|s| s.lit.expr).collect();
+        let substituted_exprs = arena.substitute_many(&exprs, &pin);
+        let substituted: Vec<Lit> = record
+            .path
+            .iter()
+            .zip(&substituted_exprs)
+            .map(|(step, expr)| Lit {
+                expr: *expr,
+                positive: step.lit.positive,
+            })
+            .collect();
+        // Range constraints (offset-generalized concretizations) get
+        // the same nondeterminism substitution on their expressions.
+        // Only the range-bearing steps are substituted — most steps
+        // carry none, and the whole-path DAG substitution above is
+        // already the engine's hotspot.
+        let ranged: Vec<(usize, solver::RangeConstraint)> = record
+            .path
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.range.map(|rc| (i, rc)))
+            .collect();
+        let range_exprs: Vec<_> = ranged.iter().map(|(_, rc)| rc.expr).collect();
+        let substituted_range_exprs = arena.substitute_many(&range_exprs, &pin);
+        let mut ranges: Vec<Option<solver::RangeConstraint>> = vec![None; record.path.len()];
+        for ((i, rc), expr) in ranged.iter().zip(&substituted_range_exprs) {
+            ranges[*i] = Some(solver::RangeConstraint { expr: *expr, ..*rc });
+        }
+        // A step contributes its range form when it has one, else its
+        // literal (branch condition or emission-time pin).
+        let push_prefix = |cs: &mut ConstraintSet, upto: usize| {
+            for i in 0..upto {
+                match ranges[i] {
+                    Some(rc) => cs.push_range(rc),
+                    None => cs.push(substituted[i]),
+                }
+            }
+        };
+        let seed_controllables: Vec<i64> = assignment[..vars.n_controllable as usize].to_vec();
+        frontier.begin_run();
+        let order = self
+            .cfg
+            .budget
+            .policy
+            .strategy
+            .offer_order(substituted.len());
+        for i in order {
+            if frontier.run_full() {
+                break;
+            }
+            let StepOrigin::Branch(bid) = record.path[i].origin else {
+                continue;
+            };
+            if !frontier.depth_ok(i + 1) {
+                continue;
+            }
+            // Skip conditions that no controllable input influences.
+            if arena.support(substituted[i].expr).is_empty() {
+                continue;
+            }
+            let mut cs = ConstraintSet::new();
+            push_prefix(&mut cs, i);
+            cs.push(substituted[i].negated());
+            frontier.offer(cs, seed_controllables.clone(), Some(bid.0));
+        }
+        frontier.end_run();
+    }
+
+    fn analyze_serial(&self) -> AnalysisResult {
         let start = std::time::Instant::now();
         let mut arena = ExprArena::new();
         let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
@@ -323,73 +427,7 @@ impl<'p> Engine<'p> {
             // Schedule pending sets: substitute this run's nondeterminism,
             // then negate branch literals in the strategy's offer order
             // (caps, quotas and dedup live in the frontier).
-            let pin: HashMap<VarId, i64> = record.nondet.iter().copied().collect();
-            let exprs: Vec<_> = record.path.iter().map(|s| s.lit.expr).collect();
-            let substituted_exprs = arena.substitute_many(&exprs, &pin);
-            let substituted: Vec<Lit> = record
-                .path
-                .iter()
-                .zip(&substituted_exprs)
-                .map(|(step, expr)| Lit {
-                    expr: *expr,
-                    positive: step.lit.positive,
-                })
-                .collect();
-            // Range constraints (offset-generalized concretizations) get
-            // the same nondeterminism substitution on their expressions.
-            // Only the range-bearing steps are substituted — most steps
-            // carry none, and the whole-path DAG substitution above is
-            // already the engine's hotspot.
-            let ranged: Vec<(usize, solver::RangeConstraint)> = record
-                .path
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.range.map(|rc| (i, rc)))
-                .collect();
-            let range_exprs: Vec<_> = ranged.iter().map(|(_, rc)| rc.expr).collect();
-            let substituted_range_exprs = arena.substitute_many(&range_exprs, &pin);
-            let mut ranges: Vec<Option<solver::RangeConstraint>> = vec![None; record.path.len()];
-            for ((i, rc), expr) in ranged.iter().zip(&substituted_range_exprs) {
-                ranges[*i] = Some(solver::RangeConstraint { expr: *expr, ..*rc });
-            }
-            // A step contributes its range form when it has one, else its
-            // literal (branch condition or emission-time pin).
-            let push_prefix = |cs: &mut ConstraintSet, upto: usize| {
-                for i in 0..upto {
-                    match ranges[i] {
-                        Some(rc) => cs.push_range(rc),
-                        None => cs.push(substituted[i]),
-                    }
-                }
-            };
-            let seed_controllables: Vec<i64> = assignment[..vars.n_controllable as usize].to_vec();
-            frontier.begin_run();
-            let order = self
-                .cfg
-                .budget
-                .policy
-                .strategy
-                .offer_order(substituted.len());
-            for i in order {
-                if frontier.run_full() {
-                    break;
-                }
-                let StepOrigin::Branch(bid) = record.path[i].origin else {
-                    continue;
-                };
-                if !frontier.depth_ok(i + 1) {
-                    continue;
-                }
-                // Skip conditions that no controllable input influences.
-                if arena.support(substituted[i].expr).is_empty() {
-                    continue;
-                }
-                let mut cs = ConstraintSet::new();
-                push_prefix(&mut cs, i);
-                cs.push(substituted[i].negated());
-                frontier.offer(cs, seed_controllables.clone(), Some(bid.0));
-            }
-            frontier.end_run();
+            self.bank_offers(&record, &assignment, &vars, &mut arena, &mut frontier);
 
             // Solve pending sets in the frontier's order until one is
             // satisfiable; sets with range constraints retry pinned when
@@ -401,18 +439,19 @@ impl<'p> Engine<'p> {
                     seed: mix_seed(self.cfg.seed, solver_calls as u64),
                     ..self.cfg.solve.clone()
                 };
+                let sig = search::signature(&pending.cs);
                 let (model, sstats) =
-                    solver::solve_or_pin(&mut arena, &pending.cs, Some(&pending.seed), &cfg);
+                    solver::solve_or_pin_ro(&arena, &pending.cs, Some(&pending.seed), &cfg);
                 if sstats.pin_fallback {
                     pin_fallbacks += 1;
                 }
                 if let Some(model) = model {
                     solver_sat += 1;
-                    frontier.note_solved(true);
+                    frontier.note_solved_sig(sig, true);
                     next = Some(model[..vars.n_controllable as usize].to_vec());
                     break;
                 }
-                frontier.note_solved(false);
+                frontier.note_solved_sig(sig, false);
                 if wall_expired(&start) {
                     timed_out = true;
                     break;
@@ -435,6 +474,201 @@ impl<'p> Engine<'p> {
                     exhausted = true;
                     break;
                 }
+            }
+        }
+
+        AnalysisResult {
+            labels,
+            profile,
+            runs,
+            solver_calls,
+            solver_sat,
+            crashes,
+            arena_nodes: arena.len(),
+            total_instrs,
+            concretizations,
+            concretization_ranges,
+            concretization_pins,
+            pin_fallbacks,
+            exhausted,
+            timed_out,
+            frontier: frontier.into_stats(),
+        }
+    }
+
+    /// The parallel analysis engine: `workers` threads speculatively
+    /// solve pending sets popped from the shared frontier (and replay
+    /// SAT models on their own `minic::Vm` over private arena clones),
+    /// with verdicts committed serially in pop order — the same protocol
+    /// as the replay engine's, minus forced-set repair. The committed
+    /// decision sequence is exactly the serial engine's, so the analysis
+    /// result is worker-count invariant.
+    fn analyze_parallel(&self) -> AnalysisResult {
+        let workers = self.cfg.budget.workers;
+        let start = std::time::Instant::now();
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
+        let mut labels = LabelMap::new(self.cp.n_branches());
+        let mut profile = Profile::new(self.cp.n_branches());
+        let mut crashes = Vec::new();
+        let mut solver_calls = 0usize;
+        let mut solver_sat = 0usize;
+        let mut total_instrs = 0u64;
+        let mut concretizations = 0u64;
+        let mut concretization_ranges = 0u64;
+        let mut concretization_pins = 0u64;
+        let mut pin_fallbacks = 0u64;
+
+        let mut assignment = self.initial_assignment();
+        let mut frontier = Frontier::new(
+            self.cfg.budget.policy.clone(),
+            self.cfg.budget.max_pendings_per_run,
+            self.cfg.budget.max_pending_lits,
+        );
+        let mut runs = 0usize;
+        let mut exhausted = false;
+        let mut timed_out = false;
+        let wall_expired = |start: &std::time::Instant| {
+            self.cfg.budget.max_wall_ms > 0
+                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+        };
+
+        // A run produced by a winning speculative solve job, carried
+        // into the next round with the model that drove it.
+        let mut staged: Option<(RunRecord, Vec<i64>)> = None;
+        'explore: loop {
+            let record = match staged.take() {
+                Some((record, model)) => {
+                    assignment = model;
+                    record
+                }
+                None => {
+                    let (record, arena_back) = self.run_once(arena, &vars, &assignment);
+                    arena = arena_back;
+                    record
+                }
+            };
+            labels.merge(&record.labels);
+            profile.merge(&record.profile);
+            total_instrs += record.meter.instrs;
+            concretizations += record.concretizations;
+            concretization_ranges += record.concretization_ranges;
+            concretization_pins += record.concretization_pins;
+            if let RunOutcome::Crashed(info) = &record.outcome {
+                crashes.push(FoundCrash {
+                    info: info.clone(),
+                    argv: record.argv.clone(),
+                    assignment: assignment.clone(),
+                });
+            }
+            runs += 1;
+            if runs >= self.cfg.budget.max_runs {
+                break;
+            }
+            if wall_expired(&start) {
+                timed_out = true;
+                break;
+            }
+
+            // Bank this run's offers (serial; mutates the arena, so it
+            // happens strictly between speculative phases).
+            self.bank_offers(&record, &assignment, &vars, &mut arena, &mut frontier);
+
+            // Speculative solve streak.
+            'streak: loop {
+                if !timed_out {
+                    let batch = frontier.pop_batch(workers);
+                    if !batch.is_empty() {
+                        // Parallel phase against the frozen central
+                        // arena; seeds are pre-assigned by commit index
+                        // so committed verdicts match the serial
+                        // engine's.
+                        let base_calls = solver_calls;
+                        let base_nodes = arena.len();
+                        let arena_ref = &arena;
+                        let jobs: Vec<(ConstraintSet, Vec<i64>)> = batch
+                            .iter()
+                            .map(|p| (p.set.cs.clone(), p.set.seed.clone()))
+                            .collect();
+                        let phase = search::pool::parallel_map(workers, jobs, |i, (cs, seed)| {
+                            let scfg = SolveCfg {
+                                seed: mix_seed(self.cfg.seed, (base_calls + i + 1) as u64),
+                                ..self.cfg.solve.clone()
+                            };
+                            let (model, sstats) =
+                                solver::solve_or_pin_ro(arena_ref, &cs, Some(&seed), &scfg);
+                            let run = model.as_ref().map(|m| {
+                                let ctrl = m[..vars.n_controllable as usize].to_vec();
+                                let (rec, job_arena) =
+                                    self.run_once(arena_ref.clone(), &vars, &ctrl);
+                                (rec, job_arena, ctrl)
+                            });
+                            (model.is_some(), sstats, run)
+                        });
+                        frontier.note_worker_runs(&phase.worker_counts);
+
+                        // Commit phase: verdicts strictly in pop order.
+                        let mut pops = batch.into_iter();
+                        let mut outs = phase.results.into_iter();
+                        while let Some(pop) = pops.next() {
+                            let (sat, sstats, spec_run) =
+                                outs.next().expect("one verdict per popped set");
+                            solver_calls += 1;
+                            if sstats.pin_fallback {
+                                pin_fallbacks += 1;
+                            }
+                            let sig = search::signature(&pop.set.cs);
+                            if sat {
+                                solver_sat += 1;
+                                frontier.note_solved_sig(sig, true);
+                                frontier.restore(pops.collect());
+                                let (mut rec, job_arena, ctrl) =
+                                    spec_run.expect("every SAT job carries its run");
+                                // Import the worker's expressions and
+                                // retarget the path at the central ids.
+                                let mut roots = Vec::with_capacity(rec.path.len() * 2);
+                                for st in &rec.path {
+                                    roots.push(st.lit.expr);
+                                    if let Some(rc) = &st.range {
+                                        roots.push(rc.expr);
+                                    }
+                                }
+                                let mapped = arena.absorb(&job_arena, base_nodes, &roots);
+                                let mut mapped = mapped.into_iter();
+                                for st in &mut rec.path {
+                                    st.lit.expr = mapped.next().expect("mapped root");
+                                    if let Some(rc) = &mut st.range {
+                                        rc.expr = mapped.next().expect("mapped root");
+                                    }
+                                }
+                                staged = Some((rec, ctrl));
+                                break 'streak;
+                            }
+                            frontier.note_solved_sig(sig, false);
+                            if wall_expired(&start) {
+                                timed_out = true;
+                                frontier.restore(pops.collect());
+                                continue 'streak;
+                            }
+                        }
+                        continue 'streak;
+                    }
+                }
+
+                // ---- drained (or timed out mid-streak) --------------------
+                if timed_out {
+                    break 'explore;
+                }
+                // Frontier drained before the run budget: restart from
+                // a fresh seed if the policy allows, else we are done.
+                if self.cfg.budget.policy.restart_on_drain && frontier.ever_scheduled() {
+                    let r = frontier.stats().restarts;
+                    frontier.note_restart();
+                    assignment = self.restart_assignment(r);
+                    break 'streak;
+                }
+                exhausted = true;
+                break 'explore;
             }
         }
 
@@ -669,6 +903,55 @@ mod tests {
             (r.runs, r.solver_calls, r.solver_sat, r.frontier.clone())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn analysis_is_worker_count_invariant() {
+        // The parallel engine commits speculative verdicts strictly in
+        // pop order and absorbs the winning worker's arena back into the
+        // central numbering, so the whole analysis — run/solver counts,
+        // the ordered (signature, verdict) stream, the final arena size,
+        // the profile, even the crash list — is bit-identical for every
+        // worker count.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                if (s[0] == 'x') {
+                    if (s[1] == 'y') {
+                        if (s[2] == 'z') {
+                            int *p = 0;
+                            return *p;
+                        }
+                    }
+                }
+                if (s[0] > 'm') { return 2; }
+                return 0;
+            }
+        "#;
+        let run = |workers: usize| {
+            let cp = build(&[("main", src)]).unwrap();
+            let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 3));
+            cfg.budget.max_runs = 32;
+            cfg.budget.workers = workers;
+            let r = Engine::new(&cp, cfg).analyze();
+            (
+                r.runs,
+                r.solver_calls,
+                r.solver_sat,
+                r.arena_nodes,
+                r.frontier.solved_sigs.clone(),
+                r.profile.total_execs(),
+                r.crashes.len(),
+                r.crashes.first().map(|c| c.argv.clone()),
+                r.exhausted,
+                r.timed_out,
+            )
+        };
+        let serial = run(1);
+        assert!(!serial.4.is_empty(), "the analysis must solve sets");
+        for workers in [2, 4] {
+            assert_eq!(serial, run(workers), "workers={workers} diverged");
+        }
     }
 
     #[test]

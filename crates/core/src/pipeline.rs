@@ -111,6 +111,11 @@ pub struct Workbench {
     /// offset-generalizing region bounds by default,
     /// [`Concretization::Pin`] for the classic equality pins.
     pub concretization: Concretization,
+    /// Worker threads for the candidate search in both engines. `1` (the
+    /// default) is the fully serial path; `N > 1` solves speculatively
+    /// popped pending sets concurrently, committing strictly in pop
+    /// order — results are identical for every worker count.
+    pub workers: usize,
 }
 
 impl Workbench {
@@ -124,6 +129,7 @@ impl Workbench {
             seed: 17,
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
+            workers: 1,
         }
     }
 
@@ -135,6 +141,7 @@ impl Workbench {
         scfg.budget.max_runs = max_runs;
         scfg.budget.policy = self.policy.clone();
         scfg.budget.concretization = self.concretization;
+        scfg.budget.workers = self.workers.max(1);
         scfg.seed = self.seed;
         let dyn_result = Engine::new(&self.cp, scfg).analyze();
         let dyn_labels = to_dyn_labels(&self.cp, &dyn_result.labels);
@@ -257,6 +264,7 @@ impl Workbench {
         rcfg.budget.max_runs = max_runs;
         rcfg.budget.policy = self.policy.clone();
         rcfg.budget.concretization = self.concretization;
+        rcfg.budget.workers = self.workers.max(1);
         rcfg.seed = self.seed ^ 0x5eed_cafe;
         ReplayEngine::new(&self.cp, plan.clone(), report.clone(), rcfg).reproduce()
     }

@@ -52,6 +52,14 @@ pub struct ReplayBudget {
     /// How symbolic address components are concretized (offset-
     /// generalizing region bounds by default).
     pub concretization: Concretization,
+    /// Worker threads for the candidate search. `1` (the default) is the
+    /// fully serial engine; `N > 1` solves up to `N` speculatively
+    /// popped pending sets concurrently — and runs their SAT models —
+    /// committing verdicts strictly in pop order, so the searched
+    /// candidate sequence (and therefore every result field except
+    /// wall-clock and the per-worker run split) is identical for every
+    /// worker count.
+    pub workers: usize,
 }
 
 impl Default for ReplayBudget {
@@ -64,6 +72,7 @@ impl Default for ReplayBudget {
             max_pending_lits: 4000,
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
+            workers: 1,
         }
     }
 }
@@ -207,7 +216,334 @@ impl<'p> ReplayEngine<'p> {
     }
 
     /// Runs the guided search to completion or budget exhaustion.
+    ///
+    /// `budget.workers <= 1` runs the fully serial engine; larger values
+    /// shard the candidate search across that many worker threads (see
+    /// [`ReplayEngine::reproduce_parallel`]). Both produce the same
+    /// search — the parallel engine commits speculative work strictly in
+    /// the serial order — so every result field except `wall_ms` and the
+    /// per-worker run split is worker-count invariant.
     pub fn reproduce(&self) -> ReplayResult {
+        if self.cfg.budget.workers <= 1 {
+            self.reproduce_serial()
+        } else {
+            self.reproduce_parallel()
+        }
+    }
+
+    /// Executes one replay run under `assignment`, threading the arena
+    /// through. `run_no` only labels `RETRACE_REPLAY_TRACE` output.
+    fn exec_run(
+        &self,
+        arena: ExprArena,
+        assignment: &[i64],
+        syscall_mode: &SyscallMode,
+        vars: &InputVars,
+        run_no: usize,
+    ) -> (RunArtifacts, ExprArena) {
+        let n_controllable = vars.n_controllable as usize;
+        let streams = realize_streams(&self.cfg.spec, vars, assignment);
+        let traced_conns: Option<Vec<String>> =
+            std::env::var("RETRACE_REPLAY_TRACE").ok().map(|_| {
+                streams
+                    .conns
+                    .iter()
+                    .map(|c| String::from_utf8_lossy(c).escape_default().to_string())
+                    .collect()
+            });
+        let nondet_assign: Vec<i64> = assignment
+            .get(n_controllable..)
+            .map(|s| s.to_vec())
+            .unwrap_or_default();
+        let env = ReplayEnv::new(
+            streams,
+            self.cfg.base_fs.clone(),
+            syscall_mode.clone(),
+            nondet_assign,
+        );
+        let argv = env.argv().to_vec();
+        let mut host = ReplayHost::new(
+            arena,
+            env,
+            self.plan.clone(),
+            self.report.trace.clone(),
+            vars.clone(),
+            self.report.crash.loc,
+        );
+        host.concretization = self.cfg.budget.concretization;
+        let mut vm = Vm::new(self.cp, host);
+        vm.fuel = self.cfg.budget.fuel_per_run;
+        vm.watch_loc = Some(self.report.crash.loc);
+        vm.prepare(&argv);
+        // Mark symbolic argv bytes.
+        let objs: Vec<_> = vm.argv_objects().to_vec();
+        for (ai, arg_vars) in vm.host.vars.argv.clone().iter().enumerate() {
+            for (bi, vid) in arg_vars.iter().enumerate() {
+                let e = vm.host.arena.var_expr(*vid);
+                vm.mem
+                    .set_shadow(pack(objs[ai], bi as u32), Some(e))
+                    .expect("argv bytes exist");
+            }
+        }
+        let outcome = vm.resume();
+        let instrs = vm.meter.instrs;
+        let units = vm.meter.units;
+        let host = vm.host;
+        let log_exhausted = host.log_exhausted();
+        if let Some(conns) = traced_conns {
+            eprintln!(
+                "run {run_no}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} cursors={:?} conns={conns:?}",
+                host.stats.bits_consumed,
+                host.stats.sym_logged_execs,
+                host.stats.sym_unlogged_execs,
+                host.path.len(),
+                host.stats.divergent_branch,
+                host.cursors.positions(),
+            );
+        }
+        (
+            RunArtifacts {
+                outcome,
+                argv,
+                instrs,
+                units,
+                log_exhausted,
+                stats: host.stats,
+                path: host.path,
+            },
+            host.arena,
+        )
+    }
+
+    /// Did this run reproduce the reported bug?
+    fn is_success(&self, run: &RunArtifacts) -> bool {
+        match &run.outcome {
+            RunOutcome::Aborted(r) if r == REACHED_CRASH_SITE => true,
+            RunOutcome::Crashed(c)
+                if c.loc == self.report.crash.loc
+                    && c.kind == self.report.crash.kind
+                    && run.log_exhausted =>
+            {
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Banks one finished run into the frontier: recovery sets for
+    /// syscall divergences and cursor overruns, the standard negated-
+    /// literal pendings, and the forced set (with its repair metadata in
+    /// `book`). Identical for the serial and parallel engines — the
+    /// parallel engine calls it from the serial commit phase only.
+    fn bank_offers(
+        &self,
+        run: &RunArtifacts,
+        assignment: &[i64],
+        arena: &ExprArena,
+        frontier: &mut Frontier,
+        book: &mut RepairBook,
+    ) {
+        let forced = matches!(&run.outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
+        let syscall_div = matches!(&run.outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
+        let overrun = matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN);
+        let path = &run.path;
+        let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
+        frontier.begin_run();
+
+        // Syscall-divergence recovery: the run followed the branch log
+        // but issued the wrong syscall, so the most recent unlogged
+        // symbolic decision is the prime suspect. Queue the path so
+        // far with that decision flipped on the priority lane — the
+        // guided analogue of the 2(b) forced set. (The literal
+        // path-so-far would be a no-op: the current candidate already
+        // satisfies it, so the solver would hand it straight back.)
+        // A per-location stream overrun earns the same recovery: the
+        // prime suspect for a location executing too often is the
+        // most recent unlogged symbolic decision — usually the loop
+        // exit that kept the scan going.
+        if syscall_div || overrun {
+            // Only UNLOGGED branches qualify as suspects: a logged
+            // step (case 2a) already agreed with the recorded
+            // direction, and negating it would just force the next
+            // candidate into a 2(b) divergence at that spot.
+            let unlogged_sym = |i: usize| {
+                i < self.cfg.budget.max_pending_lits
+                    && matches!(path[i].origin, StepOrigin::Branch(b) if !self.plan.covers(b))
+                    && !arena.support(lits[i].expr).is_empty()
+            };
+            let offer_flip = |frontier: &mut Frontier, d: usize| {
+                let mut cs = ConstraintSet::new();
+                for st in &path[..d] {
+                    push_step(&mut cs, st);
+                }
+                cs.push(lits[d].negated());
+                frontier.offer_priority(cs, assignment.to_vec(), true);
+            };
+            let recent = (0..lits.len()).rev().find(|&i| unlogged_sym(i));
+            if let Some(d) = recent {
+                offer_flip(frontier, d);
+            }
+            // An overrun names a more precise suspect class: the
+            // location re-executed because some unlogged *loop*
+            // decision kept a scan going, and that decision may sit
+            // above several unlogged body branches. Offer the most
+            // recent unlogged loop-kind flip too (LIFO: popped
+            // first); the dedup absorbs it when it IS the most
+            // recent decision.
+            if overrun {
+                let is_loop = |i: usize| {
+                    matches!(path[i].origin, StepOrigin::Branch(b) if matches!(
+                        self.cp.branch(b).kind,
+                        minic::BranchKind::While
+                            | minic::BranchKind::DoWhile
+                            | minic::BranchKind::For
+                    ))
+                };
+                let loop_suspect = (0..lits.len())
+                    .rev()
+                    .find(|&i| unlogged_sym(i) && is_loop(i));
+                if let Some(d) = loop_suspect.filter(|d| Some(*d) != recent) {
+                    offer_flip(frontier, d);
+                }
+            }
+        }
+
+        // Standard pending sets: negate branch literals, offered in
+        // the strategy's order (caps, quotas and dedup live in the
+        // frontier; the caps bound quadratic prefix copying on long
+        // server paths).
+        for i in self.cfg.budget.policy.strategy.offer_order(lits.len()) {
+            if frontier.run_full() {
+                break;
+            }
+            let StepOrigin::Branch(bid) = path[i].origin else {
+                continue;
+            };
+            if !frontier.depth_ok(i + 1) {
+                continue;
+            }
+            // In a 2(b) abort the final literal is already forced;
+            // don't negate it.
+            if forced && i == lits.len() - 1 {
+                continue;
+            }
+            if arena.support(lits[i].expr).is_empty() {
+                continue;
+            }
+            let mut cs = ConstraintSet::new();
+            for st in &path[..i] {
+                push_step(&mut cs, st);
+            }
+            cs.push(lits[i].negated());
+            frontier.offer(cs, assignment.to_vec(), Some(bid.0));
+        }
+        frontier.end_run();
+        // The branch-divergence forced set (whole path; for a 2(b)
+        // abort its last literal already points the recorded way)
+        // goes on the priority lane: tried first. Its repair metadata
+        // (the unlogged suspects an UNSAT burst will backtrack to) is
+        // registered alongside; the evidence that triggers repair is
+        // collected in the solve loop, where forced sets earn UNSAT
+        // verdicts. (Divergence-count and duplicate-offer signals
+        // were measured as repair triggers too: they reach the
+        // 3(b)-style stalls whose forced sets always solve, but they
+        // also tax the healthy dynamic rows — exp 3 (hc) nearly
+        // tripled its run count — without making any combined row
+        // finite, so repair stays scoped to UNSAT bursts.)
+        if forced {
+            let progressed = run.stats.bits_consumed > book.bits_high_water;
+            if progressed {
+                book.bits_high_water = run.stats.bits_consumed;
+                book.tracker.reset_bursts();
+            }
+            let mut cs = ConstraintSet::new();
+            for st in path {
+                push_step(&mut cs, st);
+            }
+            let rp = self.cfg.budget.policy.forced_repair;
+            let mut info_for_meta = None;
+            if rp.enabled {
+                // The suspect windows are wider than the attempt
+                // budget so duplicate (already-explored) flips can be
+                // walked past without exhausting the ladder.
+                let window = (rp.max_repairs as usize).max(64);
+                let suspects: Vec<usize> = path
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, st)| {
+                        matches!(st.origin, StepOrigin::Branch(b) if !self.plan.covers(b))
+                            && !arena.support(st.lit.expr).is_empty()
+                    })
+                    .map(|(i, _)| i)
+                    .take(window)
+                    .collect();
+                if let (Some(_), Some(&last)) = (suspects.first(), suspects.last()) {
+                    // The burst key is the stall identity. Flat logs
+                    // key on the log high-water mark: every UNSAT
+                    // forced set while the mark stands still pools
+                    // its evidence into one burst, however the
+                    // aborting paths differ — and each deeper stall
+                    // gets a fresh repair budget. Per-location logs
+                    // key on the (location, cursor) that diverged:
+                    // stalls at different locations are independent
+                    // pathologies and must not share a burst or a
+                    // repair budget.
+                    let key = match run.stats.divergent_cursor {
+                        Some((loc, pos)) => search::location_key(loc, pos),
+                        None => book.bits_high_water as u128,
+                    };
+                    let info = ForcedInfo {
+                        key,
+                        steps: path[..=last].to_vec(),
+                        suspects,
+                        seed: assignment.to_vec(),
+                    };
+                    info_for_meta = Some(info);
+                }
+            }
+            let cs_sig = search::signature(&cs);
+            frontier.offer_priority(cs, assignment.to_vec(), false);
+            if let Some(info) = info_for_meta {
+                book.forced_meta.insert(cs_sig, info);
+            }
+        }
+    }
+
+    /// Handles an UNSAT verdict for the set with signature `sig`: when
+    /// it was a registered forced set, account the thrash burst and (on
+    /// a burst) queue the repair ladder. The parallel engine must call
+    /// this only after restoring any speculatively popped tail — a
+    /// ladder offer mutates the frontier.
+    fn handle_unsat(&self, sig: u128, frontier: &mut Frontier, book: &mut RepairBook) {
+        // A forced set went UNSAT: on a burst, backtrack to the
+        // earliest unlogged suspect (attempt k starts the ladder
+        // at the k-th rung; dedup walks past already-explored
+        // flips) and queue the repaired prefix on the priority
+        // lane.
+        if let Some(info) = book.forced_meta.get(&sig) {
+            frontier.note_forced_unsat();
+            let rp = self.cfg.budget.policy.forced_repair;
+            match book.tracker.note_thrash(info.key, &rp) {
+                Some(attempt) => {
+                    let offered = Self::offer_repair_ladder(frontier, info, attempt as usize);
+                    if !offered && book.counted_cutoffs.insert(info.key) {
+                        frontier.note_repair_cutoff();
+                    }
+                }
+                None => {
+                    // Either the burst threshold is unmet, or the
+                    // per-prefix budget ran out (count the latter
+                    // once).
+                    if book.tracker.cut_off(info.key, &rp) && book.counted_cutoffs.insert(info.key)
+                    {
+                        frontier.note_repair_cutoff();
+                    }
+                }
+            }
+        }
+    }
+
+    fn reproduce_serial(&self) -> ReplayResult {
         let start = std::time::Instant::now();
         let mut arena = ExprArena::new();
         let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
@@ -232,10 +568,7 @@ impl<'p> ReplayEngine<'p> {
         // accounting per shared prefix key, and the log high-water mark
         // that defines "progress" (bursts only accumulate while it
         // stands still).
-        let mut forced_meta: HashMap<u128, ForcedInfo> = HashMap::new();
-        let mut tracker = RepairTracker::new();
-        let mut counted_cutoffs: HashSet<u128> = HashSet::new();
-        let mut bits_high_water = 0u64;
+        let mut book = RepairBook::new();
         // High-water mark at the last dedup reset: a drain only earns a
         // fresh re-derivation epoch after visible progress, so resets
         // cannot loop.
@@ -256,85 +589,18 @@ impl<'p> ReplayEngine<'p> {
 
         loop {
             // ---- one replay run -------------------------------------------
-            let streams = realize_streams(&self.cfg.spec, &vars, &assignment);
-            let traced_conns: Option<Vec<String>> =
-                std::env::var("RETRACE_REPLAY_TRACE").ok().map(|_| {
-                    streams
-                        .conns
-                        .iter()
-                        .map(|c| String::from_utf8_lossy(c).escape_default().to_string())
-                        .collect()
-                });
-            let nondet_assign: Vec<i64> = assignment
-                .get(n_controllable..)
-                .map(|s| s.to_vec())
-                .unwrap_or_default();
-            let env = ReplayEnv::new(
-                streams,
-                self.cfg.base_fs.clone(),
-                syscall_mode.clone(),
-                nondet_assign,
-            );
-            let argv = env.argv().to_vec();
-            let mut host = ReplayHost::new(
-                arena,
-                env,
-                self.plan.clone(),
-                self.report.trace.clone(),
-                vars.clone(),
-                self.report.crash.loc,
-            );
-            host.concretization = self.cfg.budget.concretization;
-            let mut vm = Vm::new(self.cp, host);
-            vm.fuel = self.cfg.budget.fuel_per_run;
-            vm.watch_loc = Some(self.report.crash.loc);
-            vm.prepare(&argv);
-            // Mark symbolic argv bytes.
-            let objs: Vec<_> = vm.argv_objects().to_vec();
-            for (ai, arg_vars) in vm.host.vars.argv.clone().iter().enumerate() {
-                for (bi, vid) in arg_vars.iter().enumerate() {
-                    let e = vm.host.arena.var_expr(*vid);
-                    vm.mem
-                        .set_shadow(pack(objs[ai], bi as u32), Some(e))
-                        .expect("argv bytes exist");
-                }
-            }
-            let outcome = vm.resume();
+            let (run, arena_back) =
+                self.exec_run(arena, &assignment, &syscall_mode, &vars, runs + 1);
+            arena = arena_back;
             runs += 1;
-            total_instrs += vm.meter.instrs;
-            total_units += vm.meter.units;
-            let host = vm.host;
-            let log_exhausted = host.log_exhausted();
-            arena = host.arena;
-            last_stats = host.stats.clone();
-            if let Some(conns) = traced_conns {
-                eprintln!(
-                    "run {runs}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} cursors={:?} conns={conns:?}",
-                    host.stats.bits_consumed,
-                    host.stats.sym_logged_execs,
-                    host.stats.sym_unlogged_execs,
-                    host.path.len(),
-                    host.stats.divergent_branch,
-                    host.cursors.positions(),
-                );
-            }
+            total_instrs += run.instrs;
+            total_units += run.units;
+            last_stats = run.stats.clone();
             concretization_ranges += last_stats.concretization_ranges;
             concretization_pins += last_stats.concretization_pins;
-            let path = host.path;
 
             // ---- success checks --------------------------------------------
-            let success = match &outcome {
-                RunOutcome::Aborted(r) if r == REACHED_CRASH_SITE => true,
-                RunOutcome::Crashed(c)
-                    if c.loc == self.report.crash.loc
-                        && c.kind == self.report.crash.kind
-                        && log_exhausted =>
-                {
-                    true
-                }
-                _ => false,
-            };
-            if success {
+            if self.is_success(&run) {
                 return ReplayResult {
                     reproduced: true,
                     runs,
@@ -342,7 +608,7 @@ impl<'p> ReplayEngine<'p> {
                     total_instrs,
                     total_units,
                     wall_ms: start.elapsed().as_millis() as u64,
-                    witness_argv: Some(argv),
+                    witness_argv: Some(run.argv),
                     witness_assignment: Some(assignment),
                     timed_out: false,
                     exhausted: false,
@@ -377,176 +643,13 @@ impl<'p> ReplayEngine<'p> {
             }
 
             // ---- schedule pending sets -------------------------------------
-            let forced = matches!(&outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
-            let syscall_div = matches!(&outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
-            let overrun = matches!(&outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN);
-            if syscall_div {
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE) {
                 syscall_divergences += 1;
             }
-            if overrun {
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
                 cursor_overruns += 1;
             }
-
-            let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
-            frontier.begin_run();
-
-            // Syscall-divergence recovery: the run followed the branch log
-            // but issued the wrong syscall, so the most recent unlogged
-            // symbolic decision is the prime suspect. Queue the path so
-            // far with that decision flipped on the priority lane — the
-            // guided analogue of the 2(b) forced set. (The literal
-            // path-so-far would be a no-op: the current candidate already
-            // satisfies it, so the solver would hand it straight back.)
-            // A per-location stream overrun earns the same recovery: the
-            // prime suspect for a location executing too often is the
-            // most recent unlogged symbolic decision — usually the loop
-            // exit that kept the scan going.
-            if syscall_div || overrun {
-                // Only UNLOGGED branches qualify as suspects: a logged
-                // step (case 2a) already agreed with the recorded
-                // direction, and negating it would just force the next
-                // candidate into a 2(b) divergence at that spot.
-                let unlogged_sym = |i: usize| {
-                    i < self.cfg.budget.max_pending_lits
-                        && matches!(path[i].origin, StepOrigin::Branch(b) if !self.plan.covers(b))
-                        && !arena.support(lits[i].expr).is_empty()
-                };
-                let offer_flip = |frontier: &mut Frontier, d: usize| {
-                    let mut cs = ConstraintSet::new();
-                    for st in &path[..d] {
-                        push_step(&mut cs, st);
-                    }
-                    cs.push(lits[d].negated());
-                    frontier.offer_priority(cs, assignment.clone(), true);
-                };
-                let recent = (0..lits.len()).rev().find(|&i| unlogged_sym(i));
-                if let Some(d) = recent {
-                    offer_flip(&mut frontier, d);
-                }
-                // An overrun names a more precise suspect class: the
-                // location re-executed because some unlogged *loop*
-                // decision kept a scan going, and that decision may sit
-                // above several unlogged body branches. Offer the most
-                // recent unlogged loop-kind flip too (LIFO: popped
-                // first); the dedup absorbs it when it IS the most
-                // recent decision.
-                if overrun {
-                    let is_loop = |i: usize| {
-                        matches!(path[i].origin, StepOrigin::Branch(b) if matches!(
-                            self.cp.branch(b).kind,
-                            minic::BranchKind::While
-                                | minic::BranchKind::DoWhile
-                                | minic::BranchKind::For
-                        ))
-                    };
-                    let loop_suspect = (0..lits.len())
-                        .rev()
-                        .find(|&i| unlogged_sym(i) && is_loop(i));
-                    if let Some(d) = loop_suspect.filter(|d| Some(*d) != recent) {
-                        offer_flip(&mut frontier, d);
-                    }
-                }
-            }
-
-            // Standard pending sets: negate branch literals, offered in
-            // the strategy's order (caps, quotas and dedup live in the
-            // frontier; the caps bound quadratic prefix copying on long
-            // server paths).
-            for i in self.cfg.budget.policy.strategy.offer_order(lits.len()) {
-                if frontier.run_full() {
-                    break;
-                }
-                let StepOrigin::Branch(bid) = path[i].origin else {
-                    continue;
-                };
-                if !frontier.depth_ok(i + 1) {
-                    continue;
-                }
-                // In a 2(b) abort the final literal is already forced;
-                // don't negate it.
-                if forced && i == lits.len() - 1 {
-                    continue;
-                }
-                if arena.support(lits[i].expr).is_empty() {
-                    continue;
-                }
-                let mut cs = ConstraintSet::new();
-                for st in &path[..i] {
-                    push_step(&mut cs, st);
-                }
-                cs.push(lits[i].negated());
-                frontier.offer(cs, assignment.clone(), Some(bid.0));
-            }
-            frontier.end_run();
-            // The branch-divergence forced set (whole path; for a 2(b)
-            // abort its last literal already points the recorded way)
-            // goes on the priority lane: tried first. Its repair metadata
-            // (the unlogged suspects an UNSAT burst will backtrack to) is
-            // registered alongside; the evidence that triggers repair is
-            // collected in the solve loop, where forced sets earn UNSAT
-            // verdicts. (Divergence-count and duplicate-offer signals
-            // were measured as repair triggers too: they reach the
-            // 3(b)-style stalls whose forced sets always solve, but they
-            // also tax the healthy dynamic rows — exp 3 (hc) nearly
-            // tripled its run count — without making any combined row
-            // finite, so repair stays scoped to UNSAT bursts.)
-            if forced {
-                let progressed = last_stats.bits_consumed > bits_high_water;
-                if progressed {
-                    bits_high_water = last_stats.bits_consumed;
-                    tracker.reset_bursts();
-                }
-                let mut cs = ConstraintSet::new();
-                for st in &path {
-                    push_step(&mut cs, st);
-                }
-                let rp = self.cfg.budget.policy.forced_repair;
-                let mut info_for_meta = None;
-                if rp.enabled {
-                    // The suspect windows are wider than the attempt
-                    // budget so duplicate (already-explored) flips can be
-                    // walked past without exhausting the ladder.
-                    let window = (rp.max_repairs as usize).max(64);
-                    let suspects: Vec<usize> = path
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, st)| {
-                            matches!(st.origin, StepOrigin::Branch(b) if !self.plan.covers(b))
-                                && !arena.support(st.lit.expr).is_empty()
-                        })
-                        .map(|(i, _)| i)
-                        .take(window)
-                        .collect();
-                    if let (Some(_), Some(&last)) = (suspects.first(), suspects.last()) {
-                        // The burst key is the stall identity. Flat logs
-                        // key on the log high-water mark: every UNSAT
-                        // forced set while the mark stands still pools
-                        // its evidence into one burst, however the
-                        // aborting paths differ — and each deeper stall
-                        // gets a fresh repair budget. Per-location logs
-                        // key on the (location, cursor) that diverged:
-                        // stalls at different locations are independent
-                        // pathologies and must not share a burst or a
-                        // repair budget.
-                        let key = match last_stats.divergent_cursor {
-                            Some((loc, pos)) => search::location_key(loc, pos),
-                            None => bits_high_water as u128,
-                        };
-                        let info = ForcedInfo {
-                            key,
-                            steps: path[..=last].to_vec(),
-                            suspects,
-                            seed: assignment.clone(),
-                        };
-                        info_for_meta = Some(info);
-                    }
-                }
-                let cs_sig = search::signature(&cs);
-                frontier.offer_priority(cs, assignment.clone(), false);
-                if let Some(info) = info_for_meta {
-                    forced_meta.insert(cs_sig, info);
-                }
-            }
+            self.bank_offers(&run, &assignment, &arena, &mut frontier, &mut book);
 
             // ---- pick and solve the next pending set -----------------------
             let mut next = None;
@@ -558,42 +661,17 @@ impl<'p> ReplayEngine<'p> {
                 };
                 let sig = search::signature(&pending.cs);
                 let (model, sstats) =
-                    solver::solve_or_pin(&mut arena, &pending.cs, Some(&pending.seed), &scfg);
+                    solver::solve_or_pin_ro(&arena, &pending.cs, Some(&pending.seed), &scfg);
                 if sstats.pin_fallback {
                     pin_fallbacks += 1;
                 }
                 if let Some(model) = model {
-                    frontier.note_solved(true);
+                    frontier.note_solved_sig(sig, true);
                     next = Some(model);
                     break;
                 }
-                frontier.note_solved(false);
-                // A forced set went UNSAT: on a burst, backtrack to the
-                // earliest unlogged suspect (attempt k starts the ladder
-                // at the k-th rung; dedup walks past already-explored
-                // flips) and queue the repaired prefix on the priority
-                // lane.
-                if let Some(info) = forced_meta.get(&sig) {
-                    frontier.note_forced_unsat();
-                    let rp = self.cfg.budget.policy.forced_repair;
-                    match tracker.note_thrash(info.key, &rp) {
-                        Some(attempt) => {
-                            let offered =
-                                Self::offer_repair_ladder(&mut frontier, info, attempt as usize);
-                            if !offered && counted_cutoffs.insert(info.key) {
-                                frontier.note_repair_cutoff();
-                            }
-                        }
-                        None => {
-                            // Either the burst threshold is unmet, or the
-                            // per-prefix budget ran out (count the latter
-                            // once).
-                            if tracker.cut_off(info.key, &rp) && counted_cutoffs.insert(info.key) {
-                                frontier.note_repair_cutoff();
-                            }
-                        }
-                    }
-                }
+                frontier.note_solved_sig(sig, false);
+                self.handle_unsat(sig, &mut frontier, &mut book);
                 if wall_expired(&start) {
                     timed_out = true;
                     break;
@@ -621,9 +699,9 @@ impl<'p> ReplayEngine<'p> {
                     }
                     if !timed_out
                         && frontier.ever_scheduled()
-                        && (reset_high_water == u64::MAX || bits_high_water > reset_high_water)
+                        && (reset_high_water == u64::MAX || book.bits_high_water > reset_high_water)
                     {
-                        reset_high_water = bits_high_water;
+                        reset_high_water = book.bits_high_water;
                         frontier.reset_dedup();
                         continue;
                     }
@@ -646,6 +724,269 @@ impl<'p> ReplayEngine<'p> {
                         last_stats,
                     );
                 }
+            }
+        }
+    }
+
+    /// The parallel engine: the shared frontier stays the single source
+    /// of scheduling truth, and `workers` threads speculate on the work
+    /// it hands out.
+    ///
+    /// Each round pops up to `workers` pending sets ([`Frontier::
+    /// pop_batch`]); every worker solves its set against the shared
+    /// *read-only* arena (`solve_or_pin_ro` — pin fallbacks clone
+    /// privately) and, on SAT, immediately replays the model on its own
+    /// `minic::Vm` over a private arena clone. The verdicts are then
+    /// committed serially in pop order: the first verdict that would
+    /// mutate the frontier (a SAT model ends the solve streak; a forced
+    /// UNSAT may queue a repair) first restores the unconsumed tail
+    /// ([`Frontier::restore`]), so the frontier evolves exactly as the
+    /// serial engine's would and later speculation is merely discarded,
+    /// never observed. A committed SAT run's private arena is absorbed
+    /// back into the central one ([`ExprArena::absorb`]); because the
+    /// central arena never changes during a speculative phase, the
+    /// absorption reproduces the worker's numbering and the session
+    /// stays bit-identical to the serial engine — which is what the
+    /// worker-count invariance suite pins.
+    fn reproduce_parallel(&self) -> ReplayResult {
+        let workers = self.cfg.budget.workers;
+        let start = std::time::Instant::now();
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &self.cfg.spec);
+        let n_controllable = vars.n_controllable as usize;
+        let mut assignment = self.initial_assignment(n_controllable);
+
+        let mut frontier = Frontier::new(
+            self.cfg.budget.policy.clone(),
+            self.cfg.budget.max_pendings_per_run,
+            self.cfg.budget.max_pending_lits,
+        );
+        let mut runs = 0usize;
+        let mut solver_calls = 0usize;
+        let mut total_instrs = 0u64;
+        let mut total_units = 0u64;
+        let mut syscall_divergences = 0u64;
+        let mut cursor_overruns = 0u64;
+        let mut concretization_ranges = 0u64;
+        let mut concretization_pins = 0u64;
+        let mut pin_fallbacks = 0u64;
+        let mut book = RepairBook::new();
+        let mut reset_high_water = u64::MAX;
+        let mut timed_out = false;
+        #[allow(unused_assignments)]
+        let mut last_stats = crate::host::ReplayRunStats::default();
+        let wall_expired = |start: &std::time::Instant| {
+            self.cfg.budget.max_wall_ms > 0
+                && start.elapsed().as_millis() as u64 > self.cfg.budget.max_wall_ms
+        };
+
+        let syscall_mode = if self.report.syscalls.is_empty() {
+            SyscallMode::Modeled
+        } else {
+            SyscallMode::Logged(self.report.syscalls.clone())
+        };
+
+        // A run produced by a winning speculative solve job, carried
+        // into the next round together with the model that drove it.
+        let mut staged_run: Option<(RunArtifacts, Vec<i64>)> = None;
+        loop {
+            // ---- one replay run (serial unless a worker already ran it)
+            let run = match staged_run.take() {
+                Some((run, model)) => {
+                    assignment = model;
+                    run
+                }
+                None => {
+                    let (run, arena_back) =
+                        self.exec_run(arena, &assignment, &syscall_mode, &vars, runs + 1);
+                    arena = arena_back;
+                    run
+                }
+            };
+            runs += 1;
+            total_instrs += run.instrs;
+            total_units += run.units;
+            last_stats = run.stats.clone();
+            concretization_ranges += last_stats.concretization_ranges;
+            concretization_pins += last_stats.concretization_pins;
+
+            // ---- success checks -------------------------------------------
+            if self.is_success(&run) {
+                return ReplayResult {
+                    reproduced: true,
+                    runs,
+                    solver_calls,
+                    total_instrs,
+                    total_units,
+                    wall_ms: start.elapsed().as_millis() as u64,
+                    witness_argv: Some(run.argv),
+                    witness_assignment: Some(assignment),
+                    timed_out: false,
+                    exhausted: false,
+                    syscall_divergences,
+                    cursor_overruns,
+                    concretization_ranges,
+                    concretization_pins,
+                    pin_fallbacks,
+                    frontier: frontier.into_stats(),
+                    last_run_stats: last_stats,
+                };
+            }
+            if runs >= self.cfg.budget.max_runs || wall_expired(&start) {
+                return self.failed(
+                    runs,
+                    solver_calls,
+                    total_instrs,
+                    total_units,
+                    start,
+                    Outcome {
+                        timed_out: true,
+                        exhausted: false,
+                        syscall_divergences,
+                        cursor_overruns,
+                        concretization_ranges,
+                        concretization_pins,
+                        pin_fallbacks,
+                        frontier: frontier.into_stats(),
+                    },
+                    last_stats,
+                );
+            }
+
+            // ---- bank the run (serial commit) -----------------------------
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE) {
+                syscall_divergences += 1;
+            }
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
+                cursor_overruns += 1;
+            }
+            self.bank_offers(&run, &assignment, &arena, &mut frontier, &mut book);
+
+            // ---- speculative solve streak ---------------------------------
+            'streak: loop {
+                if !timed_out {
+                    let batch = frontier.pop_batch(workers);
+                    if !batch.is_empty() {
+                        // Parallel phase: solve each popped set (and run
+                        // its model on SAT) against the frozen central
+                        // arena. Seeds are pre-assigned by commit index so
+                        // committed verdicts match the serial engine's.
+                        let base_calls = solver_calls;
+                        let base_nodes = arena.len();
+                        let arena_ref = &arena;
+                        let jobs: Vec<(ConstraintSet, Vec<i64>)> = batch
+                            .iter()
+                            .map(|p| (p.set.cs.clone(), p.set.seed.clone()))
+                            .collect();
+                        let phase = search::pool::parallel_map(workers, jobs, |i, (cs, seed)| {
+                            let scfg = SolveCfg {
+                                seed: mix_seed(self.cfg.seed, (base_calls + i + 1) as u64),
+                                ..self.cfg.solve.clone()
+                            };
+                            let (model, sstats) =
+                                solver::solve_or_pin_ro(arena_ref, &cs, Some(&seed), &scfg);
+                            let run = model.as_ref().map(|m| {
+                                self.exec_run(arena_ref.clone(), m, &syscall_mode, &vars, runs + 1)
+                            });
+                            (model, sstats, run)
+                        });
+                        frontier.note_worker_runs(&phase.worker_counts);
+
+                        // Commit phase: verdicts strictly in pop order.
+                        let mut pops = batch.into_iter();
+                        let mut outs = phase.results.into_iter();
+                        while let Some(pop) = pops.next() {
+                            let (model, sstats, spec_run) =
+                                outs.next().expect("one verdict per popped set");
+                            solver_calls += 1;
+                            if sstats.pin_fallback {
+                                pin_fallbacks += 1;
+                            }
+                            let sig = search::signature(&pop.set.cs);
+                            if let Some(model) = model {
+                                frontier.note_solved_sig(sig, true);
+                                frontier.restore(pops.collect());
+                                let (mut artifacts, job_arena) =
+                                    spec_run.expect("every SAT job carries its run");
+                                // Import the worker's expressions and
+                                // retarget the path at the central ids.
+                                let mut roots = Vec::with_capacity(artifacts.path.len() * 2);
+                                for st in &artifacts.path {
+                                    roots.push(st.lit.expr);
+                                    if let Some(rc) = &st.range {
+                                        roots.push(rc.expr);
+                                    }
+                                }
+                                let mapped = arena.absorb(&job_arena, base_nodes, &roots);
+                                let mut mapped = mapped.into_iter();
+                                for st in &mut artifacts.path {
+                                    st.lit.expr = mapped.next().expect("mapped root");
+                                    if let Some(rc) = &mut st.range {
+                                        rc.expr = mapped.next().expect("mapped root");
+                                    }
+                                }
+                                staged_run = Some((artifacts, model));
+                                break 'streak;
+                            }
+                            frontier.note_solved_sig(sig, false);
+                            if book.forced_meta.contains_key(&sig) {
+                                // The repair bookkeeping may queue a
+                                // priority set: put the speculative tail
+                                // back first so the offer lands exactly
+                                // where the serial engine would put it.
+                                frontier.restore(pops.collect());
+                                self.handle_unsat(sig, &mut frontier, &mut book);
+                                if wall_expired(&start) {
+                                    timed_out = true;
+                                }
+                                continue 'streak;
+                            }
+                            if wall_expired(&start) {
+                                timed_out = true;
+                                frontier.restore(pops.collect());
+                                continue 'streak;
+                            }
+                        }
+                        continue 'streak;
+                    }
+                }
+
+                // ---- drained (or timed out mid-streak) --------------------
+                if !timed_out
+                    && self.cfg.budget.policy.restart_on_drain
+                    && frontier.ever_scheduled()
+                {
+                    let r = frontier.stats().restarts;
+                    frontier.note_restart();
+                    assignment = self.restart_assignment(n_controllable, r);
+                    break 'streak;
+                }
+                if !timed_out
+                    && frontier.ever_scheduled()
+                    && (reset_high_water == u64::MAX || book.bits_high_water > reset_high_water)
+                {
+                    reset_high_water = book.bits_high_water;
+                    frontier.reset_dedup();
+                    break 'streak;
+                }
+                return self.failed(
+                    runs,
+                    solver_calls,
+                    total_instrs,
+                    total_units,
+                    start,
+                    Outcome {
+                        timed_out,
+                        exhausted: !timed_out,
+                        syscall_divergences,
+                        cursor_overruns,
+                        concretization_ranges,
+                        concretization_pins,
+                        pin_fallbacks,
+                        frontier: frontier.into_stats(),
+                    },
+                    last_stats,
+                );
             }
         }
     }
@@ -693,6 +1034,42 @@ struct Outcome {
     concretization_pins: u64,
     pin_fallbacks: u64,
     frontier: FrontierStats,
+}
+
+/// Everything one replay run leaves behind: the outcome, the argv it
+/// ran with, meters, and the symbolic path. Produced by
+/// [`ReplayEngine::exec_run`] on the main thread (serial engine) or on
+/// a worker (speculative SAT run); consumed by the serial commit path
+/// either way.
+struct RunArtifacts {
+    outcome: RunOutcome,
+    argv: Vec<Vec<u8>>,
+    instrs: u64,
+    units: u64,
+    log_exhausted: bool,
+    stats: crate::host::ReplayRunStats,
+    path: Vec<PathStep>,
+}
+
+/// Forced-set repair state: metadata per queued forced set, thrash
+/// accounting per shared prefix key, and the log high-water mark that
+/// defines "progress" (bursts only accumulate while it stands still).
+struct RepairBook {
+    forced_meta: HashMap<u128, ForcedInfo>,
+    tracker: RepairTracker,
+    counted_cutoffs: HashSet<u128>,
+    bits_high_water: u64,
+}
+
+impl RepairBook {
+    fn new() -> Self {
+        RepairBook {
+            forced_meta: HashMap::new(),
+            tracker: RepairTracker::new(),
+            counted_cutoffs: HashSet::new(),
+            bits_high_water: 0,
+        }
+    }
 }
 
 /// Metadata retained for a queued forced (2(b)/3(b)) set so a thrash

@@ -1004,6 +1004,242 @@ mod e2e {
         assert!(res.reproduced, "truncated-log replay failed: {res:?}");
     }
 
+    /// Everything the invariance suite compares, in order: reproduced,
+    /// runs, solver calls, witness argv, witness assignment, the ordered
+    /// (signature, verdict) stream, committed pops, and popped-minus-
+    /// restored (the consumed count).
+    type InvarianceObservation = (
+        bool,
+        usize,
+        usize,
+        Option<Vec<Vec<u8>>>,
+        Option<Vec<i64>>,
+        Vec<(u128, bool)>,
+        u64,
+        u64,
+    );
+
+    /// Replays the guarded crash with a partially instrumented plan
+    /// (search-heavy) at the given worker count, returning every field
+    /// the invariance suite compares.
+    fn replay_with_workers(workers: usize) -> InvarianceObservation {
+        let src = GUARDED_CRASH;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = guarded_spec();
+        // Log ONLY the middle guard: the outer and inner guards must be
+        // found by search, so the frontier sees real UNSAT streaks —
+        // the work the parallel engine speculates on.
+        let mut instrumented = vec![false; cp.n_branches()];
+        instrumented[1] = true;
+        let plan = Plan {
+            method: Method::Dynamic,
+            instrumented,
+            log_syscalls: true,
+            format: instrument::LogFormat::Flat,
+        };
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let assignment = assignment_from_input(&spec, &guarded_parts());
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+        let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("crash").clone();
+        let report = BugReport::capture(vm.host, crash);
+        let mut rcfg = ReplayConfig::new(spec);
+        rcfg.budget.max_runs = 128;
+        rcfg.budget.workers = workers;
+        let res = ReplayEngine::new(&cp, plan, report, rcfg).reproduce();
+        (
+            res.reproduced,
+            res.runs,
+            res.solver_calls,
+            res.witness_argv,
+            res.witness_assignment,
+            res.frontier.solved_sigs.clone(),
+            res.frontier.committed,
+            res.frontier.popped - res.frontier.restored,
+        )
+    }
+
+    #[test]
+    fn replay_is_worker_count_invariant() {
+        // The tentpole property, stronger than mere set equality: the
+        // parallel engine commits speculative verdicts strictly in pop
+        // order, so the ENTIRE decision sequence — run count, solver
+        // calls, the ordered (signature, verdict) stream, the committed
+        // pop count, and the final reproduced input — is bit-identical
+        // for every worker count. (Raw `popped` is NOT compared:
+        // speculation pops more and restores the excess; `popped -
+        // restored` is the consumed count and must match.)
+        let serial = replay_with_workers(1);
+        assert!(serial.0, "the serial baseline must reproduce");
+        assert!(!serial.5.is_empty(), "the search must actually solve sets");
+        for workers in [2, 4] {
+            let par = replay_with_workers(workers);
+            assert_eq!(
+                serial, par,
+                "workers={workers} diverged from the serial engine"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_replay_accounting_balances() {
+        // Every speculatively popped set is either committed or restored
+        // — the lost-candidate invariant the stress suite also checks.
+        // (`replay_with_workers` returns committed and popped-restored;
+        // their equality IS the balance popped == committed + restored.)
+        let r = replay_with_workers(4);
+        assert_eq!(r.6, r.7, "popped != committed + restored");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        // Randomized magic-string programs under a PARTIAL plan (only
+        // even-indexed branches logged): replay must produce the same
+        // solved-set sequence and the same witness at 1, 2 and 4
+        // workers. Partial logging keeps real search pressure on the
+        // frontier, so speculation actually happens and must stay
+        // transparent.
+        #[test]
+        fn replay_worker_invariance_holds_on_random_programs(
+            magic in proptest::collection::vec(0x21u8..0x7f, 2..5),
+        ) {
+            let src = format!(
+                r#"
+                int main(int argc, char **argv) {{
+                    char *s = argv[1];
+                    int ok = 1;
+                    for (int i = 0; i < {n}; i++) {{
+                        if (s[i] != "{lit}"[i]) {{ ok = 0; }}
+                    }}
+                    if (ok) {{ int *p = 0; return *p; }}
+                    return 0;
+                }}
+                "#,
+                n = magic.len(),
+                lit = magic.iter().map(|b| *b as char).collect::<String>(),
+            );
+            let cp = build(&[("main", &src)]).unwrap();
+            let spec = InputSpec::argv_symbolic("prog", 1, magic.len());
+            let parts = InputParts {
+                argv_sym: vec![magic.clone()],
+                ..InputParts::default()
+            };
+            let mut instrumented = vec![false; cp.n_branches()];
+            for (i, slot) in instrumented.iter_mut().enumerate() {
+                *slot = i % 2 == 0;
+            }
+            let plan = Plan {
+                method: Method::Dynamic,
+                instrumented,
+                log_syscalls: true,
+                format: instrument::LogFormat::Flat,
+            };
+            let mut arena = ExprArena::new();
+            let vars = InputVars::alloc(&mut arena, &spec);
+            let assignment = assignment_from_input(&spec, &parts);
+            let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+            let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+            let mut vm = Vm::new(&cp, host);
+            let crash = vm.run(&argv).crash().expect("crash").clone();
+            let report = BugReport::capture(vm.host, crash);
+            let run = |workers: usize| {
+                let mut rcfg = ReplayConfig::new(spec.clone());
+                rcfg.budget.max_runs = 128;
+                rcfg.budget.workers = workers;
+                let res =
+                    ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce();
+                (
+                    res.reproduced,
+                    res.runs,
+                    res.solver_calls,
+                    res.witness_argv,
+                    res.witness_assignment,
+                    res.frontier.solved_sigs.clone(),
+                )
+            };
+            let serial = run(1);
+            for workers in [2usize, 4] {
+                let par = run(workers);
+                prop_assert_eq!(
+                    &serial, &par,
+                    "workers={} diverged from serial", workers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wall_timeout_is_reported_as_timeout_not_exhaustion() {
+        // The latent concurrency hazard in failure reporting: when the
+        // wall cap expires during a speculative commit phase the engine
+        // restores the unconsumed tail and leaves the frontier
+        // non-empty, so a naive drain epilogue could classify the stop
+        // as exhaustion (or worse, keep popping). The epilogue must pin
+        // the precedence: wall expiry → `timed_out`, never `exhausted`,
+        // at every worker count. A heavy concrete loop makes a single
+        // run outlast the 1 ms cap.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                int acc = 0;
+                for (int i = 0; i < 200000; i++) { acc = acc + i; }
+                if (s[0] == 'c') {
+                    if (s[1] == 'r') {
+                        int *p = 0;
+                        return *p;
+                    }
+                }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 2);
+        let parts = InputParts {
+            argv_sym: vec![b"cr".to_vec()],
+            ..InputParts::default()
+        };
+        let plan = Plan::build(
+            Method::AllBranches,
+            &vec![DynLabel::Unvisited; cp.n_branches()],
+            &vec![false; cp.n_branches()],
+            cp.n_branches(),
+        );
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let assignment = assignment_from_input(&spec, &parts);
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+        let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
+        let mut vm = Vm::new(&cp, host);
+        let crash = vm.run(&argv).crash().expect("cr crashes").clone();
+        let report = BugReport::capture(vm.host, crash);
+        for workers in [1usize, 2] {
+            let mut rcfg = ReplayConfig::new(spec.clone());
+            rcfg.budget.max_runs = 100_000;
+            rcfg.budget.max_wall_ms = 1;
+            rcfg.budget.workers = workers;
+            let res = ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce();
+            if res.reproduced {
+                continue; // a fast machine may win before the cap fires
+            }
+            assert!(
+                res.timed_out,
+                "workers={workers}: the 1 ms wall cap must report a timeout: \
+                 {} runs",
+                res.runs
+            );
+            assert!(
+                !res.exhausted,
+                "workers={workers}: a wall expiry is never exhaustion"
+            );
+            assert!(
+                res.runs < 100_000,
+                "workers={workers}: the run budget was not the stopper"
+            );
+        }
+    }
+
     #[test]
     fn replay_work_grows_as_logging_shrinks() {
         // Compare total replay work between full logging and no logging

@@ -112,7 +112,20 @@ pub use constraint::{ConstraintSet, Lit, RangeConstraint};
 pub use interval::{div_ceil, div_floor, propagate, range, range_in, Interval};
 pub use op::{eval_op, eval_unop, Op, UnOp};
 pub use solve::{
-    mix_seed, solve, solve_or_pin, solve_with_stats, SolveCfg, SolveStats, XorShift, GOLDEN_RATIO,
+    mix_seed, solve, solve_or_pin, solve_or_pin_ro, solve_with_stats, SolveCfg, SolveStats,
+    XorShift, GOLDEN_RATIO,
+};
+
+/// The parallel replay workers share one read-only [`ExprArena`] and
+/// move [`ConstraintSet`]s across thread boundaries; both are plain
+/// owned data (no `Rc`, no interior mutability), and this keeps it that
+/// way at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExprArena>();
+    assert_send_sync::<ConstraintSet>();
+    assert_send_sync::<SolveCfg>();
+    assert_send_sync::<SolveStats>();
 };
 
 #[cfg(test)]

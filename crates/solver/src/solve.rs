@@ -486,6 +486,49 @@ pub fn solve_or_pin(
     (model, stats)
 }
 
+/// [`solve_or_pin`] against a *shared, read-only* arena — the form the
+/// parallel solve phase needs, where several worker threads solve
+/// speculatively popped sets against one central arena at once.
+///
+/// The rare pin fallback builds its `Eq` pins in a private clone of the
+/// arena instead of interning them centrally, so the central arena's
+/// node numbering never depends on how many sets were solved
+/// speculatively (or on which solves stalled) — that independence is
+/// what keeps worker-count-invariant sessions bit-identical. Verdicts
+/// and models are the same as [`solve_or_pin`]'s: the pinned variant is
+/// built from the same arena state, and solving is insensitive to
+/// whether the pin nodes persist afterwards.
+pub fn solve_or_pin_ro(
+    arena: &ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+) -> (Option<Vec<i64>>, SolveStats) {
+    if !cs.has_ranges() {
+        return solve_with_stats(arena, cs, seed_assign, cfg);
+    }
+    let bounded_cfg = SolveCfg {
+        max_iters: (cfg.max_iters / 2).max(1),
+        ..cfg.clone()
+    };
+    let (model, mut stats) = solve_with_stats(arena, cs, seed_assign, &bounded_cfg);
+    if model.is_some() || stats.refuted {
+        return (model, stats);
+    }
+    let mut scratch = arena.clone();
+    let pinned = cs.pinned(&mut scratch);
+    let pin_cfg = SolveCfg {
+        max_iters: cfg.max_iters.saturating_sub(stats.iters).max(1),
+        ..cfg.clone()
+    };
+    let (model, pin_stats) = solve_with_stats(&scratch, &pinned, seed_assign, &pin_cfg);
+    stats.iters += pin_stats.iters;
+    stats.inversions += pin_stats.inversions;
+    stats.restarts += pin_stats.restarts;
+    stats.pin_fallback = true;
+    (model, stats)
+}
+
 /// Tries to make `expr` truthy (`positive`) or falsy by direct inversion.
 /// Returns the variable it assigned, if any.
 fn invert_lit(
@@ -1028,6 +1071,51 @@ mod tests {
             !stats.pin_fallback,
             "a refuted bounded form refutes the pin too"
         );
+    }
+
+    #[test]
+    fn solve_or_pin_ro_matches_mutating_variant() {
+        // The fallback shape from `solve_or_pin_falls_back_when_bounded_
+        // form_stalls`, solved both ways: verdict, model, and stats must
+        // agree, and the read-only variant must leave the arena's node
+        // count untouched (no interned pins).
+        let (mut a, v) = bytes(2);
+        let prod = a.bin(Op::Mul, v[0], v[1]);
+        let c169 = a.constant(169);
+        let hit = a.bin(Op::Eq, prod, c169);
+        let mut cs = ConstraintSet::new();
+        cs.push_range(RangeConstraint::range(v[0], 0, 255, 13));
+        cs.push_range(RangeConstraint::range(v[1], 0, 255, 13));
+        cs.push(Lit {
+            expr: hit,
+            positive: true,
+        });
+        let cfg = SolveCfg {
+            max_iters: 64,
+            ..SolveCfg::default()
+        };
+        let nodes_before = a.len();
+        let (ro_model, ro_stats) = solve_or_pin_ro(&a, &cs, Some(&[0, 0]), &cfg);
+        assert_eq!(a.len(), nodes_before, "read-only variant interns nothing");
+        let (mut_model, mut_stats) = solve_or_pin(&mut a, &cs, Some(&[0, 0]), &cfg);
+        assert_eq!(ro_model, mut_model);
+        assert!(ro_stats.pin_fallback && mut_stats.pin_fallback);
+        assert_eq!(ro_stats.iters, mut_stats.iters);
+        assert_eq!(ro_stats.inversions, mut_stats.inversions);
+    }
+
+    #[test]
+    fn solve_or_pin_ro_without_ranges_is_plain_solve() {
+        let (mut a, v) = bytes(1);
+        let c = a.constant(65);
+        let mut cs = ConstraintSet::new();
+        cs.push(Lit {
+            expr: a.bin(Op::Eq, v[0], c),
+            positive: true,
+        });
+        let (m, stats) = solve_or_pin_ro(&a, &cs, None, &SolveCfg::default());
+        assert_eq!(m.expect("solvable")[0], 65);
+        assert!(!stats.pin_fallback);
     }
 
     #[test]
