@@ -35,6 +35,7 @@ fn bench_instrumentation(c: &mut Criterion) {
         let plan = Plan {
             method: Method::AllBranches,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };
@@ -65,6 +66,7 @@ fn bench_instrumentation(c: &mut Criterion) {
         let plan = Plan {
             method: Method::AllBranches,
             instrumented: vec![true; nl],
+            suppressed: Vec::new(),
             log_syscalls: false,
             format: instrument::LogFormat::Flat,
         };

@@ -19,6 +19,7 @@ fn main() {
     let all = Plan {
         method: Method::AllBranches,
         instrumented: vec![true; n],
+        suppressed: Vec::new(),
         log_syscalls: false,
         format: instrument::LogFormat::Flat,
     };

@@ -25,33 +25,53 @@ fn main() {
     println!("{}", analysis_summary("LC", &bundles.lc));
     println!("{}", analysis_summary("HC", &bundles.hc));
 
-    let configs: Vec<(String, Method, Coverage)> = vec![
-        ("dynamic (lc)".into(), Method::Dynamic, Coverage::Lc),
-        ("dynamic (hc)".into(), Method::Dynamic, Coverage::Hc),
+    // The `+impl` rows suppress every log bit the branch-implication
+    // analysis proves redundant: same method, strictly less spend.
+    let configs: Vec<(String, Method, Coverage, bool)> = vec![
+        ("dynamic (lc)".into(), Method::Dynamic, Coverage::Lc, false),
+        ("dynamic (hc)".into(), Method::Dynamic, Coverage::Hc, false),
         (
             "dynamic+static (lc)".into(),
             Method::DynamicStatic,
             Coverage::Lc,
+            false,
+        ),
+        (
+            "dynamic+static+impl (lc)".into(),
+            Method::DynamicStatic,
+            Coverage::Lc,
+            true,
         ),
         (
             "dynamic+static (hc)".into(),
             Method::DynamicStatic,
             Coverage::Hc,
+            false,
         ),
-        ("static".into(), Method::Static, Coverage::Hc),
-        ("all branches".into(), Method::AllBranches, Coverage::Hc),
+        ("static".into(), Method::Static, Coverage::Hc, false),
+        ("static+impl".into(), Method::Static, Coverage::Hc, true),
+        (
+            "all branches".into(),
+            Method::AllBranches,
+            Coverage::Hc,
+            false,
+        ),
     ];
 
     let mut t3 = Vec::new();
     let mut t4 = Vec::new();
     for mut exp_def in userver_experiments(42) {
         exp_def.wb.workers = workers;
-        for (name, method, cov) in &configs {
+        for (name, method, cov, suppress) in &configs {
             let bundle = match cov {
                 Coverage::Lc => &bundles.lc,
                 Coverage::Hc => &bundles.hc,
             };
-            let plan = exp_def.wb.plan(*method, bundle);
+            let plan = if *suppress {
+                exp_def.wb.plan_suppressed(*method, bundle)
+            } else {
+                exp_def.wb.plan(*method, bundle)
+            };
             let exp_id: usize = exp_def
                 .name
                 .rsplit(' ')

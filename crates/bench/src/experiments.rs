@@ -140,6 +140,7 @@ pub fn replay_one(
             log_bits: run.log_bits,
             cursor_locations: run.cursor_locations,
             cursor_spend_units: run.cursor_spend_units,
+            suppressed_bits: run.suppressed_execs,
         },
         stats,
         transfer,

@@ -1,0 +1,131 @@
+//! Suppression-equivalence property: a plan with implication-suppressed
+//! log bits replays EXACTLY like the full plan.
+//!
+//! The static branch-implication pass only suppresses a bit when the
+//! implied outcome holds on *every* execution (strict dominance, pure
+//! identical-up-to-negation condition, no interfering writes), so a
+//! candidate input can never diverge at a suppressed branch that would
+//! have agreed under the full plan — the search sees the same divergence
+//! sequence, makes the same solver calls, and reproduces in the same
+//! number of runs, under both log formats. Deployment, meanwhile, ships
+//! strictly fewer bits. This test generates random retest-shaped
+//! programs and checks all of that end to end.
+
+use concolic::InputSpec;
+use instrument::{LogFormat, Method};
+use proptest::prelude::*;
+use replay::InputParts;
+use retrace_core::Workbench;
+
+/// One retest pair over input byte `i`: `if (c > t)` followed by a
+/// retest of the same condition, negated or not. The second branch is
+/// implied by the first, so its log bit is suppressible.
+fn retest_program(triples: &[(u8, bool)]) -> String {
+    let mut body = String::new();
+    for (i, (t, negated)) in triples.iter().enumerate() {
+        body += &format!("    int c{i} = s[{i}];\n");
+        body += &format!("    if (c{i} > {t}) {{ hits = hits + 1; }}\n");
+        if *negated {
+            body += &format!("    if (!(c{i} > {t})) {{ hits = hits + 1; }}\n");
+        } else {
+            body += &format!("    if (c{i} > {t}) {{ hits = hits + 1; }}\n");
+        }
+    }
+    // The crashing input drives every `c > t` condition TRUE, so a
+    // straight retest contributes 2 hits and a negated one only 1.
+    let expect: usize = triples
+        .iter()
+        .map(|(_, neg)| if *neg { 1 } else { 2 })
+        .sum();
+    format!(
+        r#"
+        int main(int argc, char **argv) {{
+            char *s = argv[1];
+            int hits = 0;
+{body}
+            if (hits == {expect}) {{ int *p = 0; return *p; }}
+            return 0;
+        }}
+        "#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn suppressed_plan_replays_identically_to_full_plan(
+        triples in proptest::collection::vec((0x30u8..0x6eu8, any::<bool>()), 1..4),
+        slack in 1u8..0x10,
+    ) {
+        let src = retest_program(&triples);
+        let cp = minic::build(&[("main", &src)]).expect("compiles");
+        let n_bytes = triples.len();
+        let wb = Workbench::new(cp, InputSpec::argv_symbolic("prog", 1, n_bytes));
+        let bundle = wb.analyze(24);
+        prop_assert_eq!(
+            bundle.implications.n_implied(),
+            triples.len(),
+            "every retest is implied by its first test"
+        );
+        // The crashing input takes every `c > t` branch: t + slack.
+        let magic: Vec<u8> = triples.iter().map(|(t, _)| t + slack).collect();
+        let parts = InputParts {
+            argv_sym: vec![magic],
+            ..InputParts::default()
+        };
+
+        for format in [LogFormat::Flat, LogFormat::PerLocation] {
+            let mut full = wb.plan(Method::Static, &bundle);
+            full.format = format;
+            let mut sup = wb.plan_suppressed(Method::Static, &bundle);
+            sup.format = format;
+            prop_assert_eq!(sup.n_suppressed(), triples.len());
+
+            // Deployment: the suppressed plan ships strictly fewer bits
+            // (each suppressed branch executed exactly once).
+            let run_full = wb.logged_run(&full, &parts);
+            let run_sup = wb.logged_run(&sup, &parts);
+            prop_assert_eq!(run_full.suppressed_execs, 0);
+            prop_assert_eq!(run_sup.suppressed_execs, triples.len() as u64);
+            prop_assert_eq!(
+                run_sup.log_bits + run_sup.suppressed_execs,
+                run_full.log_bits,
+                "exactly the suppressed bits left the log ({format:?})"
+            );
+
+            // Replay: identical decision stream — same outcome, same run
+            // count, same solver calls, same witness.
+            let report_full = run_full.report.expect("true input crashes");
+            let report_sup = run_sup.report.expect("true input crashes");
+            let res_full = wb.replay(&full, &report_full, 128);
+            let res_sup = wb.replay(&sup, &report_sup, 128);
+            prop_assert!(res_full.reproduced, "full plan reproduces ({format:?})");
+            prop_assert_eq!(
+                res_full.reproduced, res_sup.reproduced,
+                "suppression changed the outcome ({format:?})"
+            );
+            prop_assert_eq!(
+                res_full.runs, res_sup.runs,
+                "suppression changed the run count ({format:?})"
+            );
+            prop_assert_eq!(
+                res_full.solver_calls, res_sup.solver_calls,
+                "suppression changed the solver-call count ({format:?})"
+            );
+            prop_assert_eq!(
+                &res_full.witness_argv, &res_sup.witness_argv,
+                "suppression changed the witness ({format:?})"
+            );
+            // The winning run reconstructed one bit per suppressed
+            // execution of the recorded run, and never violated an
+            // implication.
+            prop_assert_eq!(
+                res_sup.last_run_stats.reconstructed_bits,
+                run_sup.suppressed_execs,
+                "reconstruction count mismatch ({format:?})"
+            );
+            prop_assert!(!res_sup.last_run_stats.implication_violation);
+            prop_assert_eq!(res_full.last_run_stats.reconstructed_bits, 0);
+        }
+    }
+}

@@ -35,13 +35,19 @@ fn render_exp1_table(workers: usize) -> String {
         .expect("exp 1 exists");
     exp.wb.workers = workers;
     let mut rows = Vec::new();
-    for (name, method) in [
-        ("dynamic (lc)", Method::Dynamic),
-        ("dynamic+static (lc)", Method::DynamicStatic),
-        ("static", Method::Static),
-        ("all branches", Method::AllBranches),
+    for (name, method, suppress) in [
+        ("dynamic (lc)", Method::Dynamic, false),
+        ("dynamic+static (lc)", Method::DynamicStatic, false),
+        ("dynamic+static+impl (lc)", Method::DynamicStatic, true),
+        ("static", Method::Static, false),
+        ("static+impl", Method::Static, true),
+        ("all branches", Method::AllBranches, false),
     ] {
-        let plan = exp.wb.plan(method, &bundle);
+        let plan = if suppress {
+            exp.wb.plan_suppressed(method, &bundle)
+        } else {
+            exp.wb.plan(method, &bundle)
+        };
         let run = exp.wb.logged_run(&plan, &exp.parts);
         let report = run.report.expect("deployment crashes");
         let res = exp.wb.replay(&plan, &report, 300);
@@ -49,6 +55,7 @@ fn render_exp1_table(workers: usize) -> String {
             run.log_bits,
             run.cursor_locations,
             run.cursor_spend_units,
+            run.suppressed_execs,
         );
         rows.push(vec![
             name.to_string(),

@@ -76,6 +76,10 @@ pub struct ReplayRow {
     /// Extra instrumentation units the per-location cursor format spent
     /// at the user site (0 = flat format).
     pub cursor_spend_units: u64,
+    /// Suppressed-branch executions at the user site: bits the
+    /// implication analysis proved redundant, so the log never carried
+    /// them and replay reconstructed them for free.
+    pub suppressed_bits: u64,
 }
 
 impl ReplayRow {
@@ -101,6 +105,7 @@ impl ReplayRow {
             self.log_bits,
             self.cursor_locations,
             self.cursor_spend_units,
+            self.suppressed_bits,
         )
     }
 
@@ -122,11 +127,23 @@ impl ReplayRow {
 /// one definition of the `instr spend` column's shape, shared by
 /// [`ReplayRow::spend_cell`] and the golden-table tests (so a format
 /// change cannot silently diverge from the pinned tables).
-pub fn spend_cell(log_bits: u64, cursor_locations: usize, cursor_spend_units: u64) -> String {
-    if cursor_locations == 0 {
+/// A suppression-enabled row appends `-Nsup`: N branch executions whose
+/// bits the implication analysis kept out of the shipped log.
+pub fn spend_cell(
+    log_bits: u64,
+    cursor_locations: usize,
+    cursor_spend_units: u64,
+    suppressed_bits: u64,
+) -> String {
+    let base = if cursor_locations == 0 {
         format!("{log_bits}b")
     } else {
         format!("{log_bits}b@{cursor_locations}loc+{cursor_spend_units}u")
+    };
+    if suppressed_bits == 0 {
+        base
+    } else {
+        format!("{base}-{suppressed_bits}sup")
     }
 }
 
@@ -181,6 +198,7 @@ mod tests {
             log_bits: 120,
             cursor_locations: 0,
             cursor_spend_units: 0,
+            suppressed_bits: 0,
         };
         assert_eq!(r.cell(), "∞");
         assert_eq!(r.concretization_cell(), "12/3+2");
@@ -189,8 +207,18 @@ mod tests {
         let cursored = ReplayRow {
             cursor_locations: 9,
             cursor_spend_units: 720,
-            ..r
+            ..r.clone()
         };
         assert_eq!(cursored.spend_cell(), "120b@9loc+720u");
+        let suppressed = ReplayRow {
+            suppressed_bits: 17,
+            ..r
+        };
+        assert_eq!(suppressed.spend_cell(), "120b-17sup");
+        let both = ReplayRow {
+            suppressed_bits: 4,
+            ..cursored
+        };
+        assert_eq!(both.spend_cell(), "120b@9loc+720u-4sup");
     }
 }

@@ -49,6 +49,9 @@ pub struct AnalysisBundle {
     pub dyn_result: AnalysisResult,
     /// Static labels per branch location.
     pub static_symbolic: Vec<bool>,
+    /// Branch-implication table from the static analysis (input to
+    /// log-bit suppression).
+    pub implications: staticax::ImplicationMap,
 }
 
 impl AnalysisBundle {
@@ -72,6 +75,9 @@ pub struct LoggedRun {
     pub log_flushes: u64,
     /// Executions of instrumented branches.
     pub instrumented_execs: u64,
+    /// Executions of suppressed branches — observed by the plan but
+    /// never logged; replay reconstructs their bits for free.
+    pub suppressed_execs: u64,
     /// Syscall-log records produced.
     pub syscall_records: usize,
     /// Syscall-log bytes.
@@ -154,7 +160,8 @@ impl Workbench {
         AnalysisBundle {
             dyn_labels,
             dyn_result,
-            static_symbolic: sres.symbolic,
+            static_symbolic: sres.symbolic().to_vec(),
+            implications: sres.implications,
         }
     }
 
@@ -180,6 +187,30 @@ impl Workbench {
             &bundle.dyn_labels,
             &bundle.static_symbolic,
             self.cp.n_branches(),
+        )
+        .with_cursor_opt_in(infos)
+    }
+
+    /// Like [`plan`](Workbench::plan), but additionally suppresses every
+    /// log bit the static branch-implication analysis proves redundant:
+    /// a suppressed branch pays nothing at deployment, and replay
+    /// reconstructs its recorded outcome from the implying branch's.
+    /// Suppression is applied before the cursor opt-in so the loop
+    /// cluster check sees the post-suppression logged set (a suppressed
+    /// loop is deterministically reconstructable, hence not fragile).
+    pub fn plan_suppressed(&self, method: Method, bundle: &AnalysisBundle) -> Plan {
+        let infos = (0..self.cp.n_branches()).map(|i| self.cp.branch(minic::BranchId(i as u32)));
+        Plan::build(
+            method,
+            &bundle.dyn_labels,
+            &bundle.static_symbolic,
+            self.cp.n_branches(),
+        )
+        .with_suppression(
+            bundle
+                .implications
+                .iter()
+                .map(|(b, i)| (b, i.by, i.negated)),
         )
         .with_cursor_opt_in(infos)
     }
@@ -215,6 +246,7 @@ impl Workbench {
         let cursor_locations = host.log.n_locations();
         let cursor_spend_units = host.log.spend_units();
         let instrumented_execs = host.instrumented_execs;
+        let suppressed_execs = host.suppressed_execs;
         let syscall_records = host.syscalls.len();
         let syscall_log_bytes = host.syscalls.bytes();
         let requests = host.kernel.stats().requests_completed;
@@ -230,6 +262,7 @@ impl Workbench {
             log_bits,
             log_flushes,
             instrumented_execs,
+            suppressed_execs,
             syscall_records,
             syscall_log_bytes,
             log_format,

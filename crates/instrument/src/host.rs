@@ -110,6 +110,10 @@ pub struct LoggingHost {
     pub stdout: Vec<u8>,
     /// Executions of instrumented branches (Figure 4's count metric).
     pub instrumented_execs: u64,
+    /// Executions of suppressed branches: branches the plan *observes*
+    /// but never pays a log bit for, because replay reconstructs their
+    /// outcome from the implying branch ([`Plan::suppresses`]).
+    pub suppressed_execs: u64,
 }
 
 impl LoggingHost {
@@ -123,6 +127,7 @@ impl LoggingHost {
             syscalls: SyscallLog::new(),
             stdout: Vec::new(),
             instrumented_execs: 0,
+            suppressed_execs: 0,
         }
     }
 }
@@ -141,6 +146,11 @@ impl Host for LoggingHost {
             self.instrumented_execs += 1;
             Ok(self.log.push(bid.0, taken))
         } else {
+            if self.plan.suppresses(bid).is_some() {
+                // Observed but not logged: the bit is implied by an
+                // earlier branch, so deployment pays nothing here.
+                self.suppressed_execs += 1;
+            }
             Ok(0)
         }
     }
@@ -282,6 +292,7 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![false, true],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };
@@ -294,6 +305,7 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![false, true],
+            suppressed: Vec::new(),
             log_syscalls: false,
             format: LogFormat::Flat,
         };
@@ -367,6 +379,7 @@ mod tests {
         let plan = Plan {
             method: Method::Static,
             instrumented: vec![true, true],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };

@@ -78,6 +78,20 @@ pub enum LogFormat {
     PerLocation,
 }
 
+/// Why a branch location's log bit is suppressed: its outcome is always
+/// `by`'s most recent outcome (inverted when `negated`), so the runtime
+/// never logs it and replay reconstructs the bit instead. Produced by
+/// `staticax`'s implication analysis; mirrored here so `instrument`
+/// stays independent of the analysis crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Suppressed {
+    /// The logged (or itself suppressed) branch whose outcome implies
+    /// this one.
+    pub by: BranchId,
+    /// Whether the implied outcome is the opposite direction.
+    pub negated: bool,
+}
+
 /// A concrete instrumentation plan for one program build.
 ///
 /// The developer retains this ("the list of instrumented branches is
@@ -89,6 +103,11 @@ pub struct Plan {
     pub method: Method,
     /// `instrumented[b]`: is branch location `b` logged?
     pub instrumented: Vec<bool>,
+    /// `suppressed[b]`: branch `b` would be instrumented, but its
+    /// outcome is implied by an earlier branch's — the runtime skips it
+    /// and replay reconstructs the bit. Empty (or all-`None`) when the
+    /// plan was built without implication suppression.
+    pub suppressed: Vec<Option<Suppressed>>,
     /// Whether selected system-call results are logged too.
     pub log_syscalls: bool,
     /// Log format the runtime emits (and replay expects).
@@ -127,6 +146,7 @@ impl Plan {
         Plan {
             method,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         }
@@ -137,6 +157,7 @@ impl Plan {
         Plan {
             method: Method::Dynamic,
             instrumented: vec![false; n_branches],
+            suppressed: Vec::new(),
             log_syscalls: false,
             format: LogFormat::Flat,
         }
@@ -146,6 +167,52 @@ impl Plan {
     pub fn with_format(mut self, format: LogFormat) -> Plan {
         self.format = format;
         self
+    }
+
+    /// Applies implication suppression: every branch `b` with an
+    /// implication `(b, by, negated)` whose implier `by` is *also* in
+    /// the base instrumented set is dropped from the logged set and
+    /// recorded in [`Plan::suppressed`] instead.
+    ///
+    /// Restricting suppression to impliers inside the base set keeps
+    /// the plan's information content identical to the unsuppressed
+    /// plan: the implier's outcome is itself logged (or reconstructed
+    /// along a chain that bottoms out in a logged branch — strict
+    /// dominance makes chains acyclic), so replay loses no divergence
+    /// signal and run counts cannot get worse.
+    pub fn with_suppression<I>(mut self, implications: I) -> Plan
+    where
+        I: IntoIterator<Item = (BranchId, BranchId, bool)>,
+    {
+        let n = self.instrumented.len();
+        let base = self.instrumented.clone();
+        let mut suppressed = vec![None; n];
+        for (b, by, negated) in implications {
+            let (bi, yi) = (b.0 as usize, by.0 as usize);
+            if bi < n && yi < n && base[bi] && base[yi] {
+                suppressed[bi] = Some(Suppressed { by, negated });
+                self.instrumented[bi] = false;
+            }
+        }
+        self.suppressed = suppressed;
+        self
+    }
+
+    /// The suppression entry for a branch, if any.
+    pub fn suppresses(&self, b: BranchId) -> Option<Suppressed> {
+        self.suppressed.get(b.0 as usize).copied().flatten()
+    }
+
+    /// Whether a branch's outcome is observable at replay — logged
+    /// ([`Plan::covers`]) or reconstructed from a suppressed-bit
+    /// implication.
+    pub fn observes(&self, b: BranchId) -> bool {
+        self.covers(b) || self.suppresses(b).is_some()
+    }
+
+    /// Number of suppressed branch locations.
+    pub fn n_suppressed(&self) -> usize {
+        self.suppressed.iter().filter(|s| s.is_some()).count()
     }
 
     /// True when this plan leaves a loop-kind branch unlogged inside a
@@ -165,10 +232,15 @@ impl Plan {
             let key = (b.unit.0, b.func.as_str());
             if self.covers(b.id) {
                 logged.insert(key);
-            } else if matches!(
-                b.kind,
-                BranchKind::While | BranchKind::DoWhile | BranchKind::For
-            ) {
+            } else if !self.observes(b.id)
+                && matches!(
+                    b.kind,
+                    BranchKind::While | BranchKind::DoWhile | BranchKind::For
+                )
+            {
+                // A *suppressed* loop is observed, not unlogged: replay
+                // reconstructs its exits deterministically, so it cannot
+                // shift the flat bitvector.
                 unlogged_loops.insert(key);
             }
         }
@@ -316,6 +388,7 @@ mod tests {
         let plan = Plan {
             method: Method::DynamicStatic,
             instrumented: vec![false, true, false],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };
@@ -334,6 +407,7 @@ mod tests {
         let full = Plan {
             method: Method::DynamicStatic,
             instrumented: vec![true, true, true],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };
@@ -342,6 +416,7 @@ mod tests {
         let disjoint = Plan {
             method: Method::DynamicStatic,
             instrumented: vec![false, false, true],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };
@@ -350,9 +425,143 @@ mod tests {
         let dynamic = Plan {
             method: Method::Dynamic,
             instrumented: vec![false, true, false],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
         };
         assert_eq!(dynamic.with_cursor_opt_in(&infos).format, LogFormat::Flat);
+    }
+
+    #[test]
+    fn partial_loop_cluster_edge_cases() {
+        use BranchKind::*;
+        let infos = branch_infos(&[(While, "parse"), (If, "parse"), (If, "main")]);
+        // Empty plan: nothing logged, so no cluster can be partial.
+        assert!(!Plan::none(3).has_partial_loop_cluster(&infos));
+        // Empty branch set: a plan over zero locations trivially has none.
+        assert!(!Plan::none(0).has_partial_loop_cluster(&[]));
+        // Fully-logged cluster: the loop itself is covered.
+        let full = Plan {
+            method: Method::Static,
+            instrumented: vec![true, true, true],
+            suppressed: Vec::new(),
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert!(!full.has_partial_loop_cluster(&infos));
+        // Multi-function program: the unlogged loop is in scan(), all
+        // logged branches are in parse()/main() — different clusters,
+        // so the flat format stays safe.
+        let multi = branch_infos(&[(While, "scan"), (If, "parse"), (If, "main")]);
+        let cross = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![false, true, true],
+            suppressed: Vec::new(),
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert!(!cross.has_partial_loop_cluster(&multi));
+        // Same shape but the loop shares parse()'s cluster: partial.
+        let same = branch_infos(&[(While, "parse"), (If, "parse"), (If, "main")]);
+        assert!(cross.has_partial_loop_cluster(&same));
+        // A unit split separates otherwise same-named functions.
+        let mut other_unit = branch_infos(&[(While, "parse"), (If, "parse")]);
+        other_unit[0].unit = minic::UnitId(1);
+        let plan = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![false, true],
+            suppressed: Vec::new(),
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        };
+        assert!(!plan.has_partial_loop_cluster(&other_unit));
+    }
+
+    #[test]
+    fn suppression_moves_branches_out_of_the_logged_set() {
+        let (d, s) = labels();
+        // Static plan logs {0, 2, 4}; say 2 and 4 are implied by 0.
+        let p = Plan::build(Method::Static, &d, &s, 6).with_suppression([
+            (BranchId(2), BranchId(0), false),
+            (BranchId(4), BranchId(0), true),
+        ]);
+        assert_eq!(
+            p.instrumented,
+            vec![true, false, false, false, false, false]
+        );
+        assert_eq!(p.n_instrumented(), 1);
+        assert_eq!(p.n_suppressed(), 2);
+        assert!(p.covers(BranchId(0)) && !p.covers(BranchId(2)));
+        assert_eq!(
+            p.suppresses(BranchId(4)),
+            Some(Suppressed {
+                by: BranchId(0),
+                negated: true
+            })
+        );
+        // Observability = logged or suppressed; branch 1 is neither.
+        assert!(p.observes(BranchId(0)) && p.observes(BranchId(2)) && p.observes(BranchId(4)));
+        assert!(!p.observes(BranchId(1)));
+    }
+
+    #[test]
+    fn suppression_requires_the_implier_in_the_base_set() {
+        let (d, s) = labels();
+        // Static logs {0, 2, 4}: branch 1 is NOT in the base set, so an
+        // implication rooted at it must not suppress anything; nor may a
+        // non-instrumented branch (3) be suppressed.
+        let p = Plan::build(Method::Static, &d, &s, 6).with_suppression([
+            (BranchId(2), BranchId(1), false),
+            (BranchId(3), BranchId(0), false),
+        ]);
+        assert_eq!(p.n_suppressed(), 0);
+        assert_eq!(p.instrumented, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn suppression_chain_roots_at_a_logged_branch() {
+        let (d, s) = labels();
+        // 2 implied by 0, 4 implied by 2 (which is itself suppressed):
+        // both suppressions stand, because membership is checked against
+        // the BASE set — the chain bottoms out at logged branch 0.
+        let p = Plan::build(Method::Static, &d, &s, 6).with_suppression([
+            (BranchId(2), BranchId(0), false),
+            (BranchId(4), BranchId(2), true),
+        ]);
+        assert_eq!(p.n_suppressed(), 2);
+        assert_eq!(p.suppresses(BranchId(4)).unwrap().by, BranchId(2));
+        assert!(p.covers(BranchId(0)));
+    }
+
+    #[test]
+    fn suppressed_plan_roundtrips_through_serde() {
+        let (d, s) = labels();
+        let p = Plan::build(Method::Static, &d, &s, 6).with_suppression([(
+            BranchId(2),
+            BranchId(0),
+            true,
+        )]);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Plan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.suppresses(BranchId(2)).unwrap().by, BranchId(0));
+    }
+
+    #[test]
+    fn suppressed_loops_do_not_count_as_unlogged_for_the_cluster_check() {
+        use BranchKind::*;
+        let infos = branch_infos(&[(While, "parse"), (If, "parse")]);
+        // Both in the base set; the loop is suppressed (implied by the
+        // if). Replay reconstructs its bits, so the cluster is whole.
+        let plan = Plan {
+            method: Method::DynamicStatic,
+            instrumented: vec![true, true],
+            suppressed: Vec::new(),
+            log_syscalls: true,
+            format: LogFormat::Flat,
+        }
+        .with_suppression([(BranchId(0), BranchId(1), false)]);
+        assert!(!plan.has_partial_loop_cluster(&infos));
+        assert_eq!(plan.with_cursor_opt_in(&infos).format, LogFormat::Flat);
     }
 }

@@ -1,11 +1,13 @@
 //! Statement-level control-flow graphs.
 //!
-//! The static analysis ([`staticax`](https://crates.io) in this workspace)
-//! runs its fixed points over the structured AST, but the CFG is the
-//! ground truth for reachability questions: which branches can execute,
-//! which statements are dead, and how conditions relate to the paths the
-//! replay engine must distinguish. Tests also use it to validate compiler
-//! output against an independent derivation of control flow.
+//! The static analysis (the `staticax` crate in this workspace) runs its
+//! fixed points over the structured AST, but the CFG is the ground truth
+//! for reachability questions: which branches can execute, which
+//! statements are dead, and how conditions relate to the paths the
+//! replay engine must distinguish. The [`Dominators`] analysis below
+//! feeds `staticax`'s branch-implication pass. Tests also use it to
+//! validate compiler output against an independent derivation of
+//! control flow.
 
 use crate::ast::*;
 
@@ -85,6 +87,130 @@ impl Cfg {
     /// Number of edges in the graph.
     pub fn n_edges(&self) -> usize {
         self.nodes.iter().map(|n| n.succs.len()).sum()
+    }
+
+    /// Predecessor lists (inverse of `succs`).
+    pub fn preds(&self) -> Vec<Vec<NodeId>> {
+        let mut preds = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for s in &n.succs {
+                preds[s.0 as usize].push(NodeId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Dominator sets: `a` dominates `b` iff every path entry→`b` passes
+    /// through `a`.
+    pub fn dominators(&self) -> Dominators {
+        let preds = self.preds();
+        Dominators::solve(self.nodes.len(), self.entry, |n| {
+            preds[n.0 as usize].clone()
+        })
+    }
+
+    /// Post-dominator sets: `a` post-dominates `b` iff every path
+    /// `b`→exit passes through `a` (dominators of the reversed graph,
+    /// rooted at exit).
+    pub fn post_dominators(&self) -> Dominators {
+        Dominators::solve(self.nodes.len(), self.exit, |n| {
+            self.nodes[n.0 as usize].succs.clone()
+        })
+    }
+
+    /// The condition node carrying branch `bid`, if any. `For` step nodes
+    /// share the statement id but not the `Cond` kind, so the lookup is
+    /// unambiguous.
+    pub fn cond_node(&self, bid: BranchId) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Cond(b, _) if b == bid))
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Dominator (or post-dominator) sets over one [`Cfg`], solved by the
+/// classic iterative data-flow equations on bitsets:
+/// `dom(root) = {root}`, `dom(n) = {n} ∪ ⋂ dom(preds(n))`.
+///
+/// Nodes unreachable from the root keep the full set (the equation's
+/// top element); [`Dominators::dominates`] reports `false` for them so
+/// callers never derive facts about code that cannot execute.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// One bitset per node; bit `a` set in `sets[b]` means `a dom b`.
+    sets: Vec<Vec<u64>>,
+    /// Nodes reachable from the root of the solve.
+    reachable: Vec<bool>,
+}
+
+impl Dominators {
+    fn solve(n: usize, root: NodeId, preds_of: impl Fn(NodeId) -> Vec<NodeId>) -> Dominators {
+        let words = n.div_ceil(64);
+        let full = vec![u64::MAX; words];
+        let mut sets = vec![full; n];
+        let mut only_self = vec![0u64; words];
+        only_self[root.0 as usize / 64] |= 1 << (root.0 as usize % 64);
+        sets[root.0 as usize] = only_self;
+
+        // Reachability from the root along the (possibly reversed) edges
+        // the caller handed us, i.e. against the `preds_of` direction.
+        let mut succs = vec![Vec::new(); n];
+        for b in 0..n {
+            for p in preds_of(NodeId(b as u32)) {
+                succs[p.0 as usize].push(b);
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut stack = vec![root.0 as usize];
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut reachable[v], true) {
+                continue;
+            }
+            stack.extend(succs[v].iter().copied().filter(|s| !reachable[*s]));
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == root.0 as usize || !reachable[b] {
+                    continue;
+                }
+                let mut next = vec![u64::MAX; words];
+                for p in preds_of(NodeId(b as u32)) {
+                    if !reachable[p.0 as usize] {
+                        continue;
+                    }
+                    for (w, pw) in next.iter_mut().zip(&sets[p.0 as usize]) {
+                        *w &= pw;
+                    }
+                }
+                next[b / 64] |= 1 << (b % 64);
+                if next != sets[b] {
+                    sets[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { sets, reachable }
+    }
+
+    /// Does `a` dominate `b` (reflexively)? `false` when `b` is
+    /// unreachable from the solve's root.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        self.reachable[b.0 as usize]
+            && self.sets[b.0 as usize][a.0 as usize / 64] >> (a.0 as usize % 64) & 1 == 1
+    }
+
+    /// Does `a` dominate `b` with `a != b`?
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Was `n` reachable from the solve's root?
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.reachable[n.0 as usize]
     }
 }
 
@@ -397,5 +523,110 @@ mod tests {
         let cfg = cfg_of("int main() { for (;;) { break; } return 0; }");
         assert!(cfg.reachable()[cfg.exit.0 as usize]);
         assert!(cfg.reachable_branches().is_empty());
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let cfg = cfg_of("int main() { int x = 1; if (x) { x = 2; } return x; }");
+        let dom = cfg.dominators();
+        for (i, _) in cfg.nodes.iter().enumerate() {
+            let n = NodeId(i as u32);
+            if dom.is_reachable(n) {
+                assert!(dom.dominates(cfg.entry, n), "entry must dominate {n:?}");
+                assert!(dom.dominates(n, n), "dominance is reflexive at {n:?}");
+            }
+        }
+        assert!(!dom.strictly_dominates(cfg.entry, cfg.entry));
+    }
+
+    #[test]
+    fn sequential_conds_dominate_in_order() {
+        // if (x) {} if (y) {}: the first condition dominates the second,
+        // never the reverse, and neither then-body dominates the exit.
+        let cfg = cfg_of(
+            "int main() { int x = 1; int y = 2; if (x) { x = 3; } if (y) { y = 4; } return 0; }",
+        );
+        let conds: Vec<NodeId> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Cond(..)))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        assert_eq!(conds.len(), 2);
+        let dom = cfg.dominators();
+        assert!(dom.strictly_dominates(conds[0], conds[1]));
+        assert!(!dom.dominates(conds[1], conds[0]));
+        // A branch body (the `x = 3` statement) must not dominate exit.
+        let then_stmt = NodeId(conds[0].0 + 1);
+        assert!(!dom.dominates(then_stmt, cfg.exit));
+    }
+
+    #[test]
+    fn branch_body_does_not_dominate_join() {
+        let cfg = cfg_of("int main() { int x = 1; if (x) { x = 2; } else { x = 3; } return x; }");
+        let dom = cfg.dominators();
+        let cond = cfg.cond_node(BranchId(0)).unwrap();
+        // The condition dominates both arms and the exit; neither arm
+        // dominates the exit (the other arm bypasses it).
+        for s in &cfg.nodes[cond.0 as usize].succs.clone() {
+            assert!(dom.strictly_dominates(cond, *s));
+            assert!(!dom.dominates(*s, cfg.exit));
+        }
+        assert!(dom.dominates(cond, cfg.exit));
+    }
+
+    #[test]
+    fn loop_condition_dominates_body_but_not_vice_versa() {
+        let cfg = cfg_of("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+        let dom = cfg.dominators();
+        let cond = cfg.cond_node(BranchId(0)).unwrap();
+        let body: Vec<NodeId> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i > cond.0 as usize && matches!(n.kind, NodeKind::Stmt(_)) && *i != 1)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        assert!(!body.is_empty());
+        for b in body {
+            assert!(dom.strictly_dominates(cond, b));
+            assert!(
+                !dom.dominates(b, cond),
+                "back edge must not invert dominance"
+            );
+        }
+    }
+
+    #[test]
+    fn post_dominators_mirror_dominators() {
+        let cfg = cfg_of("int main() { int x = 1; if (x) { x = 2; } return x; }");
+        let pdom = cfg.post_dominators();
+        // Exit post-dominates every node that can reach it.
+        for (i, _) in cfg.nodes.iter().enumerate() {
+            let n = NodeId(i as u32);
+            if pdom.is_reachable(n) {
+                assert!(pdom.dominates(cfg.exit, n));
+            }
+        }
+        // The then-body does not post-dominate the condition (the
+        // fall-through edge bypasses it).
+        let cond = cfg.cond_node(BranchId(0)).unwrap();
+        let then_stmt = cfg.nodes[cond.0 as usize].succs[0];
+        assert!(!pdom.dominates(then_stmt, cond));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_not_dominated() {
+        let cfg = cfg_of("int main() { return 1; int x = 2; return x; }");
+        let dom = cfg.dominators();
+        let reach = cfg.reachable();
+        for (i, r) in reach.iter().enumerate() {
+            let n = NodeId(i as u32);
+            if !*r {
+                assert!(!dom.is_reachable(n));
+                assert!(!dom.dominates(cfg.entry, n));
+            }
+        }
     }
 }

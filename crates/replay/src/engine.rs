@@ -218,8 +218,8 @@ impl<'p> ReplayEngine<'p> {
     /// Runs the guided search to completion or budget exhaustion.
     ///
     /// `budget.workers <= 1` runs the fully serial engine; larger values
-    /// shard the candidate search across that many worker threads (see
-    /// [`ReplayEngine::reproduce_parallel`]). Both produce the same
+    /// shard the candidate search across that many worker threads (the
+    /// internal `reproduce_parallel` path). Both produce the same
     /// search — the parallel engine commits speculative work strictly in
     /// the serial order — so every result field except `wall_ms` and the
     /// per-worker run split is worker-count invariant.
@@ -292,8 +292,9 @@ impl<'p> ReplayEngine<'p> {
         let log_exhausted = host.log_exhausted();
         if let Some(conns) = traced_conns {
             eprintln!(
-                "run {run_no}: outcome={outcome:?} bits={} sym_logged={} sym_unlogged={} path={} div={:?} cursors={:?} conns={conns:?}",
+                "run {run_no}: outcome={outcome:?} bits={} recon={} sym_logged={} sym_unlogged={} path={} div={:?} cursors={:?} conns={conns:?}",
                 host.stats.bits_consumed,
+                host.stats.reconstructed_bits,
                 host.stats.sym_logged_execs,
                 host.stats.sym_unlogged_execs,
                 host.path.len(),

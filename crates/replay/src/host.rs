@@ -52,6 +52,13 @@ pub const SYSCALL_DIVERGENCE: &str = "syscall order diverges from log";
 /// this; the flat format must read exhaustion as "recording stopped".
 pub const CURSOR_OVERRUN: &str = "per-location stream overrun";
 
+/// Host abort reason for a violated branch implication: a suppressed
+/// branch executed before the branch that implies it. The static pass
+/// proves strict dominance, so on a sound analysis this cannot happen;
+/// like [`CURSOR_OVERRUN`] it is surfaced as its own abort string so a
+/// soundness bug is never misread as an ordinary log divergence.
+pub const IMPLICATION_VIOLATION: &str = "branch implication violated";
+
 /// Per-run statistics of a replay attempt.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayRunStats {
@@ -80,6 +87,12 @@ pub struct ReplayRunStats {
     pub concretization_ranges: u64,
     /// Concretizations pinned at emission this run.
     pub concretization_pins: u64,
+    /// Suppressed-branch executions whose recorded bit was reconstructed
+    /// from the implying branch's outcome instead of the shipped log
+    /// (deployment paid nothing for these).
+    pub reconstructed_bits: u64,
+    /// Whether the run aborted on [`IMPLICATION_VIOLATION`].
+    pub implication_violation: bool,
 }
 
 /// The replay host.
@@ -107,6 +120,10 @@ pub struct ReplayHost {
     pub concretization: Concretization,
     /// The crash site to reach.
     pub crash_loc: Loc,
+    /// Most recent outcome of every executed branch location this run —
+    /// the source the implication reconstruction reads from when a
+    /// suppressed branch executes.
+    pub last_taken: Vec<Option<bool>>,
 }
 
 impl ReplayHost {
@@ -122,6 +139,7 @@ impl ReplayHost {
         // The report may have been deserialized from external JSON; the
         // cursor lookups rely on the sorted-unique stream invariant.
         trace.normalize();
+        let last_taken = vec![None; plan.instrumented.len()];
         ReplayHost {
             arena,
             env,
@@ -134,6 +152,7 @@ impl ReplayHost {
             stats: ReplayRunStats::default(),
             concretization: Concretization::default(),
             crash_loc,
+            last_taken,
         }
     }
 
@@ -279,6 +298,66 @@ impl Host for ReplayHost {
         taken: bool,
         _loc: Loc,
     ) -> Result<u64, HostStop> {
+        // Every executed branch records its outcome: a later suppressed
+        // branch may reconstruct from it (chains stay sound because a
+        // suppressed implier got ITS outcome reconstructed first).
+        let idx = bid.0 as usize;
+        if idx >= self.last_taken.len() {
+            self.last_taken.resize(idx + 1, None);
+        }
+        self.last_taken[idx] = Some(taken);
+
+        // Suppressed branch: deployment paid no log bit here, so no bit
+        // is consumed — the recorded outcome is reconstructed from the
+        // implying branch's most recent execution instead.
+        if let Some(sup) = self.plan.suppresses(bid) {
+            let by_taken = match self.last_taken.get(sup.by.0 as usize).copied().flatten() {
+                Some(t) => t,
+                None => {
+                    self.stats.implication_violation = true;
+                    return Err(HostStop::Abort(IMPLICATION_VIOLATION.to_string()));
+                }
+            };
+            let implied = by_taken ^ sup.negated;
+            self.stats.reconstructed_bits += 1;
+            if taken == implied {
+                // Agreement (the only outcome a sound implication can
+                // produce, since it holds on EVERY execution). A
+                // symbolic condition still joins the path condition so
+                // candidate inputs keep satisfying it.
+                if let Some(e) = cond.1 {
+                    self.path.push(PathStep {
+                        lit: Lit {
+                            expr: *e,
+                            positive: taken,
+                        },
+                        range: None,
+                        origin: StepOrigin::Branch(bid),
+                        taken,
+                    });
+                }
+                return Ok(0);
+            }
+            // Defensive mismatch handling, mirroring cases 2(b)/3(b).
+            // There is no recorded stream for this location, so
+            // `divergent_cursor` stays `None` — the per-location repair
+            // machinery has nothing to key on here.
+            self.stats.divergent_branch = Some((bid.0, cond.1.is_some()));
+            if let Some(e) = cond.1 {
+                self.path.push(PathStep {
+                    lit: Lit {
+                        expr: *e,
+                        positive: implied,
+                    },
+                    range: None,
+                    origin: StepOrigin::Branch(bid),
+                    taken: implied,
+                });
+                self.stats.forced_abort = true;
+            }
+            return Err(self.divergence());
+        }
+
         let symbolic = cond.1.is_some();
         let instrumented = self.plan.covers(bid);
         match (symbolic, instrumented) {

@@ -34,7 +34,10 @@ pub mod stats;
 
 pub use engine::{ReplayBudget, ReplayConfig, ReplayEngine, ReplayResult};
 pub use env::{realize_streams, ReplayEnv, Streams, SyscallMode};
-pub use host::{ReplayHost, ReplayRunStats, BRANCH_DIVERGENCE, REACHED_CRASH_SITE};
+pub use host::{
+    ReplayHost, ReplayRunStats, BRANCH_DIVERGENCE, CURSOR_OVERRUN, IMPLICATION_VIOLATION,
+    REACHED_CRASH_SITE,
+};
 pub use stats::{assignment_from_input, InputParts, LogStats};
 
 #[cfg(test)]
@@ -84,7 +87,7 @@ mod e2e {
         let sres = staticax::analyze(&cp, &staticax::StaticConfig::default());
 
         // Plan.
-        let mut plan = Plan::build(method, &dyn_labels, &sres.symbolic, cp.n_branches());
+        let mut plan = Plan::build(method, &dyn_labels, sres.symbolic(), cp.n_branches());
         plan.log_syscalls = log_syscalls;
 
         // Deployment run on the true input.
@@ -168,6 +171,88 @@ mod e2e {
         );
         assert!(res.reproduced);
         assert_eq!(&res.witness_argv.unwrap()[1][..3], b"cr8");
+    }
+
+    /// Retest-shaped program: the inner `if (c == 'c')` is implied by
+    /// the outer one, so the static pass lets the plan suppress its
+    /// log bit and replay reconstructs it.
+    const RETEST_CRASH: &str = r#"
+        int main(int argc, char **argv) {
+            char *s = argv[1];
+            int c = s[0];
+            if (c == 'c') {
+                if (c == 'c') {
+                    if (s[1] == '8') {
+                        int *p = 0;
+                        return *p;
+                    }
+                }
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn suppressed_plan_reconstructs_bits_and_reproduces() {
+        let cp = build(&[("main", RETEST_CRASH)]).unwrap();
+        let spec = InputSpec::argv_symbolic("prog", 1, 2);
+        let true_parts = InputParts {
+            argv_sym: vec![b"c8".to_vec()],
+            ..InputParts::default()
+        };
+
+        let sres = staticax::analyze(&cp, &staticax::StaticConfig::default());
+        assert_eq!(sres.implications.n_implied(), 1, "inner retest is implied");
+        let dyn_labels = vec![DynLabel::Unvisited; cp.n_branches()];
+        let full = Plan::build(
+            Method::Static,
+            &dyn_labels,
+            sres.symbolic(),
+            cp.n_branches(),
+        );
+        let sup_plan = full
+            .clone()
+            .with_suppression(sres.implications.iter().map(|(b, i)| (b, i.by, i.negated)));
+        assert_eq!(sup_plan.n_suppressed(), 1);
+
+        // Deploy both plans on the true crashing input.
+        let mut arena = ExprArena::new();
+        let vars = InputVars::alloc(&mut arena, &spec);
+        let assignment = assignment_from_input(&spec, &true_parts);
+        let (argv, kcfg) = realize(&spec, &vars, &assignment, &KernelConfig::default());
+        let deploy = |plan: &Plan| {
+            let host = LoggingHost::new(Kernel::new(kcfg.clone()), plan.clone());
+            let mut vm = Vm::new(&cp, host);
+            let outcome = vm.run(&argv);
+            let crash = outcome.crash().expect("true input crashes").clone();
+            (vm.host.suppressed_execs, BugReport::capture(vm.host, crash))
+        };
+        let (full_sup_execs, full_report) = deploy(&full);
+        let (sup_execs, sup_report) = deploy(&sup_plan);
+        assert_eq!(full_sup_execs, 0, "the full plan suppresses nothing");
+        assert_eq!(sup_execs, 1, "the retest executed once, unlogged");
+        assert_eq!(
+            full_report.trace.len(),
+            sup_report.trace.len() + 1,
+            "exactly the suppressed bit left the shipped log"
+        );
+
+        // Replay both: identical search behavior, and the suppressed
+        // run reconstructs the missing bit instead of consuming one.
+        let mut rcfg = ReplayConfig::new(spec);
+        rcfg.budget.max_runs = 64;
+        let res_full = ReplayEngine::new(&cp, full, full_report, rcfg.clone()).reproduce();
+        let res_sup = ReplayEngine::new(&cp, sup_plan, sup_report, rcfg).reproduce();
+        assert!(res_full.reproduced && res_sup.reproduced);
+        assert_eq!(res_full.runs, res_sup.runs, "suppression is search-neutral");
+        assert_eq!(&res_sup.witness_argv.unwrap()[1][..2], b"c8");
+        assert!(
+            res_sup.last_run_stats.reconstructed_bits >= 1,
+            "the winning run reconstructed the suppressed bit: {:?}",
+            res_sup.last_run_stats
+        );
+        assert!(!res_sup.last_run_stats.implication_violation);
+        assert_eq!(res_full.last_run_stats.reconstructed_bits, 0);
     }
 
     #[test]
@@ -427,6 +512,7 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };
@@ -505,6 +591,7 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };
@@ -703,6 +790,7 @@ mod e2e {
         let base_plan = Plan {
             method: Method::DynamicStatic,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };
@@ -1034,6 +1122,7 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };
@@ -1133,6 +1222,7 @@ mod e2e {
             let plan = Plan {
                 method: Method::Dynamic,
                 instrumented,
+                suppressed: Vec::new(),
                 log_syscalls: true,
                 format: instrument::LogFormat::Flat,
             };

@@ -123,6 +123,7 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![true, false, true, false],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
         };

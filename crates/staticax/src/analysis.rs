@@ -4,6 +4,7 @@
 //! branch locations the *static* instrumentation method logs (§2.2 +
 //! §2.3 of the paper).
 
+use crate::implication::{self, ImplicationMap};
 use crate::pointsto::{self, PointsTo};
 use crate::taint::{self, TaintResult};
 use minic::check::Program;
@@ -22,18 +23,27 @@ pub struct StaticConfig {
 /// The static analysis verdict for a whole program.
 #[derive(Debug)]
 pub struct StaticResult {
-    /// Per branch location: does the static analysis label it symbolic?
-    pub symbolic: Vec<bool>,
     /// Underlying points-to relation (for inspection/tests).
     pub points_to: PointsTo,
-    /// Underlying taint result.
+    /// Underlying taint result. The per-branch symbolic labels live
+    /// here — [`StaticResult::symbolic`] borrows them, so the two views
+    /// cannot disagree.
     pub taint: TaintResult,
+    /// Branch-implication table: which branch outcomes are determined
+    /// by an earlier, dominating branch (log-bit suppression input).
+    pub implications: ImplicationMap,
 }
 
 impl StaticResult {
+    /// Per branch location: does the static analysis label it symbolic?
+    /// A view into the taint result — the single source of the labels.
+    pub fn symbolic(&self) -> &[bool] {
+        &self.taint.symbolic_branches
+    }
+
     /// Branch ids labeled symbolic.
     pub fn symbolic_branches(&self) -> Vec<BranchId> {
-        self.symbolic
+        self.symbolic()
             .iter()
             .enumerate()
             .filter(|(_, s)| **s)
@@ -43,7 +53,13 @@ impl StaticResult {
 
     /// Number of branches labeled symbolic.
     pub fn n_symbolic(&self) -> usize {
-        self.taint.n_symbolic()
+        let n = self.taint.n_symbolic();
+        debug_assert_eq!(
+            n,
+            self.symbolic().iter().filter(|s| **s).count(),
+            "the count and the labels come from the same taint result"
+        );
+        n
     }
 }
 
@@ -51,10 +67,11 @@ impl StaticResult {
 pub fn analyze_program(prog: &Program, cfg: &StaticConfig) -> StaticResult {
     let points_to = pointsto::analyze(prog, &cfg.exclude_units);
     let taint = taint::analyze(prog, &points_to, &cfg.exclude_units);
+    let implications = implication::analyze(&prog.ast);
     StaticResult {
-        symbolic: taint.symbolic_branches.clone(),
         points_to,
         taint,
+        implications,
     }
 }
 
@@ -79,8 +96,25 @@ mod tests {
         "#;
         let cp = build(&[("main", src)]).unwrap();
         let r = analyze(&cp, &StaticConfig::default());
-        assert_eq!(r.symbolic, vec![true, false]);
+        assert_eq!(r.symbolic(), &[true, false]);
         assert_eq!(r.symbolic_branches(), vec![minic::BranchId(0)]);
+    }
+
+    #[test]
+    fn symbolic_views_agree_by_construction() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                if (argv[1][0]) { return 1; }
+                if (argc > 1) { return 2; }
+                if (3 > 2) { return 3; }
+                return 0;
+            }
+        "#;
+        let cp = build(&[("main", src)]).unwrap();
+        let r = analyze(&cp, &StaticConfig::default());
+        assert_eq!(r.symbolic(), r.taint.symbolic_branches.as_slice());
+        assert_eq!(r.n_symbolic(), r.symbolic().iter().filter(|s| **s).count());
+        assert_eq!(r.n_symbolic(), r.symbolic_branches().len());
     }
 
     #[test]
@@ -97,6 +131,6 @@ mod tests {
             exclude_units: vec![minic::UnitId(0)],
         };
         let r = analyze(&cp, &cfg);
-        assert!(r.symbolic[0], "library branch forced symbolic");
+        assert!(r.symbolic()[0], "library branch forced symbolic");
     }
 }

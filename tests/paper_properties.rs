@@ -71,6 +71,7 @@ proptest! {
         let plan = Plan {
             method: Method::AllBranches,
             instrumented: vec![true; n],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: retrace::instrument::LogFormat::Flat,
         };
@@ -103,6 +104,7 @@ proptest! {
         let plan = Plan {
             method: Method::AllBranches,
             instrumented: vec![true; n],
+            suppressed: Vec::new(),
             log_syscalls: true,
             format: retrace::instrument::LogFormat::Flat,
         };
