@@ -1,6 +1,8 @@
 //! Criterion: end-to-end guided replay latency (the Table 1/3 quantity
 //! as wall time) on the guarded-crash pattern at two instrumentation
-//! levels.
+//! levels, each with the path-prefix solve cache on and off, plus the
+//! uServer exp-4 combined-row before/after measurement (the grind row
+//! the cache targets).
 
 use concolic::{realize, InputSpec, InputVars};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -8,6 +10,8 @@ use instrument::{BugReport, DynLabel, LoggingHost, Method, Plan};
 use minic::vm::Vm;
 use oskit::{Kernel, KernelConfig};
 use replay::{assignment_from_input, InputParts, ReplayConfig, ReplayEngine};
+use retrace_bench::fixtures::{userver_analysis, userver_experiment, userver_replay, Knobs};
+use retrace_bench::setup::Coverage;
 use solver::ExprArena;
 
 const SRC: &str = r#"
@@ -60,15 +64,46 @@ fn bench_replay(c: &mut Criterion) {
             Plan::none(n)
         };
         let report = capture(&cp, &plan);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut rcfg = ReplayConfig::new(InputSpec::argv_symbolic("prog", 1, 3));
-                rcfg.budget.max_runs = 400;
-                ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce()
-            })
-        });
+        for (leg, cache) in [("cache_on", true), ("cache_off", false)] {
+            group.bench_function(format!("{name}/{leg}"), |b| {
+                b.iter(|| {
+                    let mut rcfg = ReplayConfig::new(InputSpec::argv_symbolic("prog", 1, 3));
+                    rcfg.budget.max_runs = 400;
+                    rcfg.budget.prefix_cache = cache;
+                    ReplayEngine::new(&cp, plan.clone(), report.clone(), rcfg).reproduce()
+                })
+            });
+        }
     }
     group.finish();
+    exp4_cache_measurement();
+}
+
+/// The ISSUE's before/after surface: the uServer exp-4 combined row —
+/// the 298-run grind every cursor-format PR has been chipping at — once
+/// with the prefix cache off and once with it on. The deterministic
+/// columns (runs, solver calls) are bit-identical by construction; only
+/// the wall time and the cache ledger move.
+fn exp4_cache_measurement() {
+    println!("\nexp-4 combined row (dynamic+static lc, budget 300): prefix cache before/after");
+    let abench = userver_analysis(Knobs::default());
+    let bundle = abench.wb.analyze(Coverage::Lc.runs());
+    for cache in [false, true] {
+        let exp = userver_experiment(4, Knobs { workers: 1, cache });
+        let (res, _) = userver_replay(&exp, Method::DynamicStatic, &bundle, 300);
+        println!(
+            "  cache {}: reproduced={} runs={} solver_calls={} wall={}ms \
+             hits={}/{} lits_saved={}",
+            if cache { "on " } else { "off" },
+            res.reproduced,
+            res.runs,
+            res.solver_calls,
+            res.wall_ms,
+            res.cache_hits,
+            res.cache_hits + res.cache_misses,
+            res.prefix_len_saved,
+        );
+    }
 }
 
 criterion_group!(benches, bench_replay);

@@ -2,7 +2,10 @@
 //! generate (byte equalities, inequality bands, linear atoi chains).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use solver::{solve, ConstraintSet, ExprArena, Lit, Op, SolveCfg, VarInfo};
+use solver::{
+    solve, solve_with_stats_cached, ConstraintSet, ExprArena, Lit, Op, PrefixCache, SolveCfg,
+    VarInfo,
+};
 
 fn byte_equalities(n: usize) -> (ExprArena, ConstraintSet) {
     let mut arena = ExprArena::new();
@@ -55,6 +58,30 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("atoi_3digit", |b| {
         b.iter(|| solve(&arena, &cs, None, &SolveCfg::default()))
     });
+    // Prefix-cache legs: the engine's negate-at-depth candidate shape —
+    // the first n-1 literals are a witnessed (registered) path prefix,
+    // only the negated tail diverges. `warm` starts from the banked
+    // prefix; `cold` re-checks every literal. Verdicts are identical.
+    for n in [32usize, 64] {
+        let (arena, cs) = byte_equalities(n);
+        let mut cache = PrefixCache::new();
+        cache.register_path(&arena, &cs.lits, &[]);
+        let mut cand = cs.clone();
+        cand.lits.last_mut().unwrap().positive = false;
+        for (name, cached) in [("cold", false), ("warm", true)] {
+            group.bench_function(format!("negate_tail_{n}/{name}"), |b| {
+                b.iter(|| {
+                    solve_with_stats_cached(
+                        &arena,
+                        &cand,
+                        None,
+                        &SolveCfg::default(),
+                        cached.then_some(&cache),
+                    )
+                })
+            });
+        }
+    }
     group.finish();
 }
 

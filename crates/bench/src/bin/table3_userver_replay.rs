@@ -19,8 +19,10 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(300);
     let workers = retrace_bench::workers_arg();
+    let cache = retrace_bench::cache_arg();
     let mut abench = userver_analysis_bench(42);
     abench.wb.workers = workers;
+    abench.wb.cache = cache;
     let bundles = analyze_coverages(&abench.wb);
     println!("{}", analysis_summary("LC", &bundles.lc));
     println!("{}", analysis_summary("HC", &bundles.hc));
@@ -62,6 +64,7 @@ fn main() {
     let mut t4 = Vec::new();
     for mut exp_def in userver_experiments(42) {
         exp_def.wb.workers = workers;
+        exp_def.wb.cache = cache;
         for (name, method, cov, suppress) in &configs {
             let bundle = match cov {
                 Coverage::Lc => &bundles.lc,
@@ -88,6 +91,7 @@ fn main() {
                 format!("{} / {}", row.syscall_divergences, row.frontier_restarts),
                 row.concretization_cell(),
                 row.repair_cell(),
+                row.cache_cell(),
             ]);
             t4.push(vec![
                 format!("exp {exp_id}"),
@@ -102,8 +106,9 @@ fn main() {
         "{}",
         render::table(
             &format!(
-                "Table 3: uServer bug reproduction (budget {budget} runs, {workers} worker{}; ∞ = timeout)",
-                if workers == 1 { "" } else { "s" }
+                "Table 3: uServer bug reproduction (budget {budget} runs, {workers} worker{}, cache {}; ∞ = timeout)",
+                if workers == 1 { "" } else { "s" },
+                if cache { "on" } else { "off" }
             ),
             &[
                 "experiment",
@@ -114,6 +119,7 @@ fn main() {
                 "sysdiv / restarts",
                 "conc rng/pin+fb",
                 "repairs",
+                "prefix cache",
             ],
             &t3,
         )

@@ -141,6 +141,9 @@ pub fn replay_one(
             cursor_locations: run.cursor_locations,
             cursor_spend_units: run.cursor_spend_units,
             suppressed_bits: run.suppressed_execs,
+            cache_hits: result.cache_hits,
+            cache_misses: result.cache_misses,
+            prefix_len_saved: result.prefix_len_saved,
         },
         stats,
         transfer,

@@ -1,0 +1,246 @@
+//! Shared test fixtures for the bench suites.
+//!
+//! The golden-table checks, the worker-invariance suite, the cache-
+//! invariance suite and the combined-row/thrash guards all exercise the
+//! same deterministic replay chains (uServer exp 1, the guarded crash,
+//! the combined rows). This module is the one place that derives them,
+//! so a rendering or setup change cannot silently fork between suites
+//! — and so every suite can dial the engine knobs (`workers`, `cache`)
+//! explicitly instead of re-deriving the workbench by hand.
+
+use crate::experiments::userver_analysis_bench;
+use crate::render;
+use crate::setup::{userver_experiments, Coverage, Experiment};
+use instrument::{LogFormat, Method};
+use retrace_core::metrics::{cache_cell, spend_cell};
+use retrace_core::AnalysisBundle;
+use std::path::PathBuf;
+
+/// Engine knobs every fixture threads into the workbenches it builds.
+/// Goldens are pinned at the defaults (`workers: 1`, `cache: true`);
+/// the invariance suites re-render at other knob values and demand the
+/// identical deterministic columns.
+#[derive(Debug, Clone, Copy)]
+pub struct Knobs {
+    /// Worker threads for both engines.
+    pub workers: usize,
+    /// Path-prefix solve cache on/off.
+    pub cache: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            workers: 1,
+            cache: true,
+        }
+    }
+}
+
+impl Knobs {
+    /// Knobs at a worker count, cache on (the golden configuration).
+    pub fn workers(workers: usize) -> Self {
+        Knobs {
+            workers,
+            ..Knobs::default()
+        }
+    }
+
+    /// Applies the knobs to an experiment's workbench.
+    pub fn apply(&self, exp: &mut Experiment) {
+        exp.wb.workers = self.workers;
+        exp.wb.cache = self.cache;
+    }
+}
+
+/// The committed golden file path for `name`.
+fn golden_path(name: &str) -> PathBuf {
+    [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect()
+}
+
+/// Reads a committed golden file, failing with a regeneration hint.
+pub fn read_golden(name: &str) -> String {
+    std::fs::read_to_string(golden_path(name)).unwrap_or_else(|e| {
+        panic!("missing golden file {name} ({e}); run golden_tables with UPDATE_GOLDEN=1")
+    })
+}
+
+/// Compares `actual` against the committed golden `name`, or rewrites
+/// the golden when `UPDATE_GOLDEN` is set.
+pub fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = read_golden(name);
+    assert_eq!(
+        actual, &expected,
+        "\n== table drifted from golden {name} ==\n--- actual ---\n{actual}\n--- expected ---\n{expected}\n\
+         (intentional? regenerate with UPDATE_GOLDEN=1)"
+    );
+}
+
+/// The uServer scenario `id` experiment with the knobs applied.
+pub fn userver_experiment(id: usize, knobs: Knobs) -> Experiment {
+    let mut exp = userver_experiments(42)
+        .into_iter()
+        .find(|e| e.name.ends_with(&format!(" {id}")))
+        .expect("scenario exists");
+    knobs.apply(&mut exp);
+    exp
+}
+
+/// The standard uServer analysis workbench (seed 42) with the knobs
+/// applied.
+pub fn userver_analysis(knobs: Knobs) -> Experiment {
+    let mut abench = userver_analysis_bench(42);
+    knobs.apply(&mut abench);
+    abench
+}
+
+/// One uServer replay chain: plan under `method`, deploy, capture the
+/// crash, replay under `budget`. Returns the result and the plan's log
+/// format (the combined-row guards assert the cursor opt-in).
+pub fn userver_replay(
+    exp: &Experiment,
+    method: Method,
+    bundle: &AnalysisBundle,
+    budget: usize,
+) -> (replay::ReplayResult, LogFormat) {
+    let plan = exp.wb.plan(method, bundle);
+    let format = plan.format;
+    let run = exp.wb.logged_run(&plan, &exp.parts);
+    let report = run.report.expect("deployment crashes");
+    (exp.wb.replay(&plan, &report, budget), format)
+}
+
+/// Renders the uServer exp-1 Table 3 analogue (deterministic columns;
+/// wall masked) at the given knobs — the rendering the committed golden
+/// `userver_exp1_replay.txt` pins at the default knobs.
+pub fn exp1_replay_table(knobs: Knobs) -> String {
+    let abench = userver_analysis(knobs);
+    let bundle = abench.wb.analyze(Coverage::Lc.runs());
+    let exp = userver_experiment(1, knobs);
+    let mut rows = Vec::new();
+    for (name, method, suppress) in [
+        ("dynamic (lc)", Method::Dynamic, false),
+        ("dynamic+static (lc)", Method::DynamicStatic, false),
+        ("dynamic+static+impl (lc)", Method::DynamicStatic, true),
+        ("static", Method::Static, false),
+        ("static+impl", Method::Static, true),
+        ("all branches", Method::AllBranches, false),
+    ] {
+        let plan = if suppress {
+            exp.wb.plan_suppressed(method, &bundle)
+        } else {
+            exp.wb.plan(method, &bundle)
+        };
+        let run = exp.wb.logged_run(&plan, &exp.parts);
+        let report = run.report.expect("deployment crashes");
+        let res = exp.wb.replay(&plan, &report, 300);
+        let spend = spend_cell(
+            run.log_bits,
+            run.cursor_locations,
+            run.cursor_spend_units,
+            run.suppressed_execs,
+        );
+        rows.push(vec![
+            name.to_string(),
+            if res.reproduced { "yes" } else { "∞" }.to_string(),
+            res.runs.to_string(),
+            res.solver_calls.to_string(),
+            res.total_instrs.to_string(),
+            spend,
+            format!(
+                "{}/{}+{}",
+                res.concretization_ranges, res.concretization_pins, res.pin_fallbacks
+            ),
+            format!(
+                "{}({})",
+                res.frontier.repairs_scheduled, res.frontier.repair_cutoffs
+            ),
+            cache_cell(res.cache_hits, res.cache_misses, res.prefix_len_saved),
+        ]);
+    }
+    render::table(
+        "uServer exp 1: bug reproduction (deterministic columns; wall masked)",
+        &[
+            "config",
+            "reproduced",
+            "runs",
+            "solver calls",
+            "instrs",
+            "instr spend",
+            "conc rng/pin+fb",
+            "repairs",
+            "prefix cache",
+        ],
+        &rows,
+    )
+}
+
+/// The guarded-crash source the replay goldens and invariance suites
+/// share (two equality guards in front of a null dereference).
+pub const GUARDED_CRASH_SRC: &str = r#"
+    int main(int argc, char **argv) {
+        char *s = argv[1];
+        if (s[0] == 'c') {
+            if (s[1] == 'r') {
+                int *p = 0;
+                return *p;
+            }
+        }
+        return 0;
+    }
+"#;
+
+/// Renders the guarded-crash Table 3 analogue (deterministic columns)
+/// at the given knobs — the rendering the committed golden
+/// `guarded_replay.txt` pins at the default knobs.
+pub fn guarded_crash_table(knobs: Knobs) -> String {
+    let cp = minic::build(&[("main", GUARDED_CRASH_SRC)]).expect("compiles");
+    let mut wb = retrace_core::Workbench::new(cp, concolic::InputSpec::argv_symbolic("prog", 1, 2));
+    wb.workers = knobs.workers;
+    wb.cache = knobs.cache;
+    let bundle = wb.analyze(16);
+    let parts = replay::InputParts {
+        argv_sym: vec![b"cr".to_vec()],
+        ..replay::InputParts::default()
+    };
+    let mut rows = Vec::new();
+    for (name, method) in [
+        ("dynamic", Method::Dynamic),
+        ("dynamic+static", Method::DynamicStatic),
+        ("static", Method::Static),
+        ("all branches", Method::AllBranches),
+    ] {
+        let plan = wb.plan(method, &bundle);
+        let run = wb.logged_run(&plan, &parts);
+        let report = run.report.expect("'cr' input crashes");
+        let res = wb.replay(&plan, &report, 64);
+        rows.push(vec![
+            name.to_string(),
+            if res.reproduced { "yes" } else { "∞" }.to_string(),
+            res.runs.to_string(),
+            res.solver_calls.to_string(),
+            res.total_instrs.to_string(),
+            cache_cell(res.cache_hits, res.cache_misses, res.prefix_len_saved),
+        ]);
+    }
+    render::table(
+        "guarded crash: bug reproduction (deterministic columns)",
+        &[
+            "config",
+            "reproduced",
+            "runs",
+            "solver calls",
+            "instrs",
+            "prefix cache",
+        ],
+        &rows,
+    )
+}

@@ -17,17 +17,24 @@
 //! shrink further; it must at minimum stay finite.
 
 use instrument::{LogFormat, Method};
-use retrace_bench::experiments::{analyze_coverages, userver_analysis_bench};
-use retrace_bench::setup::{userver_experiments, Experiment};
+use retrace_bench::experiments::analyze_coverages;
+use retrace_bench::fixtures::{userver_analysis, userver_experiment, userver_replay, Knobs};
+use retrace_bench::setup::Experiment;
 
 /// The standard Table 3 budget.
 const BUDGET: usize = 300;
 
+/// Engine knobs for this suite: serial, with the prefix cache taken
+/// from `RETRACE_CACHE` so CI's cache-off leg reruns the same bounds.
+fn knobs() -> Knobs {
+    Knobs {
+        workers: 1,
+        cache: retrace_bench::cache_env(),
+    }
+}
+
 fn experiment(id: usize) -> Experiment {
-    userver_experiments(42)
-        .into_iter()
-        .find(|e| e.name.ends_with(&format!(" {id}")))
-        .expect("scenario exists")
+    userver_experiment(id, knobs())
 }
 
 fn replay(
@@ -35,16 +42,12 @@ fn replay(
     method: Method,
     bundle: &retrace_core::AnalysisBundle,
 ) -> (replay::ReplayResult, LogFormat) {
-    let plan = exp.wb.plan(method, bundle);
-    let format = plan.format;
-    let run = exp.wb.logged_run(&plan, &exp.parts);
-    let report = run.report.expect("deployment crashes");
-    (exp.wb.replay(&plan, &report, BUDGET), format)
+    userver_replay(exp, method, bundle, BUDGET)
 }
 
 #[test]
 fn combined_rows_are_finite_under_the_standard_budget() {
-    let abench = userver_analysis_bench(42);
+    let abench = userver_analysis(knobs());
     let bundles = analyze_coverages(&abench.wb);
     // Measured run counts at introduction, with regression headroom.
     // (exp, lc bound, hc bound); exp 1 is the fast scenario.
@@ -96,7 +99,7 @@ fn combined_rows_are_finite_under_the_standard_budget() {
 
 #[test]
 fn healthy_rows_keep_their_flat_baselines() {
-    let abench = userver_analysis_bench(42);
+    let abench = userver_analysis(knobs());
     let bundles = analyze_coverages(&abench.wb);
     let exp = experiment(2);
     // The single-analysis and fully-logged configurations stay on the

@@ -3,7 +3,10 @@
 //!
 //! Each test renders a table from a fully deterministic experiment
 //! (seeded analysis, seeded replay, no wall-clock columns) and compares
-//! it byte-for-byte against a committed golden file. Regenerate with:
+//! it byte-for-byte against a committed golden file. The replay tables
+//! are built by `retrace_bench::fixtures` — the same single definition
+//! the worker- and cache-invariance suites re-render at other engine
+//! knob settings. Regenerate with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p retrace-bench --test golden_tables
@@ -11,31 +14,9 @@
 
 use instrument::Method;
 use retrace_bench::experiments::{analyze_coverages, userver_analysis_bench};
+use retrace_bench::fixtures::{check_golden, exp1_replay_table, guarded_crash_table, Knobs};
 use retrace_bench::render;
-use retrace_bench::setup::{fib, userver_experiments, Coverage};
-use std::path::PathBuf;
-
-fn check_golden(name: &str, actual: &str) {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
-        .iter()
-        .collect();
-    if std::env::var("UPDATE_GOLDEN").is_ok() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, actual).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
-            name
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "\n== table drifted from golden {name} ==\n--- actual ---\n{actual}\n--- expected ---\n{expected}\n\
-         (intentional? regenerate with UPDATE_GOLDEN=1)"
-    );
-}
+use retrace_bench::setup::{fib, Coverage};
 
 /// Pure rendering shape: alignment, rule, header — no experiment values.
 #[test]
@@ -115,120 +96,20 @@ fn userver_location_table_matches_golden() {
 
 /// The real uServer Table 3, experiment 1 (the fast scenario): replay
 /// effort per configuration with the wall-clock column masked — runs,
-/// solver calls, instructions, and the new concretization/repair
-/// counters are deterministic.
+/// solver calls, instructions, the concretization/repair counters and
+/// the prefix-cache ledger are deterministic.
 #[test]
 fn userver_exp1_replay_table_matches_golden() {
-    let abench = userver_analysis_bench(42);
-    let bundle = abench.wb.analyze(Coverage::Lc.runs());
-    let exp = userver_experiments(42)
-        .into_iter()
-        .find(|e| e.name.ends_with(" 1"))
-        .expect("exp 1 exists");
-    let mut rows = Vec::new();
-    for (name, method, suppress) in [
-        ("dynamic (lc)", Method::Dynamic, false),
-        ("dynamic+static (lc)", Method::DynamicStatic, false),
-        ("dynamic+static+impl (lc)", Method::DynamicStatic, true),
-        ("static", Method::Static, false),
-        ("static+impl", Method::Static, true),
-        ("all branches", Method::AllBranches, false),
-    ] {
-        let plan = if suppress {
-            exp.wb.plan_suppressed(method, &bundle)
-        } else {
-            exp.wb.plan(method, &bundle)
-        };
-        let run = exp.wb.logged_run(&plan, &exp.parts);
-        let report = run.report.expect("deployment crashes");
-        let res = exp.wb.replay(&plan, &report, 300);
-        let spend = retrace_core::metrics::spend_cell(
-            run.log_bits,
-            run.cursor_locations,
-            run.cursor_spend_units,
-            run.suppressed_execs,
-        );
-        rows.push(vec![
-            name.to_string(),
-            if res.reproduced { "yes" } else { "∞" }.to_string(),
-            res.runs.to_string(),
-            res.solver_calls.to_string(),
-            res.total_instrs.to_string(),
-            spend,
-            format!(
-                "{}/{}+{}",
-                res.concretization_ranges, res.concretization_pins, res.pin_fallbacks
-            ),
-            format!(
-                "{}({})",
-                res.frontier.repairs_scheduled, res.frontier.repair_cutoffs
-            ),
-        ]);
-    }
-    let t = render::table(
-        "uServer exp 1: bug reproduction (deterministic columns; wall masked)",
-        &[
-            "config",
-            "reproduced",
-            "runs",
-            "solver calls",
-            "instrs",
-            "instr spend",
-            "conc rng/pin+fb",
-            "repairs",
-        ],
-        &rows,
+    check_golden(
+        "userver_exp1_replay.txt",
+        &exp1_replay_table(Knobs::default()),
     );
-    check_golden("userver_exp1_replay.txt", &t);
 }
 
 /// Table 3 analogue on a guarded crash: replay effort per configuration,
-/// using only deterministic columns (runs, solver calls, VM instructions
-/// — no wall-clock).
+/// using only deterministic columns (runs, solver calls, VM instructions,
+/// prefix-cache ledger — no wall-clock).
 #[test]
 fn guarded_crash_replay_table_matches_golden() {
-    let src = r#"
-        int main(int argc, char **argv) {
-            char *s = argv[1];
-            if (s[0] == 'c') {
-                if (s[1] == 'r') {
-                    int *p = 0;
-                    return *p;
-                }
-            }
-            return 0;
-        }
-    "#;
-    let cp = minic::build(&[("main", src)]).expect("compiles");
-    let wb = retrace_core::Workbench::new(cp, concolic::InputSpec::argv_symbolic("prog", 1, 2));
-    let bundle = wb.analyze(16);
-    let parts = replay::InputParts {
-        argv_sym: vec![b"cr".to_vec()],
-        ..replay::InputParts::default()
-    };
-    let mut rows = Vec::new();
-    for (name, method) in [
-        ("dynamic", Method::Dynamic),
-        ("dynamic+static", Method::DynamicStatic),
-        ("static", Method::Static),
-        ("all branches", Method::AllBranches),
-    ] {
-        let plan = wb.plan(method, &bundle);
-        let run = wb.logged_run(&plan, &parts);
-        let report = run.report.expect("'cr' input crashes");
-        let res = wb.replay(&plan, &report, 64);
-        rows.push(vec![
-            name.to_string(),
-            if res.reproduced { "yes" } else { "∞" }.to_string(),
-            res.runs.to_string(),
-            res.solver_calls.to_string(),
-            res.total_instrs.to_string(),
-        ]);
-    }
-    let t = render::table(
-        "guarded crash: bug reproduction (deterministic columns)",
-        &["config", "reproduced", "runs", "solver calls", "instrs"],
-        &rows,
-    );
-    check_golden("guarded_replay.txt", &t);
+    check_golden("guarded_replay.txt", &guarded_crash_table(Knobs::default()));
 }

@@ -16,24 +16,30 @@
 //! back toward the old grind is caught even before it reaches ∞.
 
 use instrument::Method;
-use retrace_bench::experiments::userver_analysis_bench;
-use retrace_bench::setup::{userver_experiments, Coverage};
+use retrace_bench::fixtures::{userver_analysis, userver_experiment, Knobs};
+use retrace_bench::setup::Coverage;
 
 /// Replay budget: enough for the healthy row several times over, and
 /// enough for the pathological row to exhibit (bounded) thrash, while
 /// staying debug-test feasible. The full Table 3 runs at 300.
 const BUDGET: usize = 150;
 
+/// Serial knobs, with the prefix cache taken from `RETRACE_CACHE` so
+/// CI's cache-off leg reruns the same cost envelopes.
+fn knobs() -> Knobs {
+    Knobs {
+        workers: 1,
+        cache: retrace_bench::cache_env(),
+    }
+}
+
 fn exp2() -> retrace_bench::setup::Experiment {
-    userver_experiments(42)
-        .into_iter()
-        .find(|e| e.name.ends_with(" 2"))
-        .expect("exp 2 exists")
+    userver_experiment(2, knobs())
 }
 
 #[test]
 fn dynamic_row_stays_finite_with_low_unsat_ratio() {
-    let abench = userver_analysis_bench(42);
+    let abench = userver_analysis(knobs());
     let bundle = abench.wb.analyze(Coverage::Lc.runs());
     let exp = exp2();
     let plan = exp.wb.plan(Method::Dynamic, &bundle);
@@ -63,7 +69,7 @@ fn dynamic_row_stays_finite_with_low_unsat_ratio() {
 
 #[test]
 fn combined_row_search_cost_is_bounded() {
-    let abench = userver_analysis_bench(42);
+    let abench = userver_analysis(knobs());
     let bundle = abench.wb.analyze(Coverage::Lc.runs());
     let exp = exp2();
     let plan = exp.wb.plan(Method::DynamicStatic, &bundle);

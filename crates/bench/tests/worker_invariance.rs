@@ -7,98 +7,21 @@
 //! exp-1 replay table must render byte-for-byte the same at 1 and 4
 //! workers (and the workers=1 rendering must match the committed
 //! golden), and the guarded-crash table must agree across {1, 2, 4}.
+//! The tables come from `retrace_bench::fixtures` — the same single
+//! definition the golden checks pin — so worker invariance covers the
+//! prefix-cache ledger column too.
 
-use instrument::Method;
-use retrace_bench::experiments::userver_analysis_bench;
-use retrace_bench::render;
-use retrace_bench::setup::{userver_experiments, Coverage};
-use std::path::PathBuf;
-
-fn golden(name: &str) -> String {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
-        .iter()
-        .collect();
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {name} ({e}); run golden_tables first"))
-}
-
-/// Renders the deterministic columns of the uServer exp-1 Table 3 at
-/// the given worker count — the same rendering as the committed golden
-/// `userver_exp1_replay.txt`.
-fn render_exp1_table(workers: usize) -> String {
-    let mut abench = userver_analysis_bench(42);
-    abench.wb.workers = workers;
-    let bundle = abench.wb.analyze(Coverage::Lc.runs());
-    let mut exp = userver_experiments(42)
-        .into_iter()
-        .find(|e| e.name.ends_with(" 1"))
-        .expect("exp 1 exists");
-    exp.wb.workers = workers;
-    let mut rows = Vec::new();
-    for (name, method, suppress) in [
-        ("dynamic (lc)", Method::Dynamic, false),
-        ("dynamic+static (lc)", Method::DynamicStatic, false),
-        ("dynamic+static+impl (lc)", Method::DynamicStatic, true),
-        ("static", Method::Static, false),
-        ("static+impl", Method::Static, true),
-        ("all branches", Method::AllBranches, false),
-    ] {
-        let plan = if suppress {
-            exp.wb.plan_suppressed(method, &bundle)
-        } else {
-            exp.wb.plan(method, &bundle)
-        };
-        let run = exp.wb.logged_run(&plan, &exp.parts);
-        let report = run.report.expect("deployment crashes");
-        let res = exp.wb.replay(&plan, &report, 300);
-        let spend = retrace_core::metrics::spend_cell(
-            run.log_bits,
-            run.cursor_locations,
-            run.cursor_spend_units,
-            run.suppressed_execs,
-        );
-        rows.push(vec![
-            name.to_string(),
-            if res.reproduced { "yes" } else { "∞" }.to_string(),
-            res.runs.to_string(),
-            res.solver_calls.to_string(),
-            res.total_instrs.to_string(),
-            spend,
-            format!(
-                "{}/{}+{}",
-                res.concretization_ranges, res.concretization_pins, res.pin_fallbacks
-            ),
-            format!(
-                "{}({})",
-                res.frontier.repairs_scheduled, res.frontier.repair_cutoffs
-            ),
-        ]);
-    }
-    render::table(
-        "uServer exp 1: bug reproduction (deterministic columns; wall masked)",
-        &[
-            "config",
-            "reproduced",
-            "runs",
-            "solver calls",
-            "instrs",
-            "instr spend",
-            "conc rng/pin+fb",
-            "repairs",
-        ],
-        &rows,
-    )
-}
+use retrace_bench::fixtures::{exp1_replay_table, guarded_crash_table, read_golden, Knobs};
 
 #[test]
 fn exp1_golden_rows_are_bit_identical_at_workers_1_and_4() {
-    let expected = golden("userver_exp1_replay.txt");
-    let serial = render_exp1_table(1);
+    let expected = read_golden("userver_exp1_replay.txt");
+    let serial = exp1_replay_table(Knobs::workers(1));
     assert_eq!(
         serial, expected,
         "workers=1 must reproduce the committed golden rows bit-for-bit"
     );
-    let parallel = render_exp1_table(4);
+    let parallel = exp1_replay_table(Knobs::workers(4));
     assert_eq!(
         parallel, expected,
         "workers=4 must render the identical table — speculation is \
@@ -108,59 +31,12 @@ fn exp1_golden_rows_are_bit_identical_at_workers_1_and_4() {
 
 #[test]
 fn guarded_crash_rows_agree_across_worker_counts() {
-    let src = r#"
-        int main(int argc, char **argv) {
-            char *s = argv[1];
-            if (s[0] == 'c') {
-                if (s[1] == 'r') {
-                    int *p = 0;
-                    return *p;
-                }
-            }
-            return 0;
-        }
-    "#;
-    let render_at = |workers: usize| {
-        let cp = minic::build(&[("main", src)]).expect("compiles");
-        let mut wb =
-            retrace_core::Workbench::new(cp, concolic::InputSpec::argv_symbolic("prog", 1, 2));
-        wb.workers = workers;
-        let bundle = wb.analyze(16);
-        let parts = replay::InputParts {
-            argv_sym: vec![b"cr".to_vec()],
-            ..replay::InputParts::default()
-        };
-        let mut rows = Vec::new();
-        for (name, method) in [
-            ("dynamic", Method::Dynamic),
-            ("dynamic+static", Method::DynamicStatic),
-            ("static", Method::Static),
-            ("all branches", Method::AllBranches),
-        ] {
-            let plan = wb.plan(method, &bundle);
-            let run = wb.logged_run(&plan, &parts);
-            let report = run.report.expect("'cr' input crashes");
-            let res = wb.replay(&plan, &report, 64);
-            rows.push(vec![
-                name.to_string(),
-                if res.reproduced { "yes" } else { "∞" }.to_string(),
-                res.runs.to_string(),
-                res.solver_calls.to_string(),
-                res.total_instrs.to_string(),
-            ]);
-        }
-        render::table(
-            "guarded crash: bug reproduction (deterministic columns)",
-            &["config", "reproduced", "runs", "solver calls", "instrs"],
-            &rows,
-        )
-    };
-    let expected = golden("guarded_replay.txt");
-    let serial = render_at(1);
+    let expected = read_golden("guarded_replay.txt");
+    let serial = guarded_crash_table(Knobs::workers(1));
     assert_eq!(serial, expected, "workers=1 matches the committed golden");
     for workers in [2usize, 4] {
         assert_eq!(
-            render_at(workers),
+            guarded_crash_table(Knobs::workers(workers)),
             expected,
             "workers={workers} diverged from the golden rows"
         );

@@ -24,7 +24,7 @@ use oskit::{Kernel, KernelConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use search::{Frontier, FrontierStats, SearchPolicy};
-use solver::{mix_seed, ConstraintSet, ExprArena, Lit, SolveCfg, VarId};
+use solver::{mix_seed, ConstraintSet, ExprArena, Lit, PrefixCache, SolveCfg, VarId};
 use std::collections::HashMap;
 
 /// Exploration budget. `max_runs` is the primary (deterministic) knob —
@@ -56,6 +56,11 @@ pub struct Budget {
     /// verdicts strictly in pop order, so the analysis is identical for
     /// every worker count.
     pub workers: usize,
+    /// Path-prefix solve cache over the frozen arena generations. Each
+    /// banked run registers its satisfied path prefixes; later candidates
+    /// sharing a prefix skip its propagation work. Every shortcut is
+    /// provably outcome-identical, so this only changes wall time.
+    pub prefix_cache: bool,
 }
 
 impl Default for Budget {
@@ -69,6 +74,7 @@ impl Default for Budget {
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
             workers: 1,
+            prefix_cache: true,
         }
     }
 }
@@ -165,6 +171,13 @@ pub struct AnalysisResult {
     /// Solver calls that retried with the hard-pinned variant after the
     /// bounded form went unsolved.
     pub pin_fallbacks: u64,
+    /// Committed solver calls that started from a cached path prefix.
+    pub cache_hits: u64,
+    /// Committed solver calls that found no cached prefix (including all
+    /// calls with the prefix cache disabled).
+    pub cache_misses: u64,
+    /// Total literals skipped via cached prefixes across all hits.
+    pub prefix_len_saved: u64,
     /// True when exploration stopped because the frontier drained with
     /// run budget left (and the policy did not restart).
     pub exhausted: bool,
@@ -291,8 +304,8 @@ impl<'p> Engine<'p> {
     /// nondeterminism into the path condition, then offers negated
     /// branch literals in the strategy's order (caps, quotas and dedup
     /// live in the frontier). Mutates the arena (substitution interns
-    /// new expressions), so the parallel engine calls it only between
-    /// speculative phases.
+    /// new expressions) and is the prefix cache's single writer, so the
+    /// parallel engine calls it only between speculative phases.
     fn bank_offers(
         &self,
         record: &RunRecord,
@@ -300,6 +313,7 @@ impl<'p> Engine<'p> {
         vars: &InputVars,
         arena: &mut ExprArena,
         frontier: &mut Frontier,
+        cache: &mut PrefixCache,
     ) {
         let pin: HashMap<VarId, i64> = record.nondet.iter().copied().collect();
         let exprs: Vec<_> = record.path.iter().map(|s| s.lit.expr).collect();
@@ -329,6 +343,20 @@ impl<'p> Engine<'p> {
         let mut ranges: Vec<Option<solver::RangeConstraint>> = vec![None; record.path.len()];
         for ((i, rc), expr) in ranged.iter().zip(&substituted_range_exprs) {
             ranges[*i] = Some(solver::RangeConstraint { expr: *expr, ..*rc });
+        }
+        // This run executed, so every literal of its (substituted) path
+        // condition held: register the satisfied prefixes so candidates
+        // that share one can skip straight to the divergent suffix.
+        if self.cfg.budget.prefix_cache {
+            let reg_lits: Vec<Lit> = substituted
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| ranges[*i].is_none())
+                .map(|(_, l)| *l)
+                .collect();
+            let reg_ranges: Vec<solver::RangeConstraint> =
+                ranges.iter().filter_map(|r| *r).collect();
+            cache.register_path(arena, &reg_lits, &reg_ranges);
         }
         // A step contributes its range form when it has one, else its
         // literal (branch condition or emission-time pin).
@@ -384,6 +412,10 @@ impl<'p> Engine<'p> {
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut prefix_len_saved = 0u64;
+        let mut pcache = PrefixCache::new();
 
         let mut assignment = self.initial_assignment();
         let mut frontier = Frontier::new(
@@ -427,7 +459,15 @@ impl<'p> Engine<'p> {
             // Schedule pending sets: substitute this run's nondeterminism,
             // then negate branch literals in the strategy's offer order
             // (caps, quotas and dedup live in the frontier).
-            self.bank_offers(&record, &assignment, &vars, &mut arena, &mut frontier);
+            self.bank_offers(
+                &record,
+                &assignment,
+                &vars,
+                &mut arena,
+                &mut frontier,
+                &mut pcache,
+            );
+            arena.freeze();
 
             // Solve pending sets in the frontier's order until one is
             // satisfiable; sets with range constraints retry pinned when
@@ -440,11 +480,22 @@ impl<'p> Engine<'p> {
                     ..self.cfg.solve.clone()
                 };
                 let sig = search::signature(&pending.cs);
-                let (model, sstats) =
-                    solver::solve_or_pin_ro(&arena, &pending.cs, Some(&pending.seed), &cfg);
+                let (model, sstats) = solver::solve_or_pin_ro_cached(
+                    &arena,
+                    &pending.cs,
+                    Some(&pending.seed),
+                    &cfg,
+                    self.cfg.budget.prefix_cache.then_some(&pcache),
+                );
                 if sstats.pin_fallback {
                     pin_fallbacks += 1;
                 }
+                if sstats.prefix_hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                prefix_len_saved += sstats.prefix_lits_saved;
                 if let Some(model) = model {
                     solver_sat += 1;
                     frontier.note_solved_sig(sig, true);
@@ -490,6 +541,9 @@ impl<'p> Engine<'p> {
             concretization_ranges,
             concretization_pins,
             pin_fallbacks,
+            cache_hits,
+            cache_misses,
+            prefix_len_saved,
             exhausted,
             timed_out,
             frontier: frontier.into_stats(),
@@ -518,6 +572,10 @@ impl<'p> Engine<'p> {
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut prefix_len_saved = 0u64;
+        let mut pcache = PrefixCache::new();
 
         let mut assignment = self.initial_assignment();
         let mut frontier = Frontier::new(
@@ -570,9 +628,21 @@ impl<'p> Engine<'p> {
                 break;
             }
 
-            // Bank this run's offers (serial; mutates the arena, so it
-            // happens strictly between speculative phases).
-            self.bank_offers(&record, &assignment, &vars, &mut arena, &mut frontier);
+            // Bank this run's offers (serial; mutates the arena and the
+            // prefix cache, so it happens strictly between speculative
+            // phases — workers only ever read a frozen cache state).
+            self.bank_offers(
+                &record,
+                &assignment,
+                &vars,
+                &mut arena,
+                &mut frontier,
+                &mut pcache,
+            );
+            // Freeze the central generation: worker-side clones (solve
+            // scratch and speculative run arenas) now share the prefix
+            // instead of deep-copying it.
+            arena.freeze();
 
             // Speculative solve streak.
             'streak: loop {
@@ -586,6 +656,7 @@ impl<'p> Engine<'p> {
                         let base_calls = solver_calls;
                         let base_nodes = arena.len();
                         let arena_ref = &arena;
+                        let cache_ref = self.cfg.budget.prefix_cache.then_some(&pcache);
                         let jobs: Vec<(ConstraintSet, Vec<i64>)> = batch
                             .iter()
                             .map(|p| (p.set.cs.clone(), p.set.seed.clone()))
@@ -595,8 +666,13 @@ impl<'p> Engine<'p> {
                                 seed: mix_seed(self.cfg.seed, (base_calls + i + 1) as u64),
                                 ..self.cfg.solve.clone()
                             };
-                            let (model, sstats) =
-                                solver::solve_or_pin_ro(arena_ref, &cs, Some(&seed), &scfg);
+                            let (model, sstats) = solver::solve_or_pin_ro_cached(
+                                arena_ref,
+                                &cs,
+                                Some(&seed),
+                                &scfg,
+                                cache_ref,
+                            );
                             let run = model.as_ref().map(|m| {
                                 let ctrl = m[..vars.n_controllable as usize].to_vec();
                                 let (rec, job_arena) =
@@ -617,6 +693,12 @@ impl<'p> Engine<'p> {
                             if sstats.pin_fallback {
                                 pin_fallbacks += 1;
                             }
+                            if sstats.prefix_hit {
+                                cache_hits += 1;
+                            } else {
+                                cache_misses += 1;
+                            }
+                            prefix_len_saved += sstats.prefix_lits_saved;
                             let sig = search::signature(&pop.set.cs);
                             if sat {
                                 solver_sat += 1;
@@ -685,6 +767,9 @@ impl<'p> Engine<'p> {
             concretization_ranges,
             concretization_pins,
             pin_fallbacks,
+            cache_hits,
+            cache_misses,
+            prefix_len_saved,
             exhausted,
             timed_out,
             frontier: frontier.into_stats(),
@@ -945,12 +1030,90 @@ mod tests {
                 r.crashes.first().map(|c| c.argv.clone()),
                 r.exhausted,
                 r.timed_out,
+                (r.cache_hits, r.cache_misses, r.prefix_len_saved),
             )
         };
         let serial = run(1);
         assert!(!serial.4.is_empty(), "the analysis must solve sets");
         for workers in [2, 4] {
             assert_eq!(serial, run(workers), "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn prefix_cache_on_off_is_bit_identical() {
+        // Every cache shortcut is provably outcome-identical, so the
+        // whole analysis tuple — including the arena node count — must
+        // match with the cache disabled, at any worker count.
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                if (s[0] == 'x') {
+                    if (s[1] == 'y') {
+                        if (s[2] == 'z') { return 3; }
+                    }
+                }
+                if (s[0] > 'm') { return 2; }
+                return 0;
+            }
+        "#;
+        let run = |cache: bool, workers: usize| {
+            let cp = build(&[("main", src)]).unwrap();
+            let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 3));
+            cfg.budget.max_runs = 32;
+            cfg.budget.workers = workers;
+            cfg.budget.prefix_cache = cache;
+            let r = Engine::new(&cp, cfg).analyze();
+            (
+                (
+                    r.runs,
+                    r.solver_calls,
+                    r.solver_sat,
+                    r.arena_nodes,
+                    r.frontier.solved_sigs.clone(),
+                    r.profile.total_execs(),
+                    r.crashes.len(),
+                ),
+                (r.cache_hits, r.cache_misses, r.prefix_len_saved),
+            )
+        };
+        let (base, (hits, misses, saved)) = run(true, 1);
+        assert!(hits > 0, "guard chain must share prefixes");
+        assert!(saved >= hits, "every hit saves at least one literal");
+        assert_eq!(
+            hits + misses,
+            base.1 as u64,
+            "ledger: hits + misses == solves"
+        );
+        for workers in [1, 4] {
+            let (off, (off_hits, _, off_saved)) = run(false, workers);
+            assert_eq!(base, off, "cache=off workers={workers} diverged");
+            assert_eq!(off_hits, 0, "disabled cache cannot hit");
+            assert_eq!(off_saved, 0);
+        }
+    }
+
+    #[test]
+    fn cache_ledger_accounts_every_solve() {
+        let src = r#"
+            int main(int argc, char **argv) {
+                char *s = argv[1];
+                if (s[0] == 'a') { if (s[1] == 'b') { return 1; } }
+                if (s[2] > 'c') { return 2; }
+                return 0;
+            }
+        "#;
+        for workers in [1usize, 4] {
+            let cp = build(&[("main", src)]).unwrap();
+            let mut cfg = SessionConfig::new(InputSpec::argv_symbolic("p", 1, 3));
+            cfg.budget.max_runs = 24;
+            cfg.budget.workers = workers;
+            let r = Engine::new(&cp, cfg).analyze();
+            assert_eq!(
+                r.cache_hits + r.cache_misses,
+                r.solver_calls as u64,
+                "workers={workers}: every committed solve is hit or miss"
+            );
         }
     }
 

@@ -80,6 +80,13 @@ pub struct ReplayRow {
     /// implication analysis proved redundant, so the log never carried
     /// them and replay reconstructed them for free.
     pub suppressed_bits: u64,
+    /// Solver calls that started from a cached path prefix.
+    pub cache_hits: u64,
+    /// Solver calls that found no cached prefix (all of them when the
+    /// prefix cache is off).
+    pub cache_misses: u64,
+    /// Literals skipped via cached prefixes, summed across hits.
+    pub prefix_len_saved: u64,
 }
 
 impl ReplayRow {
@@ -107,6 +114,12 @@ impl ReplayRow {
             self.cursor_spend_units,
             self.suppressed_bits,
         )
+    }
+
+    /// The prefix-cache cell: hit count over total solves, plus the
+    /// literals the hits skipped (`hits/solves (+N lits)`).
+    pub fn cache_cell(&self) -> String {
+        cache_cell(self.cache_hits, self.cache_misses, self.prefix_len_saved)
     }
 
     /// The table cell: work (and wall time), or ∞ on timeout.
@@ -144,6 +157,20 @@ pub fn spend_cell(
         base
     } else {
         format!("{base}-{suppressed_bits}sup")
+    }
+}
+
+/// Formats a prefix-cache cell from its raw counters — the one
+/// definition of the `prefix cache` column's shape, shared by
+/// [`ReplayRow::cache_cell`] and the golden-table tests. The ledger
+/// invariant `hits + misses == solver calls` makes the denominator the
+/// solve count; a cache-off row reads `0/N`.
+pub fn cache_cell(cache_hits: u64, cache_misses: u64, prefix_len_saved: u64) -> String {
+    let total = cache_hits + cache_misses;
+    if prefix_len_saved == 0 {
+        format!("{cache_hits}/{total}")
+    } else {
+        format!("{cache_hits}/{total}+{prefix_len_saved}l")
     }
 }
 
@@ -199,11 +226,22 @@ mod tests {
             cursor_locations: 0,
             cursor_spend_units: 0,
             suppressed_bits: 0,
+            cache_hits: 0,
+            cache_misses: 5,
+            prefix_len_saved: 0,
         };
         assert_eq!(r.cell(), "∞");
         assert_eq!(r.concretization_cell(), "12/3+2");
         assert_eq!(r.repair_cell(), "1(0)");
         assert_eq!(r.spend_cell(), "120b");
+        assert_eq!(r.cache_cell(), "0/5");
+        let hitting = ReplayRow {
+            cache_hits: 3,
+            cache_misses: 2,
+            prefix_len_saved: 11,
+            ..r.clone()
+        };
+        assert_eq!(hitting.cache_cell(), "3/5+11l");
         let cursored = ReplayRow {
             cursor_locations: 9,
             cursor_spend_units: 720,

@@ -122,6 +122,11 @@ pub struct Workbench {
     /// popped pending sets concurrently, committing strictly in pop
     /// order — results are identical for every worker count.
     pub workers: usize,
+    /// Path-prefix solve cache in both engines (on by default). Every
+    /// cached shortcut is provably outcome-identical, so turning this
+    /// off only changes wall time — which the cache-invariance suite
+    /// pins down to full-tuple equality.
+    pub cache: bool,
 }
 
 impl Workbench {
@@ -136,6 +141,7 @@ impl Workbench {
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
             workers: 1,
+            cache: true,
         }
     }
 
@@ -148,6 +154,7 @@ impl Workbench {
         scfg.budget.policy = self.policy.clone();
         scfg.budget.concretization = self.concretization;
         scfg.budget.workers = self.workers.max(1);
+        scfg.budget.prefix_cache = self.cache;
         scfg.seed = self.seed;
         let dyn_result = Engine::new(&self.cp, scfg).analyze();
         let dyn_labels = to_dyn_labels(&self.cp, &dyn_result.labels);
@@ -298,6 +305,7 @@ impl Workbench {
         rcfg.budget.policy = self.policy.clone();
         rcfg.budget.concretization = self.concretization;
         rcfg.budget.workers = self.workers.max(1);
+        rcfg.budget.prefix_cache = self.cache;
         rcfg.seed = self.seed ^ 0x5eed_cafe;
         ReplayEngine::new(&self.cp, plan.clone(), report.clone(), rcfg).reproduce()
     }

@@ -28,7 +28,7 @@ use minic::vm::{RunOutcome, Vm};
 use minic::CompiledProgram;
 use oskit::SimFs;
 use search::{Frontier, FrontierStats, RepairTracker, SearchPolicy};
-use solver::{mix_seed, ConstraintSet, ExprArena, Lit, SolveCfg};
+use solver::{mix_seed, ConstraintSet, ExprArena, Lit, PrefixCache, SolveCfg};
 use std::collections::{HashMap, HashSet};
 
 /// Budget for one reproduction attempt. `max_runs` is the deterministic
@@ -60,6 +60,11 @@ pub struct ReplayBudget {
     /// wall-clock and the per-worker run split) is identical for every
     /// worker count.
     pub workers: usize,
+    /// Path-prefix solve cache over the frozen arena generations. Each
+    /// banked run registers its satisfied path prefixes; later candidates
+    /// sharing a prefix skip its propagation work. Every shortcut is
+    /// provably outcome-identical, so this only changes wall time.
+    pub prefix_cache: bool,
 }
 
 impl Default for ReplayBudget {
@@ -73,6 +78,7 @@ impl Default for ReplayBudget {
             policy: SearchPolicy::default(),
             concretization: Concretization::default(),
             workers: 1,
+            prefix_cache: true,
         }
     }
 }
@@ -150,6 +156,13 @@ pub struct ReplayResult {
     /// Solver calls that retried with the hard-pinned variant after the
     /// bounded form went unsolved.
     pub pin_fallbacks: u64,
+    /// Committed solver calls that started from a cached path prefix.
+    pub cache_hits: u64,
+    /// Committed solver calls that found no cached prefix (including all
+    /// calls with the prefix cache disabled).
+    pub cache_misses: u64,
+    /// Total literals skipped via cached prefixes across all hits.
+    pub prefix_len_saved: u64,
     /// Frontier scheduling counters (including forced-set repair
     /// activations and cutoffs).
     pub frontier: FrontierStats,
@@ -335,7 +348,8 @@ impl<'p> ReplayEngine<'p> {
     /// syscall divergences and cursor overruns, the standard negated-
     /// literal pendings, and the forced set (with its repair metadata in
     /// `book`). Identical for the serial and parallel engines — the
-    /// parallel engine calls it from the serial commit phase only.
+    /// parallel engine calls it from the serial commit phase only, which
+    /// also makes it the prefix cache's single writer.
     fn bank_offers(
         &self,
         run: &RunArtifacts,
@@ -343,12 +357,30 @@ impl<'p> ReplayEngine<'p> {
         arena: &ExprArena,
         frontier: &mut Frontier,
         book: &mut RepairBook,
+        cache: &mut PrefixCache,
     ) {
         let forced = matches!(&run.outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
         let syscall_div = matches!(&run.outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
         let overrun = matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN);
         let path = &run.path;
         let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
+        // Every executed step's literal held under this run's input, so
+        // its prefixes are witnessed-satisfiable: register them so later
+        // candidates sharing one skip straight to the divergent suffix.
+        // A 2(b) abort's final literal points the *recorded* way, not
+        // the executed way — it is unwitnessed, so it never registers.
+        if self.cfg.budget.prefix_cache {
+            let cut = path.len().saturating_sub(usize::from(forced));
+            let executed = &path[..cut];
+            let reg_lits: Vec<Lit> = executed
+                .iter()
+                .filter(|s| s.range.is_none())
+                .map(|s| s.lit)
+                .collect();
+            let reg_ranges: Vec<solver::RangeConstraint> =
+                executed.iter().filter_map(|s| s.range).collect();
+            cache.register_path(arena, &reg_lits, &reg_ranges);
+        }
         frontier.begin_run();
 
         // Syscall-divergence recovery: the run followed the branch log
@@ -565,6 +597,10 @@ impl<'p> ReplayEngine<'p> {
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut prefix_len_saved = 0u64;
+        let mut pcache = PrefixCache::new();
         // Forced-set repair state: metadata per queued forced set, thrash
         // accounting per shared prefix key, and the log high-water mark
         // that defines "progress" (bursts only accumulate while it
@@ -618,6 +654,9 @@ impl<'p> ReplayEngine<'p> {
                     concretization_ranges,
                     concretization_pins,
                     pin_fallbacks,
+                    cache_hits,
+                    cache_misses,
+                    prefix_len_saved,
                     frontier: frontier.into_stats(),
                     last_run_stats: last_stats,
                 };
@@ -637,6 +676,9 @@ impl<'p> ReplayEngine<'p> {
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
+                        cache_hits,
+                        cache_misses,
+                        prefix_len_saved,
                         frontier: frontier.into_stats(),
                     },
                     last_stats,
@@ -650,7 +692,15 @@ impl<'p> ReplayEngine<'p> {
             if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
                 cursor_overruns += 1;
             }
-            self.bank_offers(&run, &assignment, &arena, &mut frontier, &mut book);
+            self.bank_offers(
+                &run,
+                &assignment,
+                &arena,
+                &mut frontier,
+                &mut book,
+                &mut pcache,
+            );
+            arena.freeze();
 
             // ---- pick and solve the next pending set -----------------------
             let mut next = None;
@@ -661,11 +711,22 @@ impl<'p> ReplayEngine<'p> {
                     ..self.cfg.solve.clone()
                 };
                 let sig = search::signature(&pending.cs);
-                let (model, sstats) =
-                    solver::solve_or_pin_ro(&arena, &pending.cs, Some(&pending.seed), &scfg);
+                let (model, sstats) = solver::solve_or_pin_ro_cached(
+                    &arena,
+                    &pending.cs,
+                    Some(&pending.seed),
+                    &scfg,
+                    self.cfg.budget.prefix_cache.then_some(&pcache),
+                );
                 if sstats.pin_fallback {
                     pin_fallbacks += 1;
                 }
+                if sstats.prefix_hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                prefix_len_saved += sstats.prefix_lits_saved;
                 if let Some(model) = model {
                     frontier.note_solved_sig(sig, true);
                     next = Some(model);
@@ -720,6 +781,9 @@ impl<'p> ReplayEngine<'p> {
                             concretization_ranges,
                             concretization_pins,
                             pin_fallbacks,
+                            cache_hits,
+                            cache_misses,
+                            prefix_len_saved,
                             frontier: frontier.into_stats(),
                         },
                         last_stats,
@@ -771,6 +835,10 @@ impl<'p> ReplayEngine<'p> {
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut prefix_len_saved = 0u64;
+        let mut pcache = PrefixCache::new();
         let mut book = RepairBook::new();
         let mut reset_high_water = u64::MAX;
         let mut timed_out = false;
@@ -829,6 +897,9 @@ impl<'p> ReplayEngine<'p> {
                     concretization_ranges,
                     concretization_pins,
                     pin_fallbacks,
+                    cache_hits,
+                    cache_misses,
+                    prefix_len_saved,
                     frontier: frontier.into_stats(),
                     last_run_stats: last_stats,
                 };
@@ -848,6 +919,9 @@ impl<'p> ReplayEngine<'p> {
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
+                        cache_hits,
+                        cache_misses,
+                        prefix_len_saved,
                         frontier: frontier.into_stats(),
                     },
                     last_stats,
@@ -861,7 +935,18 @@ impl<'p> ReplayEngine<'p> {
             if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
                 cursor_overruns += 1;
             }
-            self.bank_offers(&run, &assignment, &arena, &mut frontier, &mut book);
+            self.bank_offers(
+                &run,
+                &assignment,
+                &arena,
+                &mut frontier,
+                &mut book,
+                &mut pcache,
+            );
+            // Freeze the central generation: worker-side clones (solve
+            // scratch and speculative run arenas) now share the prefix
+            // instead of deep-copying it.
+            arena.freeze();
 
             // ---- speculative solve streak ---------------------------------
             'streak: loop {
@@ -875,6 +960,7 @@ impl<'p> ReplayEngine<'p> {
                         let base_calls = solver_calls;
                         let base_nodes = arena.len();
                         let arena_ref = &arena;
+                        let cache_ref = self.cfg.budget.prefix_cache.then_some(&pcache);
                         let jobs: Vec<(ConstraintSet, Vec<i64>)> = batch
                             .iter()
                             .map(|p| (p.set.cs.clone(), p.set.seed.clone()))
@@ -884,8 +970,13 @@ impl<'p> ReplayEngine<'p> {
                                 seed: mix_seed(self.cfg.seed, (base_calls + i + 1) as u64),
                                 ..self.cfg.solve.clone()
                             };
-                            let (model, sstats) =
-                                solver::solve_or_pin_ro(arena_ref, &cs, Some(&seed), &scfg);
+                            let (model, sstats) = solver::solve_or_pin_ro_cached(
+                                arena_ref,
+                                &cs,
+                                Some(&seed),
+                                &scfg,
+                                cache_ref,
+                            );
                             let run = model.as_ref().map(|m| {
                                 self.exec_run(arena_ref.clone(), m, &syscall_mode, &vars, runs + 1)
                             });
@@ -903,6 +994,12 @@ impl<'p> ReplayEngine<'p> {
                             if sstats.pin_fallback {
                                 pin_fallbacks += 1;
                             }
+                            if sstats.prefix_hit {
+                                cache_hits += 1;
+                            } else {
+                                cache_misses += 1;
+                            }
+                            prefix_len_saved += sstats.prefix_lits_saved;
                             let sig = search::signature(&pop.set.cs);
                             if let Some(model) = model {
                                 frontier.note_solved_sig(sig, true);
@@ -984,6 +1081,9 @@ impl<'p> ReplayEngine<'p> {
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
+                        cache_hits,
+                        cache_misses,
+                        prefix_len_saved,
                         frontier: frontier.into_stats(),
                     },
                     last_stats,
@@ -1019,6 +1119,9 @@ impl<'p> ReplayEngine<'p> {
             concretization_ranges: outcome.concretization_ranges,
             concretization_pins: outcome.concretization_pins,
             pin_fallbacks: outcome.pin_fallbacks,
+            cache_hits: outcome.cache_hits,
+            cache_misses: outcome.cache_misses,
+            prefix_len_saved: outcome.prefix_len_saved,
             frontier: outcome.frontier,
             last_run_stats: last_stats,
         }
@@ -1034,6 +1137,9 @@ struct Outcome {
     concretization_ranges: u64,
     concretization_pins: u64,
     pin_fallbacks: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    prefix_len_saved: u64,
     frontier: FrontierStats,
 }
 

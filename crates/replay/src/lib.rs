@@ -1094,8 +1094,9 @@ mod e2e {
 
     /// Everything the invariance suite compares, in order: reproduced,
     /// runs, solver calls, witness argv, witness assignment, the ordered
-    /// (signature, verdict) stream, committed pops, and popped-minus-
-    /// restored (the consumed count).
+    /// (signature, verdict) stream, committed pops, popped-minus-
+    /// restored (the consumed count), and the prefix-cache ledger
+    /// (hits, misses, literals saved).
     type InvarianceObservation = (
         bool,
         usize,
@@ -1105,12 +1106,18 @@ mod e2e {
         Vec<(u128, bool)>,
         u64,
         u64,
+        (u64, u64, u64),
     );
 
     /// Replays the guarded crash with a partially instrumented plan
     /// (search-heavy) at the given worker count, returning every field
     /// the invariance suite compares.
     fn replay_with_workers(workers: usize) -> InvarianceObservation {
+        replay_with_workers_cache(workers, true)
+    }
+
+    /// [`replay_with_workers`] with the prefix cache switchable.
+    fn replay_with_workers_cache(workers: usize, cache: bool) -> InvarianceObservation {
         let src = GUARDED_CRASH;
         let cp = build(&[("main", src)]).unwrap();
         let spec = guarded_spec();
@@ -1137,6 +1144,7 @@ mod e2e {
         let mut rcfg = ReplayConfig::new(spec);
         rcfg.budget.max_runs = 128;
         rcfg.budget.workers = workers;
+        rcfg.budget.prefix_cache = cache;
         let res = ReplayEngine::new(&cp, plan, report, rcfg).reproduce();
         (
             res.reproduced,
@@ -1147,6 +1155,7 @@ mod e2e {
             res.frontier.solved_sigs.clone(),
             res.frontier.committed,
             res.frontier.popped - res.frontier.restored,
+            (res.cache_hits, res.cache_misses, res.prefix_len_saved),
         )
     }
 
@@ -1168,6 +1177,48 @@ mod e2e {
             assert_eq!(
                 serial, par,
                 "workers={workers} diverged from the serial engine"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_prefix_cache_on_off_is_bit_identical() {
+        // Every cache shortcut is provably outcome-identical, so the
+        // whole search — verdict stream, witness, consumed pops — must
+        // match with the cache disabled, at every worker count. Only
+        // the ledger itself may differ (zeroed when off).
+        let on = replay_with_workers_cache(1, true);
+        assert!(on.0, "the cached baseline must reproduce");
+        let (hits, misses, saved) = on.8;
+        assert!(hits > 0, "guided replay re-derives prefixes: must hit");
+        assert!(saved >= hits, "every hit saves at least one literal");
+        assert_eq!(
+            hits + misses,
+            on.2 as u64,
+            "ledger: hits + misses == solves"
+        );
+        let strip = |o: &InvarianceObservation| {
+            (
+                o.0,
+                o.1,
+                o.2,
+                o.3.clone(),
+                o.4.clone(),
+                o.5.clone(),
+                o.6,
+                o.7,
+            )
+        };
+        for workers in [1usize, 2, 4] {
+            let off = replay_with_workers_cache(workers, false);
+            let (off_hits, off_misses, off_saved) = off.8;
+            assert_eq!(off_hits, 0, "disabled cache cannot hit");
+            assert_eq!(off_saved, 0);
+            assert_eq!(off_misses, off.2 as u64, "ledger still counts every solve");
+            assert_eq!(
+                strip(&on),
+                strip(&off),
+                "cache=off workers={workers} diverged"
             );
         }
     }

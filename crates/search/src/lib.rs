@@ -34,7 +34,7 @@
 //! would silently drop an unexplored path forever) is out of reach, unlike
 //! the 64-bit `DefaultHasher` digest it replaces.
 
-use solver::ConstraintSet;
+use solver::{ConstraintSet, Fnv128};
 use std::collections::{HashMap, HashSet};
 
 pub mod pool;
@@ -399,27 +399,24 @@ pub struct Frontier {
 /// 128-bit FNV-1a over the full `(ExprRef, bool)` literal vector plus
 /// every range constraint's full shape. Public so the replay engine can
 /// key its forced-set metadata and the repair tracker on the same
-/// identity the dedup uses.
+/// identity the dedup uses. Built on the solver's shared [`Fnv128`]
+/// primitive — the same mixing the prefix solve cache hashes literal
+/// prefixes with, so the two identities cannot drift apart (the hash
+/// values here are pinned: goldens depend on the dedup order).
 pub fn signature(cs: &ConstraintSet) -> u128 {
-    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-    let mut h = OFFSET;
-    let mut mix = |v: u128| {
-        h ^= v;
-        h = h.wrapping_mul(PRIME);
-    };
+    let mut h = Fnv128::new();
     for l in &cs.lits {
-        mix(l.expr.0 as u128);
-        mix(l.positive as u128);
+        h.mix(l.expr.0 as u128);
+        h.mix(l.positive as u128);
     }
     for r in &cs.ranges {
-        mix(0x5eed_0000_0000_0000u128 ^ r.expr.0 as u128);
-        mix(r.lo as u128);
-        mix(r.hi as u128);
-        mix(r.align as u128);
-        mix(r.phase as u128);
+        h.mix(0x5eed_0000_0000_0000u128 ^ r.expr.0 as u128);
+        h.mix(r.lo as u128);
+        h.mix(r.hi as u128);
+        h.mix(r.align as u128);
+        h.mix(r.phase as u128);
     }
-    h
+    h.value()
 }
 
 impl Frontier {

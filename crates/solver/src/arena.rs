@@ -9,6 +9,7 @@
 use crate::op::{eval_op, eval_unop, Op, UnOp};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Handle to an interned expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,11 +61,62 @@ impl VarInfo {
     }
 }
 
-/// The expression arena: interned nodes plus the variable table.
-#[derive(Debug, Default, Clone)]
-pub struct ExprArena {
+/// An immutable, generation-stamped prefix of an arena.
+///
+/// Produced by [`ExprArena::freeze`] and shared by reference count: a
+/// cloned arena (e.g. a parallel worker's scratch copy, or the
+/// read-only pin-fallback clone inside the solver) costs one `Arc`
+/// bump for the frozen prefix instead of copying every node and intern
+/// entry. Nothing ever mutates a snapshot after freeze — a later
+/// `freeze` that must extend a *shared* snapshot copies its core into
+/// a fresh snapshot with a higher generation, so every generation
+/// number names one immutable node prefix forever. The prefix solve
+/// cache keys its entries on this generation.
+#[derive(Debug)]
+pub struct ArenaSnapshot {
     nodes: Vec<Node>,
     intern: HashMap<Node, ExprRef>,
+    generation: u64,
+}
+
+impl ArenaSnapshot {
+    /// The generation stamp: strictly increasing per freeze that added
+    /// nodes, starting at 1 (an unfrozen arena reports generation 0).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of nodes in the frozen prefix.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the snapshot holds no nodes (never produced by `freeze`,
+    /// which skips allocating for an empty arena).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// The expression arena: interned nodes plus the variable table.
+///
+/// Copy-on-write: nodes split into an immutable frozen prefix (an
+/// [`ArenaSnapshot`] behind an `Arc`, shared across clones) and a
+/// mutable suffix owned by this arena. Handles are absolute indices
+/// across the split, so freezing is invisible to every reader —
+/// `node`, `eval`, `support` and friends behave exactly as if the
+/// arena were one flat vector.
+#[derive(Debug, Default, Clone)]
+pub struct ExprArena {
+    /// Frozen prefix, shared by clones. `None` until the first freeze.
+    base: Option<Arc<ArenaSnapshot>>,
+    /// Node count of the frozen prefix (0 until the first freeze).
+    base_len: u32,
+    /// Mutable suffix nodes appended since the last freeze.
+    nodes: Vec<Node>,
+    /// Intern map of the suffix only (values are absolute handles).
+    intern: HashMap<Node, ExprRef>,
+    /// Variable table: small and append-only, kept whole (not snapshotted).
     vars: Vec<VarInfo>,
 }
 
@@ -76,12 +128,66 @@ impl ExprArena {
 
     /// Number of interned nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len as usize + self.nodes.len()
     }
 
     /// True if no nodes have been interned.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// The generation of the frozen prefix (0 = never frozen).
+    pub fn generation(&self) -> u64 {
+        self.base.as_ref().map_or(0, |b| b.generation)
+    }
+
+    /// Number of nodes in the frozen prefix.
+    pub fn frozen_len(&self) -> usize {
+        self.base_len as usize
+    }
+
+    /// Freezes the current node set into an immutable snapshot and
+    /// returns its generation.
+    ///
+    /// After this call the whole arena is frozen prefix: clones share
+    /// it by reference count (O(1) for the nodes) instead of copying.
+    /// When this arena solely owns its current snapshot the suffix is
+    /// appended in place — the common engine loop case, O(suffix) per
+    /// freeze, O(total nodes) across a session. When the snapshot is
+    /// still shared (a clone is alive), its core is copied once into
+    /// the successor snapshot; the clone keeps reading the old
+    /// generation untouched. A freeze with an empty suffix is free and
+    /// keeps the existing generation — so the engines can freeze once
+    /// per run without churning generations on runs that interned
+    /// nothing new.
+    pub fn freeze(&mut self) -> u64 {
+        if self.nodes.is_empty() {
+            return self.generation();
+        }
+        let suffix_nodes = std::mem::take(&mut self.nodes);
+        let suffix_intern = std::mem::take(&mut self.intern);
+        let mut core = match self.base.take() {
+            None => ArenaSnapshot {
+                nodes: Vec::new(),
+                intern: HashMap::new(),
+                generation: 0,
+            },
+            Some(arc) => match Arc::try_unwrap(arc) {
+                Ok(owned) => owned,
+                Err(shared) => ArenaSnapshot {
+                    nodes: shared.nodes.clone(),
+                    intern: shared.intern.clone(),
+                    generation: shared.generation,
+                },
+            },
+        };
+        core.nodes.extend(suffix_nodes);
+        core.intern.extend(suffix_intern);
+        core.generation += 1;
+        let generation = core.generation;
+        self.base_len = core.nodes.len() as u32;
+        self.base = Some(Arc::new(core));
+        generation
     }
 
     /// Number of variables.
@@ -115,14 +221,23 @@ impl ExprArena {
 
     /// The node behind a handle.
     pub fn node(&self, r: ExprRef) -> Node {
-        self.nodes[r.0 as usize]
+        if r.0 < self.base_len {
+            self.base.as_ref().expect("handle below base_len").nodes[r.0 as usize]
+        } else {
+            self.nodes[(r.0 - self.base_len) as usize]
+        }
     }
 
     fn intern(&mut self, n: Node) -> ExprRef {
+        if let Some(b) = &self.base {
+            if let Some(r) = b.intern.get(&n) {
+                return *r;
+            }
+        }
         if let Some(r) = self.intern.get(&n) {
             return *r;
         }
-        let r = ExprRef(self.nodes.len() as u32);
+        let r = ExprRef(self.base_len + self.nodes.len() as u32);
         self.nodes.push(n);
         self.intern.insert(n, r);
         r
@@ -341,12 +456,12 @@ impl ExprArena {
         base_nodes: usize,
         roots: &[ExprRef],
     ) -> Vec<ExprRef> {
-        debug_assert!(base_nodes <= src.nodes.len(), "src descends from the clone");
-        debug_assert!(base_nodes <= self.nodes.len(), "central is append-only");
+        debug_assert!(base_nodes <= src.len(), "src descends from the clone");
+        debug_assert!(base_nodes <= self.len(), "central is append-only");
         for i in self.vars.len()..src.vars.len() {
             self.vars.push(src.vars[i]);
         }
-        let mut memo: Vec<ExprRef> = Vec::with_capacity(src.nodes.len() - base_nodes);
+        let mut memo: Vec<ExprRef> = Vec::with_capacity(src.len() - base_nodes);
         let translate = |memo: &Vec<ExprRef>, r: ExprRef| -> ExprRef {
             let i = r.0 as usize;
             if i < base_nodes {
@@ -355,8 +470,8 @@ impl ExprArena {
                 memo[i - base_nodes]
             }
         };
-        for i in base_nodes..src.nodes.len() {
-            let t = match src.nodes[i] {
+        for i in base_nodes..src.len() {
+            let t = match src.node(ExprRef(i as u32)) {
                 Node::Const(v) => self.constant(v),
                 Node::Var(v) => self.var_expr(v),
                 Node::Bin(op, a, b) => {
@@ -485,6 +600,17 @@ impl Evaluator {
         Evaluator {
             values: vec![0; arena.len()],
             stamp: vec![0; arena.len()],
+            generation: 1,
+        }
+    }
+
+    /// Creates an empty evaluator (grows on first use). For placeholder
+    /// slots that are swapped out before any evaluation, where sizing by
+    /// the arena would allocate for nothing.
+    pub fn empty() -> Self {
+        Evaluator {
+            values: Vec::new(),
+            stamp: Vec::new(),
             generation: 1,
         }
     }
@@ -785,5 +911,111 @@ mod tests {
             e = a.bin(Op::Add, e, one);
         }
         assert_eq!(a.eval(e, &[5]), 100_005);
+    }
+
+    #[test]
+    fn freeze_is_invisible_to_readers() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        let ten = a.constant(10);
+        let t = a.bin(Op::Mul, x, ten);
+        let mut flat = a.clone(); // never frozen, the reference behavior
+        assert_eq!(a.generation(), 0);
+        assert_eq!(a.freeze(), 1);
+        assert_eq!(a.generation(), 1);
+        assert_eq!(a.frozen_len(), a.len());
+        // Same handles, same nodes, same eval across the split.
+        assert_eq!(a.node(t), flat.node(t));
+        assert_eq!(a.eval(t, &[4]), 40);
+        // Interning dedupes against the frozen prefix.
+        assert_eq!(a.constant(10), ten);
+        assert_eq!(a.bin(Op::Mul, x, ten), t);
+        assert_eq!(a.len(), flat.len(), "no duplicate nodes after freeze");
+        // New nodes keep absolute numbering identical to the flat arena.
+        let one_a = a.constant(1);
+        let one_f = flat.constant(1);
+        assert_eq!(one_a, one_f);
+        let e_a = a.bin(Op::Add, t, one_a);
+        let e_f = flat.bin(Op::Add, t, one_f);
+        assert_eq!(e_a, e_f);
+        assert_eq!(a.eval(e_a, &[4]), flat.eval(e_f, &[4]));
+    }
+
+    #[test]
+    fn freeze_with_empty_suffix_is_free() {
+        let mut a = ExprArena::new();
+        assert_eq!(a.freeze(), 0, "empty arena: nothing to freeze");
+        assert_eq!(a.generation(), 0);
+        a.constant(3);
+        assert_eq!(a.freeze(), 1);
+        assert_eq!(a.freeze(), 1, "no new nodes: generation stable");
+        a.constant(4);
+        assert_eq!(a.freeze(), 2);
+    }
+
+    #[test]
+    fn frozen_snapshot_is_never_mutated_under_a_live_clone() {
+        let mut central = ExprArena::new();
+        let (_, x) = central.fresh_var(VarInfo::byte());
+        let five = central.constant(5);
+        let e = central.bin(Op::Add, x, five);
+        let g1 = central.freeze();
+
+        // A clone shares the frozen prefix by refcount.
+        let worker = central.clone();
+        assert_eq!(worker.generation(), g1);
+
+        // Central extends and refreezes while the clone is alive: the
+        // shared generation-g1 snapshot must stay byte-identical, so the
+        // new generation is built from a copied core.
+        let seven = central.constant(7);
+        central.bin(Op::Mul, e, seven);
+        let g2 = central.freeze();
+        assert_eq!(g2, g1 + 1);
+        assert_eq!(worker.generation(), g1, "clone still reads g1");
+        assert_eq!(worker.len(), 3, "clone's node count unchanged");
+        assert_eq!(worker.node(e), Node::Bin(Op::Add, x, five));
+        assert_eq!(central.eval(e, &[2]), worker.eval(e, &[2]));
+    }
+
+    #[test]
+    fn clone_of_frozen_arena_diverges_without_aliasing() {
+        let mut a = ExprArena::new();
+        let (_, x) = a.fresh_var(VarInfo::byte());
+        a.freeze();
+        let mut b = a.clone();
+        // Both sides append different suffixes on the shared base.
+        let two = a.constant(2);
+        let ea = a.bin(Op::Add, x, two);
+        let three = b.constant(3);
+        let eb = b.bin(Op::Add, x, three);
+        assert_eq!(a.node(ea), Node::Bin(Op::Add, x, two));
+        assert_eq!(b.node(eb), Node::Bin(Op::Add, x, three));
+        assert_eq!(a.eval(ea, &[1]), 3);
+        assert_eq!(b.eval(eb, &[1]), 4);
+    }
+
+    #[test]
+    fn absorb_works_across_frozen_boundaries() {
+        let mut central = ExprArena::new();
+        let (_, x) = central.fresh_var(VarInfo::byte());
+        let c = central.constant(7);
+        let base_expr = central.bin(Op::Add, x, c);
+        central.freeze();
+        let base_nodes = central.len();
+
+        let mut worker = central.clone();
+        worker.freeze();
+        let (_, y) = worker.fresh_var(VarInfo::range(-1, 1000));
+        let sum = worker.bin(Op::Add, base_expr, y);
+        let two = worker.constant(2);
+        let root = worker.bin(Op::Mul, sum, two);
+        // Freeze mid-build: absorb must read through the worker's split.
+        worker.freeze();
+
+        let out = central.absorb(&worker, base_nodes, &[root, base_expr, x]);
+        assert_eq!(out, vec![root, base_expr, x], "numbering is reproduced");
+        assert_eq!(central.len(), worker.len());
+        assert_eq!(central.eval(root, &[3, 5]), ((3 + 7) + 5) * 2);
     }
 }

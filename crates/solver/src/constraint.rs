@@ -268,15 +268,38 @@ impl ConstraintSet {
     /// some literal or range constraint can *never* hold given the
     /// variable domains.
     pub fn obviously_unsat(&self, arena: &ExprArena) -> bool {
-        self.lits.iter().any(|l| {
-            let r = range(arena, l.expr);
+        self.obviously_unsat_cached(arena, 0, None)
+    }
+
+    /// [`obviously_unsat`](Self::obviously_unsat) with prefix-cache
+    /// support: the first `skip_lits` literals are a registered
+    /// satisfied prefix — each held under some executed run's concrete
+    /// assignment, so its per-literal check is provably false and is
+    /// skipped outright. Remaining literals and every range constraint
+    /// read their forward interval from the cache when banked (the
+    /// interval is a pure function of immutable node content, so the
+    /// memoized value is the computed one). Verdict-identical to the
+    /// plain form by construction.
+    pub fn obviously_unsat_cached(
+        &self,
+        arena: &ExprArena,
+        skip_lits: usize,
+        cache: Option<&crate::cache::PrefixCache>,
+    ) -> bool {
+        let range_of = |e: ExprRef| -> Interval {
+            cache
+                .and_then(|c| c.range_of(e))
+                .unwrap_or_else(|| range(arena, e))
+        };
+        self.lits.iter().skip(skip_lits).any(|l| {
+            let r = range_of(l.expr);
             if l.positive {
                 r.is_zero()
             } else {
                 !r.contains(0)
             }
         }) || self.ranges.iter().any(|rc| {
-            let r = range(arena, rc.expr);
+            let r = range_of(rc.expr);
             match r.intersect(&rc.interval()) {
                 None => true,
                 Some(meet) => meet.align_to(rc.align, rc.phase).is_none(),

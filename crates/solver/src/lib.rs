@@ -102,27 +102,36 @@
 //! ```
 
 pub mod arena;
+pub mod cache;
 pub mod constraint;
 pub mod interval;
 pub mod op;
 pub mod solve;
 
-pub use arena::{ExprArena, ExprRef, Node, VarId, VarInfo};
+pub use arena::{ArenaSnapshot, ExprArena, ExprRef, Node, VarId, VarInfo};
+pub use cache::{Fnv128, PrefixCache, FNV128_OFFSET, FNV128_PRIME};
 pub use constraint::{ConstraintSet, Lit, RangeConstraint};
 pub use interval::{div_ceil, div_floor, propagate, range, range_in, Interval};
 pub use op::{eval_op, eval_unop, Op, UnOp};
 pub use solve::{
-    mix_seed, solve, solve_or_pin, solve_or_pin_ro, solve_with_stats, SolveCfg, SolveStats,
-    XorShift, GOLDEN_RATIO,
+    mix_seed, solve, solve_or_pin, solve_or_pin_cached, solve_or_pin_ro, solve_or_pin_ro_cached,
+    solve_with_stats, solve_with_stats_cached, SolveCfg, SolveStats, XorShift, GOLDEN_RATIO,
 };
 
 /// The parallel replay workers share one read-only [`ExprArena`] and
 /// move [`ConstraintSet`]s across thread boundaries; both are plain
 /// owned data (no `Rc`, no interior mutability), and this keeps it that
-/// way at compile time.
+/// way at compile time. The COW arena's frozen prefix and the prefix
+/// cache join the boundary: a snapshot is shared across worker threads
+/// via `Arc`, and the cache is read by every worker during a solve
+/// streak — `Sync` here is what lets them be shared without copies,
+/// and the freeze/bank discipline (single writer, between streaks) is
+/// what keeps the sharing race-free.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ExprArena>();
+    assert_send_sync::<ArenaSnapshot>();
+    assert_send_sync::<PrefixCache>();
     assert_send_sync::<ConstraintSet>();
     assert_send_sync::<SolveCfg>();
     assert_send_sync::<SolveStats>();
@@ -226,6 +235,51 @@ mod proptests {
                 let cb = arena.constant(b);
                 let e = arena.bin(op, ca, cb);
                 prop_assert_eq!(arena.eval(e, &[]), eval_op(op, a, b));
+            }
+        }
+
+        /// Solving a pending set with the prefix cache populated from an
+        /// executed path is bit-identical to solving without it: same
+        /// verdict, same model, same search statistics (the prefix-hit
+        /// counters are reporting, not behavior). This is the solver-level
+        /// half of the cache-invariance proof; the bench suite pins the
+        /// engine-level half end to end.
+        #[test]
+        fn cached_solve_is_bit_identical(
+            ops in proptest::collection::vec(any::<u8>(), 1..24),
+            assign in proptest::collection::vec(0i64..256, 4),
+            n_lits in 2usize..6,
+        ) {
+            let mut arena = ExprArena::new();
+            let vars: Vec<ExprRef> =
+                (0..4).map(|_| arena.fresh_var(VarInfo::byte()).1).collect();
+            // Simulate an executed run: each path literal asserts the
+            // truth value its expression actually took, so every literal
+            // holds under `assign` — the registration precondition.
+            let mut path = ConstraintSet::new();
+            for i in 0..n_lits {
+                let e = arb_expr(&mut arena, &vars, &ops[i.min(ops.len() - 1)..], 0);
+                path.push(Lit { expr: e, positive: arena.eval(e, &assign) != 0 });
+            }
+            prop_assert!(path.satisfied(&arena, &assign));
+            arena.freeze();
+            let mut cache = PrefixCache::new();
+            cache.register_path(&arena, &path.lits, &path.ranges);
+            let cfg = SolveCfg { max_iters: 2000, ..SolveCfg::default() };
+            for k in 0..path.lits.len() {
+                let pending = path.negate_at(k);
+                let (plain_model, plain_stats) =
+                    solve_with_stats(&arena, &pending, Some(&assign), &cfg);
+                let (cached_model, cached_stats) = solve_with_stats_cached(
+                    &arena, &pending, Some(&assign), &cfg, Some(&cache),
+                );
+                prop_assert_eq!(&plain_model, &cached_model);
+                prop_assert_eq!(plain_stats.iters, cached_stats.iters);
+                prop_assert_eq!(plain_stats.inversions, cached_stats.inversions);
+                prop_assert_eq!(plain_stats.restarts, cached_stats.restarts);
+                prop_assert_eq!(plain_stats.refuted, cached_stats.refuted);
+                prop_assert_eq!(cached_stats.prefix_lits_saved, k as u64);
+                prop_assert_eq!(cached_stats.prefix_hit, k > 0);
             }
         }
     }

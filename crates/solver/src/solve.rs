@@ -31,6 +31,7 @@
 //! pre-generalization behavior.
 
 use crate::arena::{Evaluator, ExprArena, ExprRef, Node, VarId, VarInfo};
+use crate::cache::PrefixCache;
 use crate::constraint::{ConstraintSet, RangeConstraint};
 use crate::interval::propagate;
 use crate::op::Op;
@@ -84,6 +85,11 @@ pub struct SolveStats {
     pub refuted: bool,
     /// [`solve_or_pin`] had to fall back to the hard-pinned variant.
     pub pin_fallback: bool,
+    /// The prefix cache matched a non-empty satisfied prefix.
+    pub prefix_hit: bool,
+    /// Literals whose per-literal refutation work the prefix cache
+    /// skipped (the matched prefix length).
+    pub prefix_lits_saved: u64,
 }
 
 /// Minimal deterministic PRNG (xorshift64*), dependency-free.
@@ -171,6 +177,7 @@ impl<'a> Search<'a> {
         cs: &'a ConstraintSet,
         domains: Vec<VarInfo>,
         assign: Vec<i64>,
+        cache: Option<&PrefixCache>,
     ) -> Self {
         let items: Vec<Item> = cs
             .lits
@@ -178,7 +185,18 @@ impl<'a> Search<'a> {
             .map(|l| Item::Lit(*l))
             .chain(cs.ranges.iter().map(|r| Item::Range(*r)))
             .collect();
-        let supports: Vec<Vec<VarId>> = items.iter().map(|l| arena.support(l.expr())).collect();
+        // Supports are pure functions of immutable node content: a
+        // banked support (registered when the expression's run was
+        // executed) is the value `arena.support` would compute. The
+        // negated tail literal shares its expression with the registered
+        // positive form, so divergent tails hit too.
+        let supports: Vec<Vec<VarId>> = items
+            .iter()
+            .map(|l| match cache.and_then(|c| c.support_of(l.expr())) {
+                Some(s) => s.to_vec(),
+                None => arena.support(l.expr()),
+            })
+            .collect();
         let mut var_lits: HashMap<VarId, Vec<usize>> = HashMap::new();
         for (i, sup) in supports.iter().enumerate() {
             for v in sup {
@@ -283,16 +301,43 @@ pub fn solve_with_stats(
     seed_assign: Option<&[i64]>,
     cfg: &SolveCfg,
 ) -> (Option<Vec<i64>>, SolveStats) {
+    solve_with_stats_cached(arena, cs, seed_assign, cfg, None)
+}
+
+/// [`solve_with_stats`] with a [`PrefixCache`]: per-literal refutation
+/// work for the matched satisfied prefix is skipped, banked intervals /
+/// supports / propagation states are reused, and the hit is reported in
+/// the stats. Every shortcut is provably outcome-identical (see the
+/// cache module docs), so the verdict, model and refutation flag are
+/// bit-identical to the uncached call.
+pub fn solve_with_stats_cached(
+    arena: &ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+    cache: Option<&PrefixCache>,
+) -> (Option<Vec<i64>>, SolveStats) {
     let mut stats = SolveStats::default();
-    if cs.obviously_unsat(arena) {
+    let skip = cache.map_or(0, |c| c.sat_prefix_len(&cs.lits));
+    stats.prefix_hit = skip > 0;
+    stats.prefix_lits_saved = skip as u64;
+    if cs.obviously_unsat_cached(arena, skip, cache) {
         stats.refuted = true;
         return (None, stats);
     }
     // Backward interval propagation: narrow the variable domains under
     // the range constraints; an empty domain is a sound UNSAT proof.
-    let Some(domains) = propagate(arena, cs) else {
-        stats.refuted = true;
-        return (None, stats);
+    // A banked propagation state for this exact range vector replays
+    // the narrowing instead of re-deriving it.
+    let domains = match cache.and_then(|c| c.propagate_cached(arena, &cs.ranges)) {
+        Some(d) => d,
+        None => match propagate(arena, cs) {
+            Some(d) => d,
+            None => {
+                stats.refuted = true;
+                return (None, stats);
+            }
+        },
     };
     // Re-run the literal refutation under the narrowed domains — this is
     // where a branch literal contradicting a region bound is caught.
@@ -320,7 +365,7 @@ pub fn solve_with_stats(
         })
         .collect();
     let n_items = cs.n_constraints();
-    let mut search = Search::new(arena, cs, domains, init);
+    let mut search = Search::new(arena, cs, domains, init, cache);
     if search.n_sat == n_items {
         return (Some(search.assign), stats);
     }
@@ -347,7 +392,8 @@ pub fn solve_with_stats(
         // Phase 1: algebraic repair of the violated item — inversion of a
         // literal, or snapping a range's expression to the nearest
         // admissible value.
-        let mut ev = std::mem::replace(&mut search.ev, Evaluator::new(arena));
+        // The placeholder is swapped back before any use: don't size it.
+        let mut ev = std::mem::replace(&mut search.ev, Evaluator::empty());
         ev.invalidate();
         let changed = match item {
             Item::Lit(lit) => invert_lit(
@@ -462,14 +508,28 @@ pub fn solve_or_pin(
     seed_assign: Option<&[i64]>,
     cfg: &SolveCfg,
 ) -> (Option<Vec<i64>>, SolveStats) {
+    solve_or_pin_cached(arena, cs, seed_assign, cfg, None)
+}
+
+/// [`solve_or_pin`] with a [`PrefixCache`]. The prefix-hit stats come
+/// from the bounded attempt only: one outer call counts as one cache
+/// hit or miss, and the pinned retry's prepended `Eq` pins shift every
+/// literal position, so its prefix never matches a banked path anyway.
+pub fn solve_or_pin_cached(
+    arena: &mut ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+    cache: Option<&PrefixCache>,
+) -> (Option<Vec<i64>>, SolveStats) {
     if !cs.has_ranges() {
-        return solve_with_stats(arena, cs, seed_assign, cfg);
+        return solve_with_stats_cached(arena, cs, seed_assign, cfg, cache);
     }
     let bounded_cfg = SolveCfg {
         max_iters: (cfg.max_iters / 2).max(1),
         ..cfg.clone()
     };
-    let (model, mut stats) = solve_with_stats(arena, cs, seed_assign, &bounded_cfg);
+    let (model, mut stats) = solve_with_stats_cached(arena, cs, seed_assign, &bounded_cfg, cache);
     if model.is_some() || stats.refuted {
         return (model, stats);
     }
@@ -478,7 +538,7 @@ pub fn solve_or_pin(
         max_iters: cfg.max_iters.saturating_sub(stats.iters).max(1),
         ..cfg.clone()
     };
-    let (model, pin_stats) = solve_with_stats(arena, &pinned, seed_assign, &pin_cfg);
+    let (model, pin_stats) = solve_with_stats_cached(arena, &pinned, seed_assign, &pin_cfg, cache);
     stats.iters += pin_stats.iters;
     stats.inversions += pin_stats.inversions;
     stats.restarts += pin_stats.restarts;
@@ -504,14 +564,29 @@ pub fn solve_or_pin_ro(
     seed_assign: Option<&[i64]>,
     cfg: &SolveCfg,
 ) -> (Option<Vec<i64>>, SolveStats) {
+    solve_or_pin_ro_cached(arena, cs, seed_assign, cfg, None)
+}
+
+/// [`solve_or_pin_ro`] with a [`PrefixCache`] — the form the engines'
+/// solve phases use, serial and parallel alike. Workers share the cache
+/// by reference against the frozen central arena; the scratch clone the
+/// pin fallback builds shares the frozen prefix by refcount, so banked
+/// entries (keyed on prefix handles) stay valid inside it.
+pub fn solve_or_pin_ro_cached(
+    arena: &ExprArena,
+    cs: &ConstraintSet,
+    seed_assign: Option<&[i64]>,
+    cfg: &SolveCfg,
+    cache: Option<&PrefixCache>,
+) -> (Option<Vec<i64>>, SolveStats) {
     if !cs.has_ranges() {
-        return solve_with_stats(arena, cs, seed_assign, cfg);
+        return solve_with_stats_cached(arena, cs, seed_assign, cfg, cache);
     }
     let bounded_cfg = SolveCfg {
         max_iters: (cfg.max_iters / 2).max(1),
         ..cfg.clone()
     };
-    let (model, mut stats) = solve_with_stats(arena, cs, seed_assign, &bounded_cfg);
+    let (model, mut stats) = solve_with_stats_cached(arena, cs, seed_assign, &bounded_cfg, cache);
     if model.is_some() || stats.refuted {
         return (model, stats);
     }
@@ -521,7 +596,8 @@ pub fn solve_or_pin_ro(
         max_iters: cfg.max_iters.saturating_sub(stats.iters).max(1),
         ..cfg.clone()
     };
-    let (model, pin_stats) = solve_with_stats(&scratch, &pinned, seed_assign, &pin_cfg);
+    let (model, pin_stats) =
+        solve_with_stats_cached(&scratch, &pinned, seed_assign, &pin_cfg, cache);
     stats.iters += pin_stats.iters;
     stats.inversions += pin_stats.inversions;
     stats.restarts += pin_stats.restarts;
