@@ -10,6 +10,7 @@ use instrument::Method;
 use retrace_bench::experiments::{
     analysis_summary, analyze_coverages, replay_one, userver_analysis_bench,
 };
+use retrace_bench::fixtures::Knobs;
 use retrace_bench::render;
 use retrace_bench::setup::{userver_experiments, Coverage};
 
@@ -18,11 +19,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(300);
-    let workers = retrace_bench::workers_arg();
-    let cache = retrace_bench::cache_arg();
+    let knobs = Knobs::from_args();
+    let (workers, cache) = (knobs.workers, knobs.cache);
     let mut abench = userver_analysis_bench(42);
-    abench.wb.workers = workers;
-    abench.wb.cache = cache;
+    knobs.apply(&mut abench);
     let bundles = analyze_coverages(&abench.wb);
     println!("{}", analysis_summary("LC", &bundles.lc));
     println!("{}", analysis_summary("HC", &bundles.hc));
@@ -63,8 +63,7 @@ fn main() {
     let mut t3 = Vec::new();
     let mut t4 = Vec::new();
     for mut exp_def in userver_experiments(42) {
-        exp_def.wb.workers = workers;
-        exp_def.wb.cache = cache;
+        knobs.apply(&mut exp_def);
         for (name, method, cov, suppress) in &configs {
             let bundle = match cov {
                 Coverage::Lc => &bundles.lc,

@@ -46,6 +46,15 @@ impl Knobs {
         }
     }
 
+    /// Knobs parsed from the process's CLI flags (`--workers N`,
+    /// `--cache on|off`) — the one parser every table bin shares.
+    pub fn from_args() -> Self {
+        Knobs {
+            workers: crate::workers_arg(),
+            cache: crate::cache_arg(),
+        }
+    }
+
     /// Applies the knobs to an experiment's workbench.
     pub fn apply(&self, exp: &mut Experiment) {
         exp.wb.workers = self.workers;
@@ -181,6 +190,116 @@ pub fn exp1_replay_table(knobs: Knobs) -> String {
         ],
         &rows,
     )
+}
+
+/// Corpus seed of the standard triage runs (the golden and the smoke
+/// test pin tables generated from it).
+pub const TRIAGE_CORPUS_SEED: u64 = 42;
+
+/// The standard-fleet triage run the golden tables, the smoke test and
+/// the `table_triage` bin share: register the four corpus programs,
+/// deploy an `n`-entry mixed corpus at [`TRIAGE_CORPUS_SEED`], triage.
+pub fn triage_run(
+    knobs: Knobs,
+    corpus_n: usize,
+) -> (
+    retrace_triage::TriagePipeline,
+    retrace_triage::TriageOutcome,
+) {
+    let mut p = retrace_triage::TriagePipeline::new(retrace_triage::TriageConfig {
+        workers: knobs.workers,
+        cache: knobs.cache,
+        ..retrace_triage::TriageConfig::default()
+    });
+    retrace_triage::register_standard_fleet(&mut p);
+    let corpus = workloads::fleet_mixed(workloads::CORPUS_PROGRAMS, corpus_n, TRIAGE_CORPUS_SEED);
+    retrace_triage::deploy_corpus(&mut p, &corpus);
+    let out = p.triage();
+    (p, out)
+}
+
+/// Renders the triage table's deterministic columns plus the ledger
+/// summary (everything but wall clock) — the rendering the committed
+/// golden `triage_200.txt` pins at corpus 200, default knobs, and the
+/// worker-invariance leg re-renders at workers 4.
+pub fn triage_table(out: &retrace_triage::TriageOutcome, corpus_n: usize) -> String {
+    let rows: Vec<Vec<String>> = out
+        .classes
+        .iter()
+        .map(|c| {
+            vec![
+                c.row.class.to_string(),
+                c.row.program.clone(),
+                c.row.crash.clone(),
+                c.row.members.to_string(),
+                c.row.replay_cell(),
+                c.row.total_instrs.to_string(),
+                c.row.conformance_cell(),
+                if c.escalated { "yes" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    let l = &out.ledger;
+    let table = render::table(
+        &format!("fleet triage: one replay per report class (corpus {corpus_n}; wall masked)"),
+        &[
+            "class",
+            "program",
+            "crash",
+            "members",
+            "replay r/s",
+            "instrs",
+            "conformed",
+            "escalated",
+        ],
+        &rows,
+    );
+    format!(
+        "{table}\nledger: {} deployments · {} healthy · {} reports · {} classes · dedup {:.1}x\n\
+         amortization: {} analyses for {} binaries ({} reports would each pay one naively) · \
+         {} replays · {} conformant · {} escalations\n",
+        l.deployments,
+        l.healthy,
+        l.reports,
+        l.classes,
+        out.dedup_ratio(),
+        l.analyses,
+        l.distinct_binaries(),
+        l.reports,
+        l.replays,
+        l.conformant,
+        l.escalations,
+    )
+}
+
+/// The wall-clock block of the triage table (machine-dependent —
+/// printed by the bin, never golden-pinned): batched wall, the
+/// reports/sec headline, and the naive one-at-a-time extrapolation.
+pub fn triage_wall_summary(
+    out: &retrace_triage::TriageOutcome,
+    naive: Option<&retrace_triage::NaiveOutcome>,
+) -> String {
+    let mut s = format!(
+        "batched: {} reports triaged in {} ms — {}\n",
+        out.ledger.reports,
+        out.wall_ms,
+        retrace_core::metrics::throughput_cell(out.ledger.reports, out.wall_ms),
+    );
+    if let Some(n) = naive {
+        let per = n.wall_ms_per_report();
+        let extrapolated = per * out.ledger.reports as f64;
+        s.push_str(&format!(
+            "naive:   {} reports one-at-a-time in {} ms ({:.1} ms/report, one analysis each) — \
+             extrapolated {:.0} ms for all {} reports, {:.0}x the batched wall\n",
+            n.reports,
+            n.wall_ms,
+            per,
+            extrapolated,
+            out.ledger.reports,
+            extrapolated / out.wall_ms.max(1) as f64,
+        ));
+    }
+    s
 }
 
 /// The guarded-crash source the replay goldens and invariance suites

@@ -23,7 +23,7 @@ pub mod metrics;
 pub mod pipeline;
 
 pub use concolic::Concretization;
-pub use metrics::{LocationRow, Overhead, ReplayRow};
+pub use metrics::{LocationRow, Overhead, ReplayRow, TriageRow};
 pub use pipeline::{to_dyn_labels, AnalysisBundle, LoggedRun, Workbench};
 pub use search::{ForcedSetRepair, FrontierStats, SearchPolicy, Strategy};
 // The one documented home of the golden-ratio seed-mixing helper (the

@@ -174,6 +174,58 @@ pub fn cache_cell(cache_hits: u64, cache_misses: u64, prefix_len_saved: u64) -> 
     }
 }
 
+/// One triage-class outcome: an equivalence class of bug reports,
+/// replayed once by its representative (the fleet-triage table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TriageRow {
+    /// Class index (in first-seen corpus order — deterministic).
+    pub class: usize,
+    /// Program (binary) the class's reports came from.
+    pub program: String,
+    /// Crash site: `kind @ unit:line:col` of the representative.
+    pub crash: String,
+    /// Reports in the class (representative included).
+    pub members: usize,
+    /// Whether the representative's replay reproduced the crash.
+    pub reproduced: bool,
+    /// Replay runs the representative needed.
+    pub runs: usize,
+    /// Solver invocations of the representative's replay.
+    pub solver_calls: usize,
+    /// Total instructions across the representative's replay runs.
+    pub total_instrs: u64,
+    /// Members whose report digest matched the re-deployed witness
+    /// (representative included; `== members` when the class is tight).
+    pub conformed: usize,
+    /// Wall-clock milliseconds for the class (replay + conformance;
+    /// machine-dependent — masked in golden tables).
+    pub wall_ms: u64,
+}
+
+impl TriageRow {
+    /// The reproduction cell: runs and solver calls, or ∞ on timeout.
+    pub fn replay_cell(&self) -> String {
+        if !self.reproduced {
+            return "∞".to_string();
+        }
+        format!("{}r/{}s", self.runs, self.solver_calls)
+    }
+
+    /// The conformance cell: `conformed/members`.
+    pub fn conformance_cell(&self) -> String {
+        format!("{}/{}", self.conformed, self.members)
+    }
+}
+
+/// Formats a reports-per-second throughput cell from a report count and
+/// a wall-clock duration — the one definition of the headline metric's
+/// shape, shared by the triage table and its smoke test. Sub-millisecond
+/// walls clamp to 1 ms so the figure stays finite.
+pub fn throughput_cell(reports: usize, wall_ms: u64) -> String {
+    let secs = wall_ms.max(1) as f64 / 1e3;
+    format!("{:.0} reports/s", reports as f64 / secs)
+}
+
 /// Branch-location counts per configuration (Table 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocationRow {

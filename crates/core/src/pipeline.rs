@@ -30,6 +30,18 @@ use search::SearchPolicy;
 use solver::ExprArena;
 use staticax::StaticConfig;
 
+/// Realizes an input spec under a solver assignment: concrete argv plus
+/// the kernel configuration carrying stdin/files/connection bytes.
+fn realize_assignment(
+    spec: &InputSpec,
+    kernel: &KernelConfig,
+    assignment: &[i64],
+) -> (Vec<Vec<u8>>, KernelConfig) {
+    let mut arena = ExprArena::new();
+    let vars = InputVars::alloc(&mut arena, spec);
+    realize(spec, &vars, assignment, kernel)
+}
+
 /// Converts the concolic engine's labels to the instrumentation layer's.
 pub fn to_dyn_labels(cp: &CompiledProgram, labels: &concolic::LabelMap) -> Vec<DynLabel> {
     (0..cp.n_branches())
@@ -223,10 +235,8 @@ impl Workbench {
     }
 
     fn realize_deployment(&self, parts: &InputParts) -> (Vec<Vec<u8>>, KernelConfig) {
-        let mut arena = ExprArena::new();
-        let vars = InputVars::alloc(&mut arena, &self.spec);
         let assignment = assignment_from_input(&self.spec, parts);
-        realize(&self.spec, &vars, &assignment, &self.kernel)
+        realize_assignment(&self.spec, &self.kernel, &assignment)
     }
 
     /// Uninstrumented baseline run (the `none` configuration).
@@ -242,6 +252,48 @@ impl Workbench {
     /// Instrumented user-site run under a plan.
     pub fn logged_run(&self, plan: &Plan, parts: &InputParts) -> LoggedRun {
         let (argv, kcfg) = self.realize_deployment(parts);
+        self.logged_run_realized(plan, argv, kcfg)
+    }
+
+    /// Instrumented run with a per-deployment input shape and
+    /// environment (the fleet-triage entry point: one workbench per
+    /// binary, many user sites whose specs differ in connection lengths
+    /// or signal plans). [`logged_run`](Workbench::logged_run) is the
+    /// `(spec, kernel) = (self.spec, self.kernel)` special case.
+    pub fn logged_run_with(
+        &self,
+        plan: &Plan,
+        spec: &InputSpec,
+        kernel: &KernelConfig,
+        parts: &InputParts,
+    ) -> LoggedRun {
+        let assignment = assignment_from_input(spec, parts);
+        let (argv, kcfg) = realize_assignment(spec, kernel, &assignment);
+        self.logged_run_realized(plan, argv, kcfg)
+    }
+
+    /// Instrumented run deploying a solver assignment (e.g. a replay
+    /// witness) instead of concrete input parts, under a per-deployment
+    /// shape and environment. The triage pipeline's conformance check
+    /// re-deploys a class representative's witness this way and compares
+    /// the produced report against the class members'.
+    pub fn logged_run_assignment(
+        &self,
+        plan: &Plan,
+        spec: &InputSpec,
+        kernel: &KernelConfig,
+        assignment: &[i64],
+    ) -> LoggedRun {
+        let (argv, kcfg) = realize_assignment(spec, kernel, assignment);
+        self.logged_run_realized(plan, argv, kcfg)
+    }
+
+    fn logged_run_realized(
+        &self,
+        plan: &Plan,
+        argv: Vec<Vec<u8>>,
+        kcfg: KernelConfig,
+    ) -> LoggedRun {
         let host = LoggingHost::new(Kernel::new(kcfg), plan.clone());
         let mut vm = Vm::new(&self.cp, host);
         let outcome = vm.run(&argv);
@@ -299,14 +351,33 @@ impl Workbench {
 
     /// Developer-site reproduction from a shipped report.
     pub fn replay(&self, plan: &Plan, report: &BugReport, max_runs: usize) -> ReplayResult {
-        let mut rcfg = ReplayConfig::new(self.spec.clone());
+        // The historical session-seed derivation: every committed golden
+        // pins replay behavior at exactly this seed.
+        self.replay_with(plan, report, &self.spec, max_runs, self.seed ^ 0x5eed_cafe)
+    }
+
+    /// Reproduction against a per-report input shape with an explicit
+    /// search seed — the fleet-triage entry point, where one workbench
+    /// replays representatives of many report classes whose deployment
+    /// specs differ (connection lengths) and whose searches are seeded
+    /// per class. [`replay`](Workbench::replay) is the `(spec, seed) =
+    /// (self.spec, self.seed ^ 0x5eed_cafe)` special case.
+    pub fn replay_with(
+        &self,
+        plan: &Plan,
+        report: &BugReport,
+        spec: &InputSpec,
+        max_runs: usize,
+        seed: u64,
+    ) -> ReplayResult {
+        let mut rcfg = ReplayConfig::new(spec.clone());
         rcfg.base_fs = self.kernel.fs.clone();
         rcfg.budget.max_runs = max_runs;
         rcfg.budget.policy = self.policy.clone();
         rcfg.budget.concretization = self.concretization;
         rcfg.budget.workers = self.workers.max(1);
         rcfg.budget.prefix_cache = self.cache;
-        rcfg.seed = self.seed ^ 0x5eed_cafe;
+        rcfg.seed = seed;
         ReplayEngine::new(&self.cp, plan.clone(), report.clone(), rcfg).reproduce()
     }
 

@@ -1,0 +1,230 @@
+//! Report clustering: the equivalence-class identity of a bug report.
+//!
+//! Two layers, both built on the solver's shared [`Fnv128`] mixing (the
+//! same primitive the search frontier's candidate dedup and the prefix
+//! solve cache hash with, so the identities cannot drift apart):
+//!
+//! - a **bucket key** ([`ClassKey`]): (binary, crash-site digest,
+//!   trace-*prefix* hash). Cheap, prefix-bounded — reports that differ
+//!   only deep in the trace still bucket together;
+//! - an **exact class** inside a bucket: the full [`report_digest`]
+//!   over crash, trace wire bytes and syscall records. A digest match
+//!   joins the class; a mismatch inside an existing bucket *escalates*
+//!   into a new class (progressive detail: the prefix said "same", the
+//!   full stream said "different", so the new class gets its own
+//!   replay).
+//!
+//! Conformance checking reuses the same digest: after the class
+//! representative's witness is re-deployed, members are verified by
+//! digest equality against the produced report — bit-stream conformance
+//! instead of a guided search per member.
+
+use instrument::{BugReport, TraceLog};
+use minic::{CrashInfo, CrashKind};
+use solver::Fnv128;
+
+/// Default trace-prefix budget (bits) for the bucket key. 64 bits of
+/// early branch history separate crash paths well before the corpus
+/// sizes where prefix collisions would matter; the exact digest behind
+/// the bucket catches the rest.
+pub const DEFAULT_PREFIX_BITS: u64 = 64;
+
+/// The bucket identity of a report class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    /// Registered binary index within the pipeline.
+    pub binary: usize,
+    /// Crash-site digest ([`crash_digest`]).
+    pub crash: u128,
+    /// Trace-prefix hash ([`trace_prefix_hash`]).
+    pub prefix: u128,
+}
+
+/// The bucket key of a report: binary + crash site + trace prefix.
+pub fn class_key(binary: usize, report: &BugReport, prefix_bits: u64) -> ClassKey {
+    ClassKey {
+        binary,
+        crash: crash_digest(&report.crash),
+        prefix: trace_prefix_hash(&report.trace, prefix_bits),
+    }
+}
+
+/// Stable numeric tag of a crash kind. Memory-fault *detail* (object,
+/// offset) is deliberately excluded: the crash site plus the trace
+/// prefix do the fine discrimination, and offsets can vary across
+/// equivalent members (different argv bytes, same overrun).
+fn kind_tag(kind: &CrashKind) -> u128 {
+    match kind {
+        CrashKind::Mem(_) => 1,
+        CrashKind::DivByZero => 2,
+        CrashKind::AssertFail => 3,
+        CrashKind::ExplicitAbort => 4,
+        CrashKind::Signal(n) => (5u128 << 32) | (*n as u32 as u128),
+        CrashKind::StackOverflow => 6,
+    }
+}
+
+/// FNV-128 digest of a crash site: kind class, location, function.
+pub fn crash_digest(crash: &CrashInfo) -> u128 {
+    let mut h = Fnv128::new();
+    h.mix(kind_tag(&crash.kind));
+    h.mix(crash.loc.unit.0 as u128);
+    h.mix(crash.loc.line as u128);
+    h.mix(crash.loc.col as u128);
+    for &b in crash.func.as_bytes() {
+        h.mix(b as u128);
+    }
+    h.value()
+}
+
+/// FNV-128 hash over the first `prefix_bits` recorded branch directions.
+///
+/// Flat traces hash their true execution-order prefix. Cursor traces
+/// have no global order on the wire, so the budget is spent across the
+/// per-location streams in location order (each stream contributing its
+/// own prefix) — a deterministic identity with the same
+/// early-divergence property.
+pub fn trace_prefix_hash(trace: &TraceLog, prefix_bits: u64) -> u128 {
+    let mut h = Fnv128::new();
+    match trace {
+        TraceLog::Flat(t) => {
+            h.mix(1);
+            let n = t.len().min(prefix_bits);
+            for i in 0..n {
+                h.mix(2 + t.get(i).expect("i < len") as u128);
+            }
+        }
+        TraceLog::Cursors(c) => {
+            h.mix(2);
+            let mut budget = prefix_bits;
+            for s in c.streams() {
+                if budget == 0 {
+                    break;
+                }
+                let take = s.bits.len().min(budget);
+                h.mix(0x10c_0000_0000u128 ^ s.loc as u128);
+                for i in 0..take {
+                    h.mix(2 + s.bits.get(i).expect("i < len") as u128);
+                }
+                budget -= take;
+            }
+        }
+    }
+    h.value()
+}
+
+/// FNV-128 digest of everything that matters for replaying a report:
+/// crash site, instrumentation method, full trace wire bytes and the
+/// syscall-result records. Digest equality is the class membership test
+/// *and* the conformance test against a re-deployed witness.
+pub fn report_digest(report: &BugReport) -> u128 {
+    let mut h = Fnv128::new();
+    h.mix(crash_digest(&report.crash));
+    h.mix(report.method as u128);
+    h.mix(match &report.trace {
+        TraceLog::Flat(_) => 1,
+        TraceLog::Cursors(_) => 2,
+    });
+    h.mix(report.trace.len() as u128);
+    for b in report.trace.wire_bytes() {
+        h.mix(b as u128);
+    }
+    for r in &report.syscalls.records {
+        h.mix(r.sys as u128);
+        h.mix(r.ret as u64 as u128);
+        for &f in &r.flags {
+            h.mix(f as u64 as u128);
+        }
+    }
+    h.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrument::{BranchTrace, CursorTrace, Method, SyscallLog};
+    use minic::{Loc, UnitId};
+
+    fn crash_at(line: u32) -> CrashInfo {
+        CrashInfo {
+            kind: CrashKind::DivByZero,
+            loc: Loc {
+                unit: UnitId(0),
+                line,
+                col: 3,
+            },
+            func: "main".into(),
+        }
+    }
+
+    fn report(trace: TraceLog, line: u32) -> BugReport {
+        BugReport {
+            crash: crash_at(line),
+            trace,
+            cursor_spend_units: 0,
+            syscalls: SyscallLog::new(),
+            method: Method::DynamicStatic,
+        }
+    }
+
+    #[test]
+    fn crash_digest_separates_sites_and_kinds() {
+        let a = crash_digest(&crash_at(10));
+        assert_eq!(a, crash_digest(&crash_at(10)));
+        assert_ne!(a, crash_digest(&crash_at(11)));
+        let mut sig = crash_at(10);
+        sig.kind = CrashKind::Signal(11);
+        assert_ne!(a, crash_digest(&sig));
+    }
+
+    #[test]
+    fn prefix_hash_ignores_suffix_bits_beyond_budget() {
+        let mut long = vec![true, false, true, true];
+        let flat = |bits: &[bool]| TraceLog::Flat(BranchTrace::from_bools(bits));
+        let base = trace_prefix_hash(&flat(&long), 4);
+        long.push(false);
+        // A fifth bit is outside the 4-bit budget: same bucket.
+        assert_eq!(base, trace_prefix_hash(&flat(&long), 4));
+        // ... but inside a 5-bit budget: different bucket.
+        assert_ne!(
+            trace_prefix_hash(&flat(&long), 5),
+            trace_prefix_hash(&flat(&long[..4]), 5)
+        );
+        // The full digest always sees the extra bit.
+        assert_ne!(
+            report_digest(&report(flat(&long), 1)),
+            report_digest(&report(flat(&long[..4]), 1))
+        );
+    }
+
+    #[test]
+    fn cursor_traces_hash_by_stream_prefixes() {
+        let a = TraceLog::Cursors(CursorTrace::from_streams(&[
+            (3, &[true, true]),
+            (7, &[false]),
+        ]));
+        let b = TraceLog::Cursors(CursorTrace::from_streams(&[
+            (3, &[true, true]),
+            (7, &[true]),
+        ]));
+        assert_ne!(trace_prefix_hash(&a, 64), trace_prefix_hash(&b, 64));
+        assert_eq!(trace_prefix_hash(&a, 64), trace_prefix_hash(&a, 64));
+        // Flat and cursor logs never collide, even when bit-compatible.
+        let f = TraceLog::Flat(BranchTrace::from_bools(&[true, true, false]));
+        assert_ne!(trace_prefix_hash(&a, 64), trace_prefix_hash(&f, 64));
+    }
+
+    #[test]
+    fn report_digest_covers_syscalls() {
+        let t = || TraceLog::Flat(BranchTrace::from_bools(&[true]));
+        let mut a = report(t(), 1);
+        let b = report(t(), 1);
+        assert_eq!(report_digest(&a), report_digest(&b));
+        a.syscalls.records.push(instrument::SysRecord {
+            sys: minic::types::Sys::Read,
+            ret: 5,
+            flags: vec![],
+        });
+        assert_ne!(report_digest(&a), report_digest(&b));
+    }
+}

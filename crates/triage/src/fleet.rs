@@ -1,0 +1,136 @@
+//! The standard triage fleet: the corpus-generator programs of
+//! [`workloads::corpus`] wired as [`FleetBinary`]s, plus the mapping
+//! from a corpus entry to a concrete deployment.
+//!
+//! Mirrors the bench setups: coreutils get their §5.2 argv shapes (the
+//! trailing-option overrun family), the uServer gets the §5.3 server
+//! environment — crash-expected entries are ended by the injected
+//! SEGFAULT after all connections are served, healthy entries run
+//! signal-free and file nothing.
+
+use concolic::{ArgSpec, ClientSpec, InputSpec};
+use oskit::{KernelConfig, SignalPlan};
+use progs::Program;
+use replay::InputParts;
+use retrace_core::{SearchPolicy, Workbench};
+use workloads::corpus::{CorpusEntry, CorpusLabel};
+
+use crate::pipeline::{FleetBinary, TriagePipeline};
+
+/// Concolic budget for the coreutils' one-time analysis (matches the
+/// single-report workbench tests).
+pub const CORE_ANALYSIS_RUNS: usize = 24;
+
+/// Concolic budget for the uServer's one-time analysis — the paper's LC
+/// configuration (the bench's `Coverage::Lc`), which the exp-1 replay
+/// golden is pinned at.
+pub const USERVER_ANALYSIS_RUNS: usize = 2;
+
+fn coreutil_binary(p: Program, arg_lens: &[usize]) -> FleetBinary {
+    let cp = p.build().expect("coreutil compiles");
+    let mut argv = vec![ArgSpec::Fixed(p.name().as_bytes().to_vec())];
+    argv.extend(arg_lens.iter().map(|&n| ArgSpec::Symbolic(n)));
+    let spec = InputSpec {
+        argv,
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    if let Some(u) = p.libc_unit() {
+        wb.static_exclude = vec![u];
+    }
+    FleetBinary::new(p.name(), wb, CORE_ANALYSIS_RUNS)
+}
+
+fn userver_binary() -> FleetBinary {
+    let cp = Program::Userver.build().expect("userver compiles");
+    let spec = InputSpec {
+        argv: vec![ArgSpec::Fixed(b"userver".to_vec())],
+        ..InputSpec::default()
+    };
+    let mut wb = Workbench::new(cp, spec);
+    wb.static_exclude = vec![Program::Userver.libc_unit().expect("userver links libc")];
+    wb.kernel.arrival_window = 2;
+    // Replay keeps the DFS default (log-guided priority sets steer);
+    // the ANALYSIS runs under the explorer over two 48-byte symbolic
+    // connections — the plateau-breaking setup of the bench's
+    // `userver_analysis_bench`.
+    let mut fb = FleetBinary::new("uServer", wb, USERVER_ANALYSIS_RUNS);
+    fb.analysis_policy = SearchPolicy::explorer();
+    fb.analysis_spec.clients = vec![
+        ClientSpec {
+            packet_lens: vec![48],
+            close_after: true,
+        },
+        ClientSpec {
+            packet_lens: vec![48],
+            close_after: true,
+        },
+    ];
+    fb
+}
+
+/// Registers the four standard fleet binaries (mkdir, mknod, mkfifo,
+/// uServer — the [`workloads::corpus::CORPUS_PROGRAMS`] set) and
+/// returns their pipeline ids in that order.
+pub fn register_standard_fleet(p: &mut TriagePipeline) -> Vec<usize> {
+    vec![
+        p.register(coreutil_binary(Program::Mkdir, &[2, 2])),
+        p.register(coreutil_binary(Program::Mknod, &[2, 1, 2])),
+        p.register(coreutil_binary(Program::Mkfifo, &[2, 2])),
+        p.register(userver_binary()),
+    ]
+}
+
+/// Maps one corpus entry to its deployment: input shape, environment
+/// (signal plan keyed off the ground-truth label for the server) and
+/// the concrete input parts.
+pub fn deployment_for(
+    fb: &FleetBinary,
+    entry: &CorpusEntry,
+) -> (InputSpec, KernelConfig, InputParts) {
+    if entry.program == "uServer" {
+        let mut spec = fb.wb.spec.clone();
+        spec.clients = entry
+            .conns
+            .iter()
+            .map(|r| ClientSpec {
+                packet_lens: vec![r.len()],
+                close_after: true,
+            })
+            .collect();
+        let mut kernel = fb.wb.kernel.clone();
+        kernel.signal_plan = (entry.label == CorpusLabel::CrashExpected).then_some(SignalPlan {
+            sig: 11,
+            after_all_conns_served: true,
+            after_n_syscalls: None,
+        });
+        let parts = InputParts {
+            conns: entry.conns.clone(),
+            ..InputParts::default()
+        };
+        (spec, kernel, parts)
+    } else {
+        let parts = InputParts {
+            argv_sym: entry.argv_sym.clone(),
+            ..InputParts::default()
+        };
+        (fb.wb.spec.clone(), fb.wb.kernel.clone(), parts)
+    }
+}
+
+/// Deploys a whole corpus through the pipeline (binaries looked up by
+/// entry program name — register the standard fleet first). Returns the
+/// number of reports filed.
+pub fn deploy_corpus(p: &mut TriagePipeline, entries: &[CorpusEntry]) -> usize {
+    let mut filed = 0;
+    for e in entries {
+        let id = p
+            .binary_id(e.program)
+            .unwrap_or_else(|| panic!("binary {:?} not registered", e.program));
+        let (spec, kernel, parts) = deployment_for(p.binary(id), e);
+        if p.deploy(id, &spec, &kernel, &parts) {
+            filed += 1;
+        }
+    }
+    filed
+}

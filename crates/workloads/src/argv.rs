@@ -5,6 +5,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use retrace_core::mix_seed;
+
+/// Domain-separation salt for [`random_argv`] streams: generators that
+/// share a caller-facing seed must not alias each other's bytes.
+const ARGV_SALT: u64 = 0xa5_9f;
 
 /// A named crashing invocation of a coreutil.
 #[derive(Debug, Clone)]
@@ -55,7 +60,7 @@ pub fn coreutils_crash_argv() -> Vec<CoreutilInvocation> {
 
 /// Random printable argv: `n_args` arguments of up to `max_len` bytes.
 pub fn random_argv(prog: &str, n_args: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed, ARGV_SALT));
     let mut argv = vec![prog.as_bytes().to_vec()];
     for _ in 0..n_args {
         let len = rng.gen_range(1..=max_len.max(1));

@@ -1,0 +1,295 @@
+//! Seeded bug-report corpora for fleet-scale triage.
+//!
+//! The paper's deployment story is many users running the same binary
+//! and shipping tiny branch-log reports; the triage pipeline's job is to
+//! cluster those reports and replay each equivalence class once. This
+//! module generates the *inputs* for that story: per-program mixes of
+//! crash-expected and healthy invocations, labeled at generation time
+//! so the pipeline's clustering can be checked against ground truth.
+//!
+//! Every entry is derived from `mix_seed(mix_seed(seed, CORPUS_SALT),
+//! index)`, so a corpus is reproducible byte-for-byte from `(prog, n,
+//! seed)` alone and any single entry can be regenerated without the
+//! rest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrace_core::mix_seed;
+
+use crate::http;
+
+/// Domain-separation salt for corpus entry seeds (distinct from the
+/// [`crate::argv::random_argv`] and [`http::saturation_workload`]
+/// salts, so corpora never alias those streams).
+const CORPUS_SALT: u64 = 0xc0_95;
+
+/// Ground-truth label attached to each corpus entry at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusLabel {
+    /// The input drives the program into a known crash site.
+    CrashExpected,
+    /// The input exercises a healthy path (clean exit, no report).
+    Healthy,
+}
+
+/// One generated invocation of a fleet binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Program name (matches `progs::Program::name`).
+    pub program: &'static str,
+    /// Whether this input is expected to crash.
+    pub label: CorpusLabel,
+    /// Which variant pool the entry was drawn from (crash variants and
+    /// healthy variants are numbered independently). Distinct crash
+    /// variants generally land in distinct triage classes.
+    pub variant: u32,
+    /// Symbolic argv values, one per symbolic slot (coreutils only).
+    pub argv_sym: Vec<Vec<u8>>,
+    /// Client request bytes, one per connection (uServer only).
+    pub conns: Vec<Vec<u8>>,
+}
+
+/// Program names [`mixed`] knows how to generate entries for.
+pub const CORPUS_PROGRAMS: &[&str] = &["mkdir", "mknod", "mkfifo", "uServer"];
+
+/// A seeded mix of crash-expected and healthy invocations of `prog`.
+///
+/// Roughly 60% of entries are crash-expected (the fleet skews toward
+/// users who hit the bug and filed a report). Deterministic: the same
+/// `(prog, n, seed)` always yields the identical entry list.
+///
+/// # Panics
+///
+/// Panics if `prog` is not one of [`CORPUS_PROGRAMS`].
+pub fn mixed(prog: &str, n: usize, seed: u64) -> Vec<CorpusEntry> {
+    assert!(
+        CORPUS_PROGRAMS.contains(&prog),
+        "no corpus generator for {prog:?} (have {CORPUS_PROGRAMS:?})"
+    );
+    let base = mix_seed(seed, CORPUS_SALT);
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(base, i as u64));
+            entry_for(prog, &mut rng)
+        })
+        .collect()
+}
+
+/// A fleet-wide corpus: `n` entries spread across `programs`, with the
+/// per-entry program chosen by the seeded RNG. Same determinism
+/// guarantee as [`mixed`].
+pub fn fleet_mixed(programs: &[&str], n: usize, seed: u64) -> Vec<CorpusEntry> {
+    for p in programs {
+        assert!(
+            CORPUS_PROGRAMS.contains(p),
+            "no corpus generator for {p:?} (have {CORPUS_PROGRAMS:?})"
+        );
+    }
+    let base = mix_seed(seed, CORPUS_SALT);
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(base, i as u64));
+            let prog = programs[rng.gen_range(0..programs.len())];
+            entry_for(prog, &mut rng)
+        })
+        .collect()
+}
+
+/// Crash-expected entries skew the mix: ~60% of a fleet corpus.
+fn crash_expected(rng: &mut StdRng) -> bool {
+    rng.gen_range(0..10) < 6
+}
+
+/// A path argument `/X` with a randomized letter, so healthy entries
+/// vary at the byte level while staying on the same program path.
+fn path2(rng: &mut StdRng) -> Vec<u8> {
+    vec![b'/', rng.gen_range(b'a'..=b'z')]
+}
+
+fn entry_for(prog: &str, rng: &mut StdRng) -> CorpusEntry {
+    match prog {
+        "mkdir" => mkdir_entry(rng),
+        "mknod" => mknod_entry(rng),
+        "mkfifo" => mkfifo_entry(rng),
+        "uServer" => userver_entry(rng),
+        other => unreachable!("validated above: {other}"),
+    }
+}
+
+/// mkdir takes two 2-byte symbolic args. Every crash variant ends with
+/// a trailing `-Z`: option parsing walks past argc looking for the
+/// option argument (the Table 1 bug, mkdir.mc:70).
+fn mkdir_entry(rng: &mut StdRng) -> CorpusEntry {
+    let (label, variant, argv_sym) = if crash_expected(rng) {
+        let v = rng.gen_range(0..3u32);
+        let first = match v {
+            0 => path2(rng),
+            1 => b"-v".to_vec(),
+            _ => b"-p".to_vec(),
+        };
+        (CorpusLabel::CrashExpected, v, vec![first, b"-Z".to_vec()])
+    } else {
+        let v = rng.gen_range(0..3u32);
+        let argv = match v {
+            0 => vec![path2(rng), path2(rng)],
+            1 => vec![b"-v".to_vec(), path2(rng)],
+            _ => vec![b"-p".to_vec(), path2(rng)],
+        };
+        (CorpusLabel::Healthy, v, argv)
+    };
+    CorpusEntry {
+        program: "mkdir",
+        label,
+        variant,
+        argv_sym,
+        conns: vec![],
+    }
+}
+
+/// mknod takes three symbolic args of lengths \[2, 1, 2\]. The crash is
+/// the same trailing-option overrun (mknod.mc:42); the `-m` mode path
+/// has a guarded healthy exit for invalid modes.
+fn mknod_entry(rng: &mut StdRng) -> CorpusEntry {
+    let octal = |rng: &mut StdRng| vec![rng.gen_range(b'0'..=b'7')];
+    let (label, variant, argv_sym) = if crash_expected(rng) {
+        let v = rng.gen_range(0..2u32);
+        let argv = match v {
+            0 => vec![path2(rng), b"p".to_vec(), b"-Z".to_vec()],
+            _ => vec![b"-m".to_vec(), octal(rng), b"-Z".to_vec()],
+        };
+        (CorpusLabel::CrashExpected, v, argv)
+    } else {
+        let v = rng.gen_range(0..2u32);
+        let argv = match v {
+            // `9` is not a valid octal mode: guarded exit(1).
+            0 => vec![b"-m".to_vec(), b"9".to_vec(), path2(rng)],
+            // `-m` as the last arg is detected before the overrun.
+            _ => vec![path2(rng), b"p".to_vec(), b"-m".to_vec()],
+        };
+        (CorpusLabel::Healthy, v, argv)
+    };
+    CorpusEntry {
+        program: "mknod",
+        label,
+        variant,
+        argv_sym,
+        conns: vec![],
+    }
+}
+
+/// mkfifo takes two 2-byte symbolic args; one crash variant (trailing
+/// `-Z` after a path, mkfifo.mc:42) and two healthy pools.
+fn mkfifo_entry(rng: &mut StdRng) -> CorpusEntry {
+    let (label, variant, argv_sym) = if crash_expected(rng) {
+        (
+            CorpusLabel::CrashExpected,
+            0,
+            vec![path2(rng), b"-Z".to_vec()],
+        )
+    } else {
+        let v = rng.gen_range(0..2u32);
+        let argv = match v {
+            0 => vec![path2(rng), path2(rng)],
+            // `-m 77`: valid octal mode consumed, no path left — exit 1.
+            _ => vec![b"-m".to_vec(), b"77".to_vec()],
+        };
+        (CorpusLabel::Healthy, v, argv)
+    };
+    CorpusEntry {
+        program: "mkfifo",
+        label,
+        variant,
+        argv_sym,
+        conns: vec![],
+    }
+}
+
+/// uServer entries carry request bytes per connection. Crash-expected
+/// entries reuse the §5.3 scenario requests (scenarios 1 and 2 — the
+/// cheap-to-replay parser areas); healthy entries are saturation-style
+/// valid GETs. Whether the deployment injects the crash signal is the
+/// triage fleet's decision (see `retrace_triage::fleet`), keyed off the
+/// label.
+fn userver_entry(rng: &mut StdRng) -> CorpusEntry {
+    let (label, variant, conns) = if crash_expected(rng) {
+        let v = rng.gen_range(0..2u32);
+        // Fixed literals from `http::scenarios` exps 1 and 2; the
+        // scenario list itself is seed-stable for ids 1-4.
+        let req = http::scenarios(0)[v as usize].requests[0].clone();
+        (CorpusLabel::CrashExpected, v, vec![req])
+    } else {
+        let req = http::saturation_workload(1, rng.gen_range(0..u64::MAX >> 1))
+            .pop()
+            .expect("one request");
+        (CorpusLabel::Healthy, 0, vec![req])
+    };
+    CorpusEntry {
+        program: "uServer",
+        label,
+        variant,
+        argv_sym: vec![],
+        conns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_is_reproducible_byte_for_byte() {
+        for prog in CORPUS_PROGRAMS {
+            let a = mixed(prog, 64, 9);
+            assert_eq!(a, mixed(prog, 64, 9));
+            assert_ne!(a, mixed(prog, 64, 10), "{prog} corpus ignores seed");
+        }
+    }
+
+    #[test]
+    fn fleet_mixed_covers_programs_and_labels() {
+        let c = fleet_mixed(CORPUS_PROGRAMS, 400, 42);
+        assert_eq!(c.len(), 400);
+        assert_eq!(c, fleet_mixed(CORPUS_PROGRAMS, 400, 42));
+        for prog in CORPUS_PROGRAMS {
+            assert!(c.iter().any(|e| e.program == *prog), "{prog} missing");
+        }
+        let crashes = c
+            .iter()
+            .filter(|e| e.label == CorpusLabel::CrashExpected)
+            .count();
+        // ~60% crash-expected, with slack for the seeded draw.
+        assert!((40 * 4..=80 * 4).contains(&crashes), "crashes = {crashes}");
+    }
+
+    #[test]
+    fn entries_match_program_input_shape() {
+        for e in fleet_mixed(CORPUS_PROGRAMS, 200, 7) {
+            match e.program {
+                "mkdir" | "mkfifo" => {
+                    assert_eq!(e.argv_sym.len(), 2);
+                    assert!(e.conns.is_empty());
+                    assert!(e.argv_sym.iter().all(|a| a.len() <= 2));
+                }
+                "mknod" => {
+                    assert_eq!(e.argv_sym.len(), 3);
+                    let lens: Vec<usize> = e.argv_sym.iter().map(|a| a.len()).collect();
+                    assert_eq!(lens, vec![2, 1, 2]);
+                }
+                "uServer" => {
+                    assert!(e.argv_sym.is_empty());
+                    assert_eq!(e.conns.len(), 1);
+                }
+                other => panic!("unexpected program {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // Entry i depends only on (seed, i): growing the corpus keeps
+        // the existing prefix (per-entry seeding, not a shared stream).
+        let small = fleet_mixed(CORPUS_PROGRAMS, 50, 3);
+        let big = fleet_mixed(CORPUS_PROGRAMS, 200, 3);
+        assert_eq!(&big[..50], &small[..]);
+    }
+}

@@ -7,9 +7,11 @@
 //! seeded and reproducible.
 
 pub mod argv;
+pub mod corpus;
 pub mod files;
 pub mod http;
 
 pub use argv::{coreutils_crash_argv, random_argv, CoreutilInvocation};
+pub use corpus::{fleet_mixed, mixed, CorpusEntry, CorpusLabel, CORPUS_PROGRAMS};
 pub use files::{diff_scenarios, random_text_file, DiffScenario};
 pub use http::{saturation_workload, scenarios, HttpScenario};

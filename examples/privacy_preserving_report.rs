@@ -1,15 +1,20 @@
-//! Privacy: what leaves the user's machine, and what does not.
+//! Privacy at fleet scale: what leaves the users' machines, and what
+//! the developer does with a *pile* of reports.
 //!
 //! ```text
 //! cargo run --example privacy_preserving_report
 //! ```
 //!
-//! The paper's motivation (§1): input logging leaks user data; coredumps
-//! leak memory. Partial branch logs leak only *which way branches went*.
-//! This example processes a "sensitive" input, prints the entire
-//! serialized bug report, shows that the secret is absent, and then shows
-//! the developer reconstructing a *different* input that reaches the same
-//! bug — the Castro-et-al. property without user-site replay.
+//! The paper's motivation (§1): input logging leaks user data;
+//! coredumps leak memory. Partial branch logs leak only *which way
+//! branches went*. This example deploys the same checksum bug to
+//! several users with different sensitive inputs, shows that none of
+//! the secrets appear in any shipped report, and then triages the whole
+//! pile through the fleet pipeline: the reports cluster into ONE class,
+//! the developer replays ONE representative, every other member is
+//! verified by bit-stream conformance, and the single reconstructed
+//! witness reproduces the bug for all of them — the Castro-et-al.
+//! property, amortized.
 
 use retrace::prelude::*;
 
@@ -34,43 +39,76 @@ const PROGRAM: &str = r#"
     }
 "#;
 
+/// Each user's "card number": distinct secrets, same bad-checksum bug.
+/// The last user's checksum is valid — their deployment stays healthy
+/// and files nothing.
+const USERS: [&[u8; 9]; 4] = [b"123456789", b"111111111", b"987654321", b"111111118"];
+
 fn main() {
     let cp = minic::build(&[("main", PROGRAM)]).expect("compiles");
     let spec = InputSpec::argv_symbolic("checker", 1, 9);
-    let wb = Workbench::new(cp, spec);
-    let bundle = wb.analyze(24);
-    let plan = wb.plan(Method::DynamicStatic, &bundle);
+    let wb = Workbench::new(cp, spec.clone());
 
-    // The user's sensitive input: a "card number" with a bad checksum.
-    let secret = b"12345678 9";
-    let secret = &secret[..9];
-    let parts = InputParts {
-        argv_sym: vec![secret.to_vec()],
-        ..InputParts::default()
-    };
-    let run = wb.logged_run(&plan, &parts);
-    let report = run.report.expect("checksum bug fires");
+    // Fleet side: one registered binary, many user deployments. The
+    // pipeline analyzes and plans ONCE, lazily, at the first deploy.
+    let mut pipeline = TriagePipeline::new(TriageConfig::default());
+    let checker = pipeline.register(FleetBinary::new("checker", wb, 24));
 
-    let shipped = serde_json::to_string_pretty(&report).expect("serializable");
-    println!("--- the complete shipped bug report ---");
-    println!("{shipped}");
-    println!("---------------------------------------");
-    let secret_str = String::from_utf8_lossy(secret).to_string();
-    assert!(
-        !shipped.contains(&secret_str.trim().replace(' ', "")),
-        "the secret must not appear in the report"
+    let kernel = pipeline.binary(checker).wb.kernel.clone();
+    for secret in USERS {
+        let parts = InputParts {
+            argv_sym: vec![secret.to_vec()],
+            ..InputParts::default()
+        };
+        pipeline.deploy(checker, &spec, &kernel, &parts);
+    }
+
+    // Every shipped report: branch bits and syscall records, no input.
+    println!("--- the complete shipped bug reports ---");
+    for (sub, secret) in pipeline.submissions().iter().zip(USERS) {
+        let shipped = serde_json::to_string(&sub.report).expect("serializable");
+        let secret_str = String::from_utf8_lossy(secret).to_string();
+        assert!(
+            !shipped.contains(&secret_str),
+            "the secret must not appear in the report"
+        );
+        println!(
+            "user with input {secret_str:?}: {} bytes shipped, secret absent",
+            shipped.len()
+        );
+    }
+    println!(
+        "(one user had a valid checksum: {} deployments, {} reports, {} healthy)\n",
+        pipeline.ledger().deployments,
+        pipeline.ledger().reports,
+        pipeline.ledger().healthy,
     );
-    println!("the user's input {secret_str:?} appears nowhere above.\n");
 
-    // Developer side: reproduce with a fresh input.
-    let res = wb.replay(&plan, &report, 512);
-    assert!(res.reproduced, "replay failed: {res:?}");
-    let witness = res.witness_argv.expect("witness");
+    // Developer side: triage the pile. All three crashing users took
+    // the same branch path, so their reports cluster into one class —
+    // one guided replay covers everyone.
+    let out = pipeline.triage();
+    assert_eq!(out.classes.len(), 1, "one bug, one class");
+    let class = &out.classes[0];
+    assert!(class.row.reproduced);
+    assert_eq!(class.members.len(), 3);
+    assert_eq!(out.ledger.conformant, 3, "members verified by conformance");
+    assert_eq!(out.ledger.analyses, 1, "analysis amortized across users");
+    assert_eq!(out.ledger.replays, 1, "one replay for the whole class");
+
+    let witness = class.witness_argv.as_ref().expect("witness");
     let w = String::from_utf8_lossy(&witness[1]).to_string();
+    println!(
+        "triaged: {} reports -> {} class (dedup {:.1}x)",
+        out.ledger.reports,
+        out.classes.len(),
+        out.dedup_ratio()
+    );
     println!("developer-reconstructed input: {w:?}");
     println!(
-        "same bug, different digits — the path was recovered, not the data \
-         (runs: {}, solver calls: {})",
-        res.runs, res.solver_calls
+        "same bug, different digits — one replay ({} runs, {} solver calls) \
+         and every user's report conformance-checked against the one witness; \
+         the paths were recovered, never the data",
+        class.row.runs, class.row.solver_calls
     );
 }

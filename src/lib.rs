@@ -17,6 +17,7 @@
 //! | [`progs`] | the benchmarks, in mini-C (coreutils, uServer, diff, micros) |
 //! | [`workloads`] | deterministic workload generators (the httperf stand-in) |
 //! | [`core`] | the end-to-end [`Workbench`](core::Workbench) pipeline |
+//! | [`triage`] | fleet-scale report clustering: one replay per bug class |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use oskit;
 pub use progs;
 pub use replay;
 pub use retrace_core as core;
+pub use retrace_triage as triage;
 pub use search;
 pub use solver;
 pub use staticax;
@@ -65,6 +67,7 @@ pub use workloads;
 /// The most common imports for end-to-end use.
 pub mod prelude {
     pub use crate::core::{AnalysisBundle, LoggedRun, Overhead, ReplayRow, Workbench};
+    pub use crate::triage::{FleetBinary, TriageConfig, TriagePipeline};
     pub use concolic::{ArgSpec, ClientSpec, FileSpec, InputSpec};
     pub use instrument::{BugReport, Method, Plan};
     pub use minic::{self, CompiledProgram, CrashKind, RunOutcome};
