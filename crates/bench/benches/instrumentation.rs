@@ -38,6 +38,7 @@ fn bench_instrumentation(c: &mut Criterion) {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: instrument::LogFormat::Flat,
+            ..Plan::none(n)
         };
         group.bench_function(BenchmarkId::new("config", name), |b| {
             b.iter(|| {
@@ -69,6 +70,7 @@ fn bench_instrumentation(c: &mut Criterion) {
             suppressed: Vec::new(),
             log_syscalls: false,
             format: instrument::LogFormat::Flat,
+            ..Plan::none(nl)
         };
         b.iter(|| {
             let host = LoggingHost::new(Kernel::new(KernelConfig::default()), plan.clone());

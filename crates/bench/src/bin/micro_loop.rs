@@ -19,9 +19,8 @@ fn main() {
     let all = Plan {
         method: Method::AllBranches,
         instrumented: vec![true; n],
-        suppressed: Vec::new(),
         log_syscalls: false,
-        format: instrument::LogFormat::Flat,
+        ..Plan::none(n)
     };
     let run = exp.wb.logged_run(&all, &exp.parts);
 

@@ -10,7 +10,7 @@ use instrument::Method;
 use retrace_bench::experiments::{
     analysis_summary, analyze_coverages, replay_one, userver_analysis_bench,
 };
-use retrace_bench::fixtures::Knobs;
+use retrace_bench::fixtures::{adaptive_table, Knobs};
 use retrace_bench::render;
 use retrace_bench::setup::{userver_experiments, Coverage};
 
@@ -137,9 +137,15 @@ fn main() {
             &t4,
         )
     );
+    // The adaptive gen-2 column family: re-run the combined (lc) rows
+    // through the two-generation escalation loop. Gen 2 sheds the bits
+    // gen 1's replay never consulted and attacks the exp-4 grind with
+    // checkpoints + multi-byte literal forcing.
+    println!("{}", adaptive_table(knobs, &[1, 2, 3, 4, 5], budget));
     println!(
         "paper shapes: static & all-branches fastest; dynamic+static close behind;\n\
          dynamic slowest with ∞ entries at LC; unlogged symbolic locations correlate \
-         with replay time"
+         with replay time; adaptive gen-2 converges the exp-4 grind well under the \
+         static 298-run baseline at a fraction of the locations"
     );
 }

@@ -150,6 +150,78 @@ pub fn replay_one(
     )
 }
 
+/// One generation of the adaptive instrumentation loop: the plan that
+/// was deployed, its deployment-side spend columns and the replay
+/// outcome (whose [`replay::EscalationReport`] seeds the next
+/// generation).
+pub struct AdaptiveGen {
+    /// The generation's plan (carries `plan.generation`).
+    pub plan: Plan,
+    /// Branch-log bits the deployment produced.
+    pub log_bits: u64,
+    /// Per-location cursor streams (0 under flat logs).
+    pub cursor_locations: usize,
+    /// Cursor maintenance charge in execution units.
+    pub cursor_spend_units: u64,
+    /// Suppressed-branch executions (logged for free at replay).
+    pub suppressed_execs: u64,
+    /// Report wire size shipped to the developer site.
+    pub transfer_bytes: u64,
+    /// The guided replay outcome.
+    pub result: replay::ReplayResult,
+}
+
+impl AdaptiveGen {
+    /// The standard instr-spend cell for this generation's deployment.
+    pub fn spend_cell(&self) -> String {
+        retrace_core::metrics::spend_cell(
+            self.log_bits,
+            self.cursor_locations,
+            self.cursor_spend_units,
+            self.suppressed_execs,
+        )
+    }
+}
+
+/// Deploys `plan`, captures the crash and replays it under `budget`.
+fn adaptive_gen(exp: &Experiment, plan: Plan, budget: usize) -> AdaptiveGen {
+    let run = exp.wb.logged_run(&plan, &exp.parts);
+    let report = run
+        .report
+        .unwrap_or_else(|| panic!("{}: deployment must crash", exp.name));
+    let transfer_bytes = report.transfer_bytes();
+    let result = exp.wb.replay(&plan, &report, budget);
+    AdaptiveGen {
+        plan,
+        log_bits: run.log_bits,
+        cursor_locations: run.cursor_locations,
+        cursor_spend_units: run.cursor_spend_units,
+        suppressed_execs: run.suppressed_execs,
+        transfer_bytes,
+        result,
+    }
+}
+
+/// The adaptive escalation loop, two generations end to end: plan under
+/// `method`, deploy + replay (gen 1), escalate on the replay's evidence,
+/// re-deploy + replay under the escalated plan (gen 2).
+///
+/// When gen 1's replay reports no escalation evidence the second plan is
+/// byte-identical to the first (the no-hint no-op guarantee), so gen 2
+/// simply repeats gen 1's deterministic outcome.
+pub fn replay_adaptive(
+    exp: &Experiment,
+    method: Method,
+    bundle: &AnalysisBundle,
+    budget: usize,
+) -> (AdaptiveGen, AdaptiveGen) {
+    let plan1 = exp.wb.plan(method, bundle);
+    let gen1 = adaptive_gen(exp, plan1, budget);
+    let plan2 = exp.wb.escalate_plan(&gen1.plan, &gen1.result.escalation);
+    let gen2 = adaptive_gen(exp, plan2, budget);
+    (gen1, gen2)
+}
+
 /// Compression ratio of a deployment's branch log (the §5.3 gzip note).
 pub fn log_compression_ratio(exp: &Experiment, plan: &Plan) -> f64 {
     let run = exp.wb.logged_run(plan, &exp.parts);

@@ -8,7 +8,7 @@
 //! — and so every suite can dial the engine knobs (`workers`, `cache`)
 //! explicitly instead of re-deriving the workbench by hand.
 
-use crate::experiments::userver_analysis_bench;
+use crate::experiments::{replay_adaptive, userver_analysis_bench, AdaptiveGen};
 use crate::render;
 use crate::setup::{userver_experiments, Coverage, Experiment};
 use instrument::{LogFormat, Method};
@@ -190,6 +190,86 @@ pub fn exp1_replay_table(knobs: Knobs) -> String {
         ],
         &rows,
     )
+}
+
+/// One rendered row of the adaptive table: the generation's plan shape,
+/// the replay outcome and the deployment spend.
+fn adaptive_row(id: usize, g: &AdaptiveGen) -> Vec<String> {
+    let p = &g.plan;
+    let mut plan_cell = format!(
+        "gen{} {}",
+        p.generation,
+        match p.format {
+            LogFormat::Flat => "flat",
+            LogFormat::PerLocation => "cursor",
+        }
+    );
+    if p.checkpoints {
+        plan_cell.push_str(" +ckpt");
+    }
+    if !p.forced_literals.is_empty() {
+        plan_cell.push_str(&format!(" +lit{}", p.forced_literals.len()));
+    }
+    vec![
+        id.to_string(),
+        plan_cell,
+        p.n_instrumented().to_string(),
+        if g.result.reproduced { "yes" } else { "∞" }.to_string(),
+        g.result.runs.to_string(),
+        g.result.solver_calls.to_string(),
+        g.result.total_instrs.to_string(),
+        g.spend_cell(),
+        g.result.escalation.hot_locations().len().to_string(),
+    ]
+}
+
+/// Runs the two-generation adaptive loop for each uServer scenario in
+/// `exps` under dynamic+static (lc) and renders the Table 3 adaptive
+/// column family (deterministic columns; wall masked) — the rendering
+/// the committed golden `userver_adaptive_replay.txt` pins at the
+/// default knobs for the full scenario sweep.
+pub fn adaptive_table(knobs: Knobs, exps: &[usize], budget: usize) -> String {
+    let abench = userver_analysis(knobs);
+    let bundle = abench.wb.analyze(Coverage::Lc.runs());
+    let mut rows = Vec::new();
+    for &id in exps {
+        let exp = userver_experiment(id, knobs);
+        let (g1, g2) = replay_adaptive(&exp, Method::DynamicStatic, &bundle, budget);
+        rows.push(adaptive_row(id, &g1));
+        rows.push(adaptive_row(id, &g2));
+    }
+    render::table(
+        "uServer adaptive replay: dynamic+static (lc) gen-1 → gen-2 (deterministic columns; wall masked)",
+        &[
+            "exp",
+            "plan",
+            "locs",
+            "reproduced",
+            "runs",
+            "solver calls",
+            "instrs",
+            "instr spend",
+            "hot locs",
+        ],
+        &rows,
+    )
+}
+
+/// The guarded-crash program as an [`Experiment`] (the workbench
+/// `guarded_crash_table` builds inline, packaged for the adaptive e2e).
+pub fn guarded_experiment(knobs: Knobs) -> Experiment {
+    let cp = minic::build(&[("main", GUARDED_CRASH_SRC)]).expect("compiles");
+    let mut wb = retrace_core::Workbench::new(cp, concolic::InputSpec::argv_symbolic("prog", 1, 2));
+    wb.workers = knobs.workers;
+    wb.cache = knobs.cache;
+    Experiment {
+        name: "guarded crash".into(),
+        wb,
+        parts: replay::InputParts {
+            argv_sym: vec![b"cr".to_vec()],
+            ..replay::InputParts::default()
+        },
+    }
 }
 
 /// Corpus seed of the standard triage runs (the golden and the smoke

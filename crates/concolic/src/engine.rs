@@ -7,9 +7,9 @@
 //! to the shared frontier scheduler ([`search::Frontier`]): depth-first by
 //! default (the paper's §3.2 stack), with breadth-mixed generational
 //! search, per-branch negation quotas and drain restarts available
-//! through [`Budget::policy`].
+//! through [`search::SearchLimits::policy`].
 //!
-//! The analysis budget ([`Budget::max_runs`]) is the reproduction's
+//! The analysis budget ([`search::SearchLimits::max_runs`]) is the reproduction's
 //! deterministic stand-in for the paper's wall-clock budgets (the 1-hour
 //! LC and 2-hour HC configurations of §5.3).
 
@@ -23,59 +23,81 @@ use minic::CompiledProgram;
 use oskit::{Kernel, KernelConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use search::{Frontier, FrontierStats, SearchPolicy};
+use search::{Frontier, FrontierStats, SearchLimits, SearchPolicy};
 use solver::{mix_seed, ConstraintSet, ExprArena, Lit, PrefixCache, SolveCfg, VarId};
 use std::collections::HashMap;
 
 /// Exploration budget. `max_runs` is the primary (deterministic) knob —
-/// the LC/HC axis of the paper; the others are safety caps.
+/// the LC/HC axis of the paper; the others are safety caps. The shared
+/// knob surface lives in [`search::SearchLimits`], embedded here (and
+/// by `replay::ReplayBudget`) behind `Deref`, so `budget.max_runs` and
+/// friends read and write exactly as before the unification.
 #[derive(Debug, Clone)]
 pub struct Budget {
-    /// Maximum concolic runs (path explorations).
-    pub max_runs: usize,
-    /// Instruction budget per run.
-    pub fuel_per_run: u64,
-    /// Optional wall-clock cap in milliseconds (0 = none).
-    pub max_wall_ms: u64,
-    /// Pending constraint sets scheduled per run, deepest-first. Bounds
-    /// the otherwise-quadratic prefix copying on long paths.
-    pub max_pendings_per_run: usize,
-    /// Pending sets longer than this many literals are skipped (too deep
-    /// to solve within interactive budgets).
-    pub max_pending_lits: usize,
-    /// Frontier scheduling policy (strategy, per-branch quotas, drain
-    /// restarts). The default is the paper's deterministic DFS.
-    pub policy: SearchPolicy,
+    /// The shared search knobs (run cap, fuel, wall clock, frontier
+    /// caps, policy, workers, prefix cache).
+    pub limits: SearchLimits,
     /// How symbolic address components are concretized (offset-
     /// generalizing region bounds by default; `Pin` restores the classic
-    /// equality-pin behavior).
+    /// equality-pin behavior). Engine-specific: not part of the shared
+    /// limits.
     pub concretization: Concretization,
-    /// Worker threads for the candidate search. `1` (the default) is the
-    /// fully serial engine; `N > 1` solves up to `N` speculatively popped
-    /// pending sets concurrently — and runs their SAT models — committing
-    /// verdicts strictly in pop order, so the analysis is identical for
-    /// every worker count.
-    pub workers: usize,
-    /// Path-prefix solve cache over the frozen arena generations. Each
-    /// banked run registers its satisfied path prefixes; later candidates
-    /// sharing a prefix skip its propagation work. Every shortcut is
-    /// provably outcome-identical, so this only changes wall time.
-    pub prefix_cache: bool,
 }
 
 impl Default for Budget {
     fn default() -> Self {
         Budget {
-            max_runs: 64,
-            fuel_per_run: 20_000_000,
-            max_wall_ms: 0,
-            max_pendings_per_run: 64,
-            max_pending_lits: 4000,
-            policy: SearchPolicy::default(),
+            limits: SearchLimits::analysis(),
             concretization: Concretization::default(),
-            workers: 1,
-            prefix_cache: true,
         }
+    }
+}
+
+impl std::ops::Deref for Budget {
+    type Target = SearchLimits;
+    fn deref(&self) -> &SearchLimits {
+        &self.limits
+    }
+}
+
+impl std::ops::DerefMut for Budget {
+    fn deref_mut(&mut self) -> &mut SearchLimits {
+        &mut self.limits
+    }
+}
+
+impl From<SearchLimits> for Budget {
+    fn from(limits: SearchLimits) -> Self {
+        Budget {
+            limits,
+            ..Budget::default()
+        }
+    }
+}
+
+impl From<Budget> for SearchLimits {
+    fn from(b: Budget) -> Self {
+        b.limits
+    }
+}
+
+impl Budget {
+    /// Sets the run cap.
+    #[deprecated(note = "write `budget.max_runs` (via SearchLimits) directly")]
+    pub fn set_max_runs(&mut self, n: usize) {
+        self.limits.max_runs = n;
+    }
+
+    /// Sets the worker count.
+    #[deprecated(note = "write `budget.workers` (via SearchLimits) directly")]
+    pub fn set_workers(&mut self, n: usize) {
+        self.limits.workers = n;
+    }
+
+    /// Sets the scheduling policy.
+    #[deprecated(note = "write `budget.policy` (via SearchLimits) directly")]
+    pub fn set_policy(&mut self, policy: SearchPolicy) {
+        self.limits.policy = policy;
     }
 }
 

@@ -8,7 +8,7 @@
 //! need instrumentation) and to generate tests pre-ship.
 //!
 //! The LC/HC coverage axis of the paper's evaluation maps to
-//! [`Budget::max_runs`].
+//! [`search::SearchLimits::max_runs`].
 
 pub mod engine;
 pub mod input;

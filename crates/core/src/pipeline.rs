@@ -18,7 +18,10 @@ use concolic::{
     realize, AnalysisResult, BranchLabel, Concretization, Engine, InputSpec, InputVars, Profile,
     SessionConfig,
 };
-use instrument::{BugReport, DynLabel, LogFormat, LoggingHost, Method, Plan};
+use instrument::{
+    BugReport, DynLabel, EscalationHints, LiteralClusterHint, LogFormat, LoggingHost, Method, Plan,
+    PlanBuilder,
+};
 use minic::cost::Meter;
 use minic::vm::{RunOutcome, Vm};
 use minic::{CompiledProgram, UnitId};
@@ -200,14 +203,14 @@ impl Workbench {
     /// combined-row ∞). All other methods keep the paper's flat format
     /// bit for bit.
     pub fn plan(&self, method: Method, bundle: &AnalysisBundle) -> Plan {
-        let infos = (0..self.cp.n_branches()).map(|i| self.cp.branch(minic::BranchId(i as u32)));
-        Plan::build(
+        PlanBuilder::new(
             method,
             &bundle.dyn_labels,
             &bundle.static_symbolic,
             self.cp.n_branches(),
         )
-        .with_cursor_opt_in(infos)
+        .cursor_opt_in(&self.cp.prog.ast.branches)
+        .build()
     }
 
     /// Like [`plan`](Workbench::plan), but additionally suppresses every
@@ -218,20 +221,53 @@ impl Workbench {
     /// cluster check sees the post-suppression logged set (a suppressed
     /// loop is deterministically reconstructable, hence not fragile).
     pub fn plan_suppressed(&self, method: Method, bundle: &AnalysisBundle) -> Plan {
-        let infos = (0..self.cp.n_branches()).map(|i| self.cp.branch(minic::BranchId(i as u32)));
-        Plan::build(
+        PlanBuilder::new(
             method,
             &bundle.dyn_labels,
             &bundle.static_symbolic,
             self.cp.n_branches(),
         )
-        .with_suppression(
+        .suppress(
             bundle
                 .implications
                 .iter()
                 .map(|(b, i)| (b, i.by, i.negated)),
         )
-        .with_cursor_opt_in(infos)
+        .cursor_opt_in(&self.cp.prog.ast.branches)
+        .build()
+    }
+
+    /// Produces the next instrumentation-plan generation from replay's
+    /// escalation evidence (the adaptive feedback loop): hot locations
+    /// gain log bits (upgrading to the per-location format), locations
+    /// replay never consulted drop theirs, resynchronization trouble
+    /// turns on syscall-anchored cursor checkpoints, and repair bursts
+    /// at a string-scan cluster arm multi-byte literal forcing. With an
+    /// empty report this returns `parent` unchanged — deploy gen-2 only
+    /// when replay actually struggled.
+    pub fn escalate_plan(&self, parent: &Plan, report: &replay::EscalationReport) -> Plan {
+        let clusters: Vec<LiteralClusterHint> = staticax::literal_clusters(&self.cp)
+            .into_iter()
+            .map(|c| LiteralClusterHint {
+                branches: c.branches,
+                literals: c.literals,
+            })
+            .collect();
+        instrument::escalate(parent, &report.hints(), &clusters)
+    }
+
+    /// [`escalate_plan`](Workbench::escalate_plan) from already-lowered
+    /// plan-side hints (the fleet-triage path, where reports from many
+    /// classes are merged before lowering).
+    pub fn escalate_plan_from_hints(&self, parent: &Plan, hints: &EscalationHints) -> Plan {
+        let clusters: Vec<LiteralClusterHint> = staticax::literal_clusters(&self.cp)
+            .into_iter()
+            .map(|c| LiteralClusterHint {
+                branches: c.branches,
+                literals: c.literals,
+            })
+            .collect();
+        instrument::escalate(parent, hints, &clusters)
     }
 
     fn realize_deployment(&self, parts: &InputParts) -> (Vec<Vec<u8>>, KernelConfig) {

@@ -7,7 +7,7 @@
 //! packages the crash site and the logs — the artifact shipped to the
 //! developer.
 
-use crate::logger::{BitLog, CursorLog, TraceLog};
+use crate::logger::{checkpoints_wire_bytes, BitLog, CursorLog, TraceLog};
 use crate::plan::{LogFormat, Method, Plan};
 use crate::syscall_log::{is_logged, SysRecord, SyscallLog};
 use minic::cost::Meter;
@@ -114,6 +114,10 @@ pub struct LoggingHost {
     /// but never pays a log bit for, because replay reconstructs their
     /// outcome from the implying branch ([`Plan::suppresses`]).
     pub suppressed_execs: u64,
+    /// Syscall-anchored cursor checkpoints: one snapshot of every
+    /// location's stream length per logged syscall, recorded only when
+    /// [`Plan::checkpoints`] is set under the per-location format.
+    pub checkpoints: Vec<Vec<(u32, u64)>>,
 }
 
 impl LoggingHost {
@@ -128,6 +132,7 @@ impl LoggingHost {
             stdout: Vec::new(),
             instrumented_execs: 0,
             suppressed_execs: 0,
+            checkpoints: Vec::new(),
         }
     }
 }
@@ -189,6 +194,18 @@ impl Host for LoggingHost {
             });
             meter.charge_instrumentation(cost);
             meter.syscall_log_bytes = self.syscalls.bytes();
+            if self.plan.checkpoints {
+                if let BranchLogger::Cursors(l) = &self.log {
+                    // Syscall-anchored cursor checkpoint: snapshot every
+                    // stream's length, charging one cursor-table read per
+                    // entry. Anchoring to *logged* syscalls keeps the
+                    // record index aligned with the syscall log replay
+                    // already follows.
+                    let snap = l.positions();
+                    meter.charge_instrumentation(minic::cost::CURSOR_STEP_COST * snap.len() as u64);
+                    self.checkpoints.push(snap);
+                }
+            }
         }
         if let Some(sig) = self.kernel.take_pending_signal() {
             return Err(HostStop::Crash(CrashKind::Signal(sig)));
@@ -217,6 +234,11 @@ pub struct BugReport {
     pub cursor_spend_units: u64,
     /// Logged syscall results (empty when disabled).
     pub syscalls: SyscallLog,
+    /// Syscall-anchored cursor checkpoints: `checkpoints[k]` snapshots
+    /// every location's stream length right after the `k`-th logged
+    /// syscall. Empty unless the plan's checkpoint escalation rule was
+    /// active ([`Plan::checkpoints`]).
+    pub checkpoints: Vec<Vec<(u32, u64)>>,
     /// Which method produced the instrumentation (metadata).
     pub method: Method,
 }
@@ -230,14 +252,16 @@ impl BugReport {
             trace: host.log.finish(),
             cursor_spend_units,
             syscalls: host.syscalls,
+            checkpoints: host.checkpoints,
             method: host.plan.method,
         }
     }
 
     /// Total transfer size in bytes before compression (the cursor
-    /// format counts its compact on-wire encoding).
+    /// format counts its compact on-wire encoding; checkpoints ship
+    /// varint-packed).
     pub fn transfer_bytes(&self) -> u64 {
-        self.trace.bytes() + self.syscalls.bytes()
+        self.trace.bytes() + self.syscalls.bytes() + checkpoints_wire_bytes(&self.checkpoints)
     }
 }
 
@@ -292,9 +316,8 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![false, true],
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: LogFormat::Flat,
+            ..Plan::none(2)
         };
         let (_, host, _) = run_with_plan(plan, b"x");
         assert_eq!(host.log.len(), 8);
@@ -305,9 +328,7 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![false, true],
-            suppressed: Vec::new(),
-            log_syscalls: false,
-            format: LogFormat::Flat,
+            ..Plan::none(2)
         };
         let (_, host, _) = run_with_plan(plan.clone(), b"x");
         let trace = host.log.finish();
@@ -356,6 +377,50 @@ mod tests {
     }
 
     #[test]
+    fn checkpoints_snapshot_cursor_positions_at_logged_syscalls() {
+        let mut plan = Plan::build(
+            Method::AllBranches,
+            &[DynLabel::Unvisited; 2],
+            &[false; 2],
+            2,
+        )
+        .with_format(LogFormat::PerLocation);
+        plan.checkpoints = true;
+        plan.generation = 2;
+        let (_, host, meter) = run_with_plan(plan.clone(), b"x");
+        // The single sys_time fires after the whole loop: one snapshot,
+        // loop stream at 9 bits (8 taken + exit), if stream at 8.
+        assert_eq!(host.checkpoints.len(), 1);
+        assert_eq!(host.checkpoints[0], vec![(0, 9), (1, 8)]);
+        // The snapshot charges the cursor-table reads.
+        assert!(
+            meter.instrumentation_units
+                >= 17 * (minic::cost::BRANCH_LOG_COST + minic::cost::CURSOR_STEP_COST)
+                    + 2 * minic::cost::CURSOR_STEP_COST
+        );
+        let report = BugReport::capture(
+            host,
+            CrashInfo {
+                kind: CrashKind::Signal(11),
+                loc: Loc::default(),
+                func: "main".into(),
+            },
+        );
+        assert!(
+            report.transfer_bytes() > report.trace.bytes() + report.syscalls.bytes(),
+            "checkpoints count toward the transfer size"
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BugReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.checkpoints, report.checkpoints);
+
+        // Without the escalation rule nothing is recorded.
+        plan.checkpoints = false;
+        let (_, host2, _) = run_with_plan(plan, b"x");
+        assert!(host2.checkpoints.is_empty());
+    }
+
+    #[test]
     fn instrumentation_cost_is_charged() {
         let all = Plan::build(
             Method::AllBranches,
@@ -379,9 +444,8 @@ mod tests {
         let plan = Plan {
             method: Method::Static,
             instrumented: vec![true, true],
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: LogFormat::Flat,
+            ..Plan::none(2)
         };
         let (_, host, meter) = run_with_plan(plan, b"a");
         assert_eq!(host.syscalls.len(), 1); // the sys_time call

@@ -19,15 +19,19 @@
 //! - [`compress`]: transfer-time LZSS compression (the gzip 10–20×
 //!   observation).
 
+pub mod builder;
 pub mod compress;
+pub mod escalate;
 pub mod host;
 pub mod logger;
 pub mod plan;
 pub mod syscall_log;
 
+pub use builder::PlanBuilder;
+pub use escalate::{escalate, EscalationHints, LiteralClusterHint, LocationHint};
 pub use host::{BranchLogger, BugReport, LoggingHost};
 pub use logger::{
     BitLog, BranchTrace, CursorLog, CursorTable, CursorTrace, LocStream, TraceCursor, TraceLog,
 };
-pub use plan::{DynLabel, LogFormat, Method, Plan};
+pub use plan::{DynLabel, LogFormat, Method, Plan, Suppressed};
 pub use syscall_log::{is_logged, SysCursor, SysRecord, SyscallLog};

@@ -324,6 +324,13 @@ impl CursorLog {
         self.spend_units
     }
 
+    /// Every stream's current length, sorted by location — the snapshot
+    /// a checkpointing plan records at each logged syscall boundary
+    /// (the syscall-anchored cursor checkpoint escalation rule).
+    pub fn positions(&self) -> Vec<(u32, u64)> {
+        self.streams.iter().map(|(l, s)| (*l, s.len())).collect()
+    }
+
     /// Finalizes into an immutable, shippable cursor trace.
     pub fn finish(self) -> CursorTrace {
         CursorTrace {
@@ -488,6 +495,30 @@ impl CursorTrace {
     pub fn bytes(&self) -> u64 {
         self.encode().len() as u64
     }
+}
+
+/// Wire size of syscall-anchored checkpoint snapshots: per snapshot a
+/// varint entry count, then per entry a varint location id and a varint
+/// cursor position. Checkpoints ship as report metadata; this keeps the
+/// transfer-size accounting honest about what the escalation rule costs.
+pub fn checkpoints_wire_bytes(checkpoints: &[Vec<(u32, u64)>]) -> u64 {
+    fn vlen(mut v: u64) -> u64 {
+        let mut n = 1;
+        while v >= 0x80 {
+            v >>= 7;
+            n += 1;
+        }
+        n
+    }
+    checkpoints
+        .iter()
+        .map(|s| {
+            vlen(s.len() as u64)
+                + s.iter()
+                    .map(|(l, p)| vlen(u64::from(*l)) + vlen(*p))
+                    .sum::<u64>()
+        })
+        .sum()
 }
 
 fn push_varint(out: &mut Vec<u8>, mut v: u64) {

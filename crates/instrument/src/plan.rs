@@ -112,6 +112,21 @@ pub struct Plan {
     pub log_syscalls: bool,
     /// Log format the runtime emits (and replay expects).
     pub format: LogFormat,
+    /// Plan generation: 1 for every statically-derived plan, bumped by
+    /// each escalation on replay hints (`crate::escalate`).
+    pub generation: u32,
+    /// Syscall-anchored cursor checkpoints: under the per-location
+    /// format, snapshot every location's cursor position at each logged
+    /// syscall boundary so replay can verify synchronization *between*
+    /// divergences instead of re-deriving from branch bits alone. An
+    /// escalation rule — never set on generation-1 plans.
+    pub checkpoints: bool,
+    /// Multi-byte string-literal forcing: per branch location, the
+    /// candidate literals whose whole value should be offered as one
+    /// priority set when replay keeps one-byte-repairing a `strcmp`/
+    /// scan-loop cluster there. Sorted by location; empty on
+    /// generation-1 plans.
+    pub forced_literals: Vec<(u32, Vec<Vec<u8>>)>,
 }
 
 impl Plan {
@@ -149,6 +164,9 @@ impl Plan {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         }
     }
 
@@ -160,7 +178,19 @@ impl Plan {
             suppressed: Vec::new(),
             log_syscalls: false,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         }
+    }
+
+    /// The forced-literal candidates registered for a branch location
+    /// (empty on generation-1 plans).
+    pub fn forced_literals_at(&self, loc: u32) -> &[Vec<u8>] {
+        self.forced_literals
+            .binary_search_by_key(&loc, |(l, _)| *l)
+            .map(|i| self.forced_literals[i].1.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Overrides the log format (ablations and tests).
@@ -180,7 +210,21 @@ impl Plan {
     /// along a chain that bottoms out in a logged branch — strict
     /// dominance makes chains acyclic), so replay loses no divergence
     /// signal and run counts cannot get worse.
-    pub fn with_suppression<I>(mut self, implications: I) -> Plan
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PlanBuilder::suppress` — the builder applies suppression, \
+                cursor opt-in and escalation in a fixed, footgun-free order"
+    )]
+    pub fn with_suppression<I>(self, implications: I) -> Plan
+    where
+        I: IntoIterator<Item = (BranchId, BranchId, bool)>,
+    {
+        self.apply_suppression(implications)
+    }
+
+    /// Internal suppression applier shared by the deprecated
+    /// [`Plan::with_suppression`] shim and [`crate::PlanBuilder`].
+    pub(crate) fn apply_suppression<I>(mut self, implications: I) -> Plan
     where
         I: IntoIterator<Item = (BranchId, BranchId, bool)>,
     {
@@ -252,7 +296,21 @@ impl Plan {
     /// instrumented loop cluster), keep the flat format — bit for bit —
     /// everywhere else. Fully-logged and single-analysis plans never
     /// switch, so their baselines stay untouched.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PlanBuilder::cursor_opt_in` — the builder applies suppression, \
+                cursor opt-in and escalation in a fixed, footgun-free order"
+    )]
     pub fn with_cursor_opt_in<'a>(
+        self,
+        branches: impl IntoIterator<Item = &'a BranchInfo>,
+    ) -> Plan {
+        self.apply_cursor_opt_in(branches)
+    }
+
+    /// Internal cursor opt-in applier shared by the deprecated
+    /// [`Plan::with_cursor_opt_in`] shim and [`crate::PlanBuilder`].
+    pub(crate) fn apply_cursor_opt_in<'a>(
         mut self,
         branches: impl IntoIterator<Item = &'a BranchInfo>,
     ) -> Plan {
@@ -294,6 +352,10 @@ impl Plan {
 
 #[cfg(test)]
 mod tests {
+    // The builder shims stay deprecated-but-pinned: these tests are the
+    // behavioral contract the wrappers must keep satisfying.
+    #![allow(deprecated)]
+
     use super::*;
 
     fn labels() -> (Vec<DynLabel>, Vec<bool>) {
@@ -391,6 +453,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert!(plan.has_partial_loop_cluster(&infos));
         assert_eq!(
@@ -410,6 +475,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert_eq!(full.with_cursor_opt_in(&infos).format, LogFormat::Flat);
         // The unlogged loop lives in a cluster with no logged branch.
@@ -419,6 +487,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert_eq!(disjoint.with_cursor_opt_in(&infos).format, LogFormat::Flat);
         // Non-combined methods never switch, even with the fragile shape.
@@ -428,6 +499,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert_eq!(dynamic.with_cursor_opt_in(&infos).format, LogFormat::Flat);
     }
@@ -447,6 +521,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert!(!full.has_partial_loop_cluster(&infos));
         // Multi-function program: the unlogged loop is in scan(), all
@@ -459,6 +536,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert!(!cross.has_partial_loop_cluster(&multi));
         // Same shape but the loop shares parse()'s cluster: partial.
@@ -473,6 +553,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         };
         assert!(!plan.has_partial_loop_cluster(&other_unit));
     }
@@ -559,6 +642,9 @@ mod tests {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: LogFormat::Flat,
+            generation: 1,
+            checkpoints: false,
+            forced_literals: Vec::new(),
         }
         .with_suppression([(BranchId(0), BranchId(1), false)]);
         assert!(!plan.has_partial_loop_cluster(&infos));

@@ -13,11 +13,12 @@
 //! the syscall-divergence recovery sets) on a priority lane popped first,
 //! which is what makes the log *guide* the search. Breadth-mixed
 //! generational order, per-branch quotas and drain restarts are available
-//! through [`ReplayBudget::policy`].
+//! through [`search::SearchLimits::policy`].
 
 use crate::env::{realize_streams, ReplayEnv, SyscallMode};
 use crate::host::{
-    ReplayHost, BRANCH_DIVERGENCE, CURSOR_OVERRUN, REACHED_CRASH_SITE, SYSCALL_DIVERGENCE,
+    ReplayHost, BRANCH_DIVERGENCE, CHECKPOINT_DIVERGENCE, CURSOR_OVERRUN, REACHED_CRASH_SITE,
+    SYSCALL_DIVERGENCE,
 };
 use concolic::{
     restart_seed, seeded_assignment, Concretization, InputSpec, InputVars, PathStep, StepOrigin,
@@ -27,59 +28,83 @@ use minic::memory::pack;
 use minic::vm::{RunOutcome, Vm};
 use minic::CompiledProgram;
 use oskit::SimFs;
-use search::{Frontier, FrontierStats, RepairTracker, SearchPolicy};
-use solver::{mix_seed, ConstraintSet, ExprArena, Lit, PrefixCache, SolveCfg};
+use search::{Frontier, FrontierStats, RepairTracker, SearchLimits, SearchPolicy};
+use solver::{mix_seed, ConstraintSet, ExprArena, Lit, Node, Op, PrefixCache, SolveCfg, VarId};
 use std::collections::{HashMap, HashSet};
 
+pub use crate::escalation::{EscalationReport, LocationEscalation};
+
 /// Budget for one reproduction attempt. `max_runs` is the deterministic
-/// stand-in for the paper's 1-hour replay timeout.
+/// stand-in for the paper's 1-hour replay timeout. The knob surface
+/// shared with `concolic::Budget` lives in [`search::SearchLimits`],
+/// embedded behind `Deref` so `budget.max_runs` and friends read and
+/// write exactly as before the unification; only the replay default
+/// (512 runs — a replay that stops short is useless) differs.
 #[derive(Debug, Clone)]
 pub struct ReplayBudget {
-    /// Maximum replay runs before declaring failure (the "∞" rows).
-    pub max_runs: usize,
-    /// Instruction budget per run.
-    pub fuel_per_run: u64,
-    /// Optional wall-clock cap in milliseconds (0 = none).
-    pub max_wall_ms: u64,
-    /// Pending constraint sets scheduled per run, deepest-first.
-    pub max_pendings_per_run: usize,
-    /// Pending sets longer than this many literals are skipped.
-    pub max_pending_lits: usize,
-    /// Frontier scheduling policy (strategy, per-branch quotas, drain
-    /// restarts, forced-set repair). The default is the paper's
-    /// deterministic DFS with repair enabled.
-    pub policy: SearchPolicy,
+    /// The shared search knobs (run cap, fuel, wall clock, frontier
+    /// caps, policy, workers, prefix cache).
+    pub limits: SearchLimits,
     /// How symbolic address components are concretized (offset-
-    /// generalizing region bounds by default).
+    /// generalizing region bounds by default). Engine-specific: not
+    /// part of the shared limits.
     pub concretization: Concretization,
-    /// Worker threads for the candidate search. `1` (the default) is the
-    /// fully serial engine; `N > 1` solves up to `N` speculatively
-    /// popped pending sets concurrently — and runs their SAT models —
-    /// committing verdicts strictly in pop order, so the searched
-    /// candidate sequence (and therefore every result field except
-    /// wall-clock and the per-worker run split) is identical for every
-    /// worker count.
-    pub workers: usize,
-    /// Path-prefix solve cache over the frozen arena generations. Each
-    /// banked run registers its satisfied path prefixes; later candidates
-    /// sharing a prefix skip its propagation work. Every shortcut is
-    /// provably outcome-identical, so this only changes wall time.
-    pub prefix_cache: bool,
 }
 
 impl Default for ReplayBudget {
     fn default() -> Self {
         ReplayBudget {
-            max_runs: 512,
-            fuel_per_run: 20_000_000,
-            max_wall_ms: 0,
-            max_pendings_per_run: 64,
-            max_pending_lits: 4000,
-            policy: SearchPolicy::default(),
+            limits: SearchLimits::replay(),
             concretization: Concretization::default(),
-            workers: 1,
-            prefix_cache: true,
         }
+    }
+}
+
+impl std::ops::Deref for ReplayBudget {
+    type Target = SearchLimits;
+    fn deref(&self) -> &SearchLimits {
+        &self.limits
+    }
+}
+
+impl std::ops::DerefMut for ReplayBudget {
+    fn deref_mut(&mut self) -> &mut SearchLimits {
+        &mut self.limits
+    }
+}
+
+impl From<SearchLimits> for ReplayBudget {
+    fn from(limits: SearchLimits) -> Self {
+        ReplayBudget {
+            limits,
+            ..ReplayBudget::default()
+        }
+    }
+}
+
+impl From<ReplayBudget> for SearchLimits {
+    fn from(b: ReplayBudget) -> Self {
+        b.limits
+    }
+}
+
+impl ReplayBudget {
+    /// Sets the run cap.
+    #[deprecated(note = "write `budget.max_runs` (via SearchLimits) directly")]
+    pub fn set_max_runs(&mut self, n: usize) {
+        self.limits.max_runs = n;
+    }
+
+    /// Sets the worker count.
+    #[deprecated(note = "write `budget.workers` (via SearchLimits) directly")]
+    pub fn set_workers(&mut self, n: usize) {
+        self.limits.workers = n;
+    }
+
+    /// Sets the scheduling policy.
+    #[deprecated(note = "write `budget.policy` (via SearchLimits) directly")]
+    pub fn set_policy(&mut self, policy: SearchPolicy) {
+        self.limits.policy = policy;
     }
 }
 
@@ -148,6 +173,15 @@ pub struct ReplayResult {
     /// killed early because one location consumed past its recorded
     /// stream while other bits remained.
     pub cursor_overruns: u64,
+    /// Syscall-anchored checkpoint divergence aborts: runs killed at a
+    /// logged syscall boundary because some per-location cursor position
+    /// disagreed with the recorded snapshot — the same resynchronization
+    /// signal as a cursor overrun, caught earlier.
+    pub checkpoint_divergences: u64,
+    /// Per-branch-location escalation evidence gathered over the whole
+    /// search — what the next instrumentation plan generation consumes
+    /// (see [`EscalationReport`]).
+    pub escalation: EscalationReport,
     /// Concretizations emitted as offset-generalizing ranges, summed
     /// across runs.
     pub concretization_ranges: u64,
@@ -284,6 +318,9 @@ impl<'p> ReplayEngine<'p> {
             self.report.crash.loc,
         );
         host.concretization = self.cfg.budget.concretization;
+        if self.plan.checkpoints {
+            host.checkpoints = self.report.checkpoints.clone();
+        }
         let mut vm = Vm::new(self.cp, host);
         vm.fuel = self.cfg.budget.fuel_per_run;
         vm.watch_loc = Some(self.report.crash.loc);
@@ -350,18 +387,26 @@ impl<'p> ReplayEngine<'p> {
     /// `book`). Identical for the serial and parallel engines — the
     /// parallel engine calls it from the serial commit phase only, which
     /// also makes it the prefix cache's single writer.
+    #[allow(clippy::too_many_arguments)]
     fn bank_offers(
         &self,
         run: &RunArtifacts,
         assignment: &[i64],
-        arena: &ExprArena,
+        arena: &mut ExprArena,
+        vars: &InputVars,
         frontier: &mut Frontier,
         book: &mut RepairBook,
         cache: &mut PrefixCache,
     ) {
         let forced = matches!(&run.outcome, RunOutcome::Aborted(r) if r == BRANCH_DIVERGENCE);
         let syscall_div = matches!(&run.outcome, RunOutcome::Aborted(r) if r == SYSCALL_DIVERGENCE);
-        let overrun = matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN);
+        // A checkpoint divergence is a cursor overrun caught earlier (at
+        // the syscall boundary instead of at stream exhaustion): it earns
+        // the same recovery flips and the same escalation evidence.
+        let overrun = matches!(
+            &run.outcome,
+            RunOutcome::Aborted(r) if r == CURSOR_OVERRUN || r == CHECKPOINT_DIVERGENCE
+        );
         let path = &run.path;
         let lits: Vec<Lit> = path.iter().map(|s| s.lit).collect();
         // Every executed step's literal held under this run's input, so
@@ -415,6 +460,22 @@ impl<'p> ReplayEngine<'p> {
             let recent = (0..lits.len()).rev().find(|&i| unlogged_sym(i));
             if let Some(d) = recent {
                 offer_flip(frontier, d);
+                // Escalation evidence: a syscall divergence is charged
+                // to its prime suspect — the branch whose unlogged
+                // decision the recovery flips.
+                if syscall_div {
+                    if let StepOrigin::Branch(b) = path[d].origin {
+                        book.escalation.loc_mut(b.0).syscall_divergences += 1;
+                    }
+                }
+            }
+            // An overrun (or checkpoint divergence) names its own
+            // location directly: the stream that consumed past its
+            // recorded length.
+            if overrun {
+                if let Some((loc, _)) = run.stats.divergent_cursor {
+                    book.escalation.loc_mut(loc).cursor_overruns += 1;
+                }
             }
             // An overrun names a more precise suspect class: the
             // location re-executed because some unlogged *loop*
@@ -539,6 +600,94 @@ impl<'p> ReplayEngine<'p> {
             if let Some(info) = info_for_meta {
                 book.forced_meta.insert(cs_sig, info);
             }
+            // Multi-byte string-literal forcing (adaptive plans): when
+            // the plan carries forced literals for the diverging
+            // location, pin the whole literal in one priority set
+            // instead of re-deriving it byte by byte.
+            self.offer_literal_pins(run, assignment, arena, vars, frontier);
+        }
+    }
+
+    /// The multi-byte literal-forcing escalation rule. A 2(b) abort at a
+    /// location the plan carries forced literals for (a `strcmp`-style
+    /// scan cluster diagnosed by an earlier generation's replay) means
+    /// the search is about to re-derive a known string one byte per run.
+    /// When the forced step compares one input byte against a constant
+    /// that occurs in a literal, the matching alignment pins the *whole*
+    /// literal over the surrounding bytes as a single priority set — one
+    /// solve replaces a byte-by-byte derivation burst. Wrong alignments
+    /// simply go UNSAT and cost one solver call each, so offers are
+    /// capped.
+    fn offer_literal_pins(
+        &self,
+        run: &RunArtifacts,
+        assignment: &[i64],
+        arena: &mut ExprArena,
+        vars: &InputVars,
+        frontier: &mut Frontier,
+    ) {
+        let Some((loc, _)) = run.stats.divergent_branch else {
+            return;
+        };
+        let literals = self.plan.forced_literals_at(loc).to_vec();
+        if literals.is_empty() {
+            return;
+        }
+        let Some(last) = run.path.last() else {
+            return;
+        };
+        // Peel unary wrappers (Bool normalization, negations) off the
+        // forced literal and match a byte-vs-constant comparison either
+        // way around.
+        let mut e = last.lit.expr;
+        while let Node::Un(_, inner) = arena.node(e) {
+            e = inner;
+        }
+        let (v, c) = match arena.node(e) {
+            Node::Bin(Op::Eq | Op::Ne, a, b) => match (arena.node(a), arena.node(b)) {
+                (Node::Var(v), Node::Const(c)) | (Node::Const(c), Node::Var(v)) => (v, c),
+                _ => return,
+            },
+            _ => return,
+        };
+        let n_controllable = vars.n_controllable as usize;
+        if (v.0 as usize) >= n_controllable {
+            return;
+        }
+        let mut offered = 0usize;
+        'lits: for lit in &literals {
+            for j in 0..lit.len() {
+                if i64::from(lit[j]) != c {
+                    continue;
+                }
+                let Some(start) = (v.0 as usize).checked_sub(j) else {
+                    continue;
+                };
+                if start + lit.len() > n_controllable {
+                    continue;
+                }
+                let mut cs = ConstraintSet::new();
+                for st in &run.path[..run.path.len() - 1] {
+                    push_step(&mut cs, st);
+                }
+                for (t, byte) in lit.iter().enumerate() {
+                    let var = arena.var_expr(VarId((start + t) as u32));
+                    let konst = arena.constant(i64::from(*byte));
+                    let pin = arena.bin(Op::Eq, var, konst);
+                    cs.push(Lit {
+                        expr: pin,
+                        positive: true,
+                    });
+                }
+                frontier.offer_priority(cs, assignment.to_vec(), true);
+                offered += 1;
+                if offered >= 4 {
+                    break 'lits;
+                }
+            }
+        }
+        if offered > 0 && std::env::var("RETRACE_REPLAY_TRACE").is_ok() {
+            eprintln!("  literal pins offered: {offered} at loc {loc}");
         }
     }
 
@@ -555,9 +704,26 @@ impl<'p> ReplayEngine<'p> {
         // lane.
         if let Some(info) = book.forced_meta.get(&sig) {
             frontier.note_forced_unsat();
+            // Escalation evidence: charge the UNSAT to the stalled
+            // location — decoded from a per-location burst key, or the
+            // forced step's own branch for flat logs.
+            let hot_loc = if (info.key >> 100) & 1 == 1 {
+                Some(((info.key >> 64) & 0xffff_ffff) as u32)
+            } else {
+                info.steps.last().and_then(|st| match st.origin {
+                    StepOrigin::Branch(b) => Some(b.0),
+                    StepOrigin::Concretization => None,
+                })
+            };
+            if let Some(loc) = hot_loc {
+                book.escalation.loc_mut(loc).forced_failures += 1;
+            }
             let rp = self.cfg.budget.policy.forced_repair;
             match book.tracker.note_thrash(info.key, &rp) {
                 Some(attempt) => {
+                    if let Some(loc) = hot_loc {
+                        book.escalation.loc_mut(loc).repair_bursts += 1;
+                    }
                     let offered = Self::offer_repair_ladder(frontier, info, attempt as usize);
                     if !offered && book.counted_cutoffs.insert(info.key) {
                         frontier.note_repair_cutoff();
@@ -594,6 +760,7 @@ impl<'p> ReplayEngine<'p> {
         let mut total_units = 0u64;
         let mut syscall_divergences = 0u64;
         let mut cursor_overruns = 0u64;
+        let mut checkpoint_divergences = 0u64;
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
@@ -635,9 +802,16 @@ impl<'p> ReplayEngine<'p> {
             last_stats = run.stats.clone();
             concretization_ranges += last_stats.concretization_ranges;
             concretization_pins += last_stats.concretization_pins;
+            // Escalation evidence: which instrumented locations this run
+            // actually consumed log bits from.
+            book.escalation
+                .consulted
+                .extend(run.stats.consulted.iter().copied());
 
             // ---- success checks --------------------------------------------
             if self.is_success(&run) {
+                let mut escalation = std::mem::take(&mut book.escalation);
+                escalation.runs = runs;
                 return ReplayResult {
                     reproduced: true,
                     runs,
@@ -651,6 +825,8 @@ impl<'p> ReplayEngine<'p> {
                     exhausted: false,
                     syscall_divergences,
                     cursor_overruns,
+                    checkpoint_divergences,
+                    escalation,
                     concretization_ranges,
                     concretization_pins,
                     pin_fallbacks,
@@ -673,6 +849,8 @@ impl<'p> ReplayEngine<'p> {
                         exhausted: false,
                         syscall_divergences,
                         cursor_overruns,
+                        checkpoint_divergences,
+                        escalation: taken(&mut book, runs),
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
@@ -692,10 +870,14 @@ impl<'p> ReplayEngine<'p> {
             if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
                 cursor_overruns += 1;
             }
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CHECKPOINT_DIVERGENCE) {
+                checkpoint_divergences += 1;
+            }
             self.bank_offers(
                 &run,
                 &assignment,
-                &arena,
+                &mut arena,
+                &vars,
                 &mut frontier,
                 &mut book,
                 &mut pcache,
@@ -778,6 +960,8 @@ impl<'p> ReplayEngine<'p> {
                             exhausted: !timed_out,
                             syscall_divergences,
                             cursor_overruns,
+                            checkpoint_divergences,
+                            escalation: taken(&mut book, runs),
                             concretization_ranges,
                             concretization_pins,
                             pin_fallbacks,
@@ -832,6 +1016,7 @@ impl<'p> ReplayEngine<'p> {
         let mut total_units = 0u64;
         let mut syscall_divergences = 0u64;
         let mut cursor_overruns = 0u64;
+        let mut checkpoint_divergences = 0u64;
         let mut concretization_ranges = 0u64;
         let mut concretization_pins = 0u64;
         let mut pin_fallbacks = 0u64;
@@ -878,9 +1063,16 @@ impl<'p> ReplayEngine<'p> {
             last_stats = run.stats.clone();
             concretization_ranges += last_stats.concretization_ranges;
             concretization_pins += last_stats.concretization_pins;
+            // Escalation evidence: which instrumented locations this run
+            // actually consumed log bits from.
+            book.escalation
+                .consulted
+                .extend(run.stats.consulted.iter().copied());
 
             // ---- success checks -------------------------------------------
             if self.is_success(&run) {
+                let mut escalation = std::mem::take(&mut book.escalation);
+                escalation.runs = runs;
                 return ReplayResult {
                     reproduced: true,
                     runs,
@@ -894,6 +1086,8 @@ impl<'p> ReplayEngine<'p> {
                     exhausted: false,
                     syscall_divergences,
                     cursor_overruns,
+                    checkpoint_divergences,
+                    escalation,
                     concretization_ranges,
                     concretization_pins,
                     pin_fallbacks,
@@ -916,6 +1110,8 @@ impl<'p> ReplayEngine<'p> {
                         exhausted: false,
                         syscall_divergences,
                         cursor_overruns,
+                        checkpoint_divergences,
+                        escalation: taken(&mut book, runs),
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
@@ -935,10 +1131,14 @@ impl<'p> ReplayEngine<'p> {
             if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CURSOR_OVERRUN) {
                 cursor_overruns += 1;
             }
+            if matches!(&run.outcome, RunOutcome::Aborted(r) if r == CHECKPOINT_DIVERGENCE) {
+                checkpoint_divergences += 1;
+            }
             self.bank_offers(
                 &run,
                 &assignment,
-                &arena,
+                &mut arena,
+                &vars,
                 &mut frontier,
                 &mut book,
                 &mut pcache,
@@ -1078,6 +1278,8 @@ impl<'p> ReplayEngine<'p> {
                         exhausted: !timed_out,
                         syscall_divergences,
                         cursor_overruns,
+                        checkpoint_divergences,
+                        escalation: taken(&mut book, runs),
                         concretization_ranges,
                         concretization_pins,
                         pin_fallbacks,
@@ -1116,6 +1318,8 @@ impl<'p> ReplayEngine<'p> {
             exhausted: outcome.exhausted,
             syscall_divergences: outcome.syscall_divergences,
             cursor_overruns: outcome.cursor_overruns,
+            checkpoint_divergences: outcome.checkpoint_divergences,
+            escalation: outcome.escalation,
             concretization_ranges: outcome.concretization_ranges,
             concretization_pins: outcome.concretization_pins,
             pin_fallbacks: outcome.pin_fallbacks,
@@ -1134,6 +1338,8 @@ struct Outcome {
     exhausted: bool,
     syscall_divergences: u64,
     cursor_overruns: u64,
+    checkpoint_divergences: u64,
+    escalation: EscalationReport,
     concretization_ranges: u64,
     concretization_pins: u64,
     pin_fallbacks: u64,
@@ -1166,6 +1372,9 @@ struct RepairBook {
     tracker: RepairTracker,
     counted_cutoffs: HashSet<u128>,
     bits_high_water: u64,
+    /// Per-location escalation evidence accumulated over the search,
+    /// handed to the caller through [`ReplayResult::escalation`].
+    escalation: EscalationReport,
 }
 
 impl RepairBook {
@@ -1175,6 +1384,7 @@ impl RepairBook {
             tracker: RepairTracker::new(),
             counted_cutoffs: HashSet::new(),
             bits_high_water: 0,
+            escalation: EscalationReport::new(),
         }
     }
 }
@@ -1205,6 +1415,15 @@ impl ForcedInfo {
     fn ladder(&self) -> impl Iterator<Item = usize> + '_ {
         self.suspects.iter().copied()
     }
+}
+
+/// Takes the accumulated escalation evidence out of the book, stamped
+/// with the run count it was gathered over (used at every result-
+/// construction site so the book is consumed exactly once).
+fn taken(book: &mut RepairBook, runs: usize) -> EscalationReport {
+    let mut esc = std::mem::take(&mut book.escalation);
+    esc.runs = runs;
+    esc
 }
 
 /// Appends one path step to a pending constraint set: the

@@ -1,0 +1,186 @@
+//! Escalation hints: what a replay (or a whole triage fleet) teaches
+//! the next instrumentation plan generation.
+//!
+//! Every replay run already measures, per branch location, where the
+//! search burned its budget — forced-set UNSAT bursts, per-location
+//! cursor overruns, syscall divergences, repair-ladder activations —
+//! and which instrumented locations it actually consulted bits from.
+//! [`EscalationReport`] collects those signals; the plan side
+//! (`instrument::EscalationHints`, produced by [`EscalationReport::
+//! hints`]) consumes them to add bits exactly where replay said they
+//! pay and drop bits where it never looked.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-branch-location escalation evidence from one or more replay
+/// sessions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocationEscalation {
+    /// Repair-ladder activations keyed to this location's cursor
+    /// stalls: each one is a burst of UNSAT forced sets the search
+    /// spent real solver budget on.
+    pub repair_bursts: u64,
+    /// Per-location stream overrun aborts at this location (including
+    /// syscall-anchored checkpoint divergences, which are the same
+    /// resynchronization signal caught earlier).
+    pub cursor_overruns: u64,
+    /// Syscall-order divergences whose prime suspect (the most recent
+    /// unlogged symbolic decision) was this location.
+    pub syscall_divergences: u64,
+    /// UNSAT verdicts on forced sets keyed to this location.
+    pub forced_failures: u64,
+}
+
+impl LocationEscalation {
+    /// True when any counter fired — the "hot location" predicate.
+    pub fn is_hot(&self) -> bool {
+        self.repair_bursts + self.cursor_overruns + self.syscall_divergences + self.forced_failures
+            > 0
+    }
+}
+
+/// The escalation evidence of one replay session (or several, merged).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EscalationReport {
+    /// Evidence per branch location; only locations with at least one
+    /// signal appear.
+    pub per_loc: BTreeMap<u32, LocationEscalation>,
+    /// Locations whose shipped log bits were consumed by at least one
+    /// run — the complement (instrumented but never consulted) is what
+    /// the next generation drops.
+    pub consulted: BTreeSet<u32>,
+    /// Replay runs the evidence was gathered over.
+    pub runs: usize,
+}
+
+impl EscalationReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no signal of any kind was recorded (consulted-set
+    /// knowledge alone is not an escalation signal: with zero runs
+    /// observed there is nothing to act on).
+    pub fn is_empty(&self) -> bool {
+        self.per_loc.values().all(|l| !l.is_hot()) && self.consulted.is_empty() && self.runs == 0
+    }
+
+    /// The mutable per-location slot for `loc`.
+    pub fn loc_mut(&mut self, loc: u32) -> &mut LocationEscalation {
+        self.per_loc.entry(loc).or_default()
+    }
+
+    /// Folds another report in (fleet aggregation across triage
+    /// classes: counters add, consulted sets union).
+    pub fn merge(&mut self, other: &EscalationReport) {
+        for (loc, e) in &other.per_loc {
+            let slot = self.per_loc.entry(*loc).or_default();
+            slot.repair_bursts += e.repair_bursts;
+            slot.cursor_overruns += e.cursor_overruns;
+            slot.syscall_divergences += e.syscall_divergences;
+            slot.forced_failures += e.forced_failures;
+        }
+        self.consulted.extend(other.consulted.iter().copied());
+        self.runs += other.runs;
+    }
+
+    /// Locations with at least one escalation signal, ascending.
+    pub fn hot_locations(&self) -> Vec<u32> {
+        self.per_loc
+            .iter()
+            .filter(|(_, e)| e.is_hot())
+            .map(|(loc, _)| *loc)
+            .collect()
+    }
+
+    /// Lowers the replay-side evidence into the plan-side hint type
+    /// consumed by `instrument`'s escalation entry point. (Two types,
+    /// one shape: `replay` depends on `instrument`, not the other way
+    /// around, so the plan layer defines its own input.)
+    pub fn hints(&self) -> instrument::EscalationHints {
+        let mut h = instrument::EscalationHints::default();
+        for (loc, e) in &self.per_loc {
+            h.per_loc.insert(
+                *loc,
+                instrument::LocationHint {
+                    repair_bursts: e.repair_bursts,
+                    cursor_overruns: e.cursor_overruns,
+                    syscall_divergences: e.syscall_divergences,
+                    forced_failures: e.forced_failures,
+                },
+            );
+        }
+        h.consulted = self.consulted.clone();
+        h.observed_runs = self.runs as u64;
+        h
+    }
+
+    /// One-line rendering for traces and table footers.
+    pub fn summary(&self) -> String {
+        let (mut rb, mut co, mut sd, mut ff) = (0u64, 0u64, 0u64, 0u64);
+        for e in self.per_loc.values() {
+            rb += e.repair_bursts;
+            co += e.cursor_overruns;
+            sd += e.syscall_divergences;
+            ff += e.forced_failures;
+        }
+        format!(
+            "{} hot locs over {} runs ({} bursts, {} overruns, {} sysdivs, {} forced-unsat), {} consulted",
+            self.hot_locations().len(),
+            self.runs,
+            rb,
+            co,
+            sd,
+            ff,
+            self.consulted.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_empty_and_merge_accumulates() {
+        let mut a = EscalationReport::new();
+        assert!(a.is_empty());
+        let mut b = EscalationReport::new();
+        b.loc_mut(3).cursor_overruns = 2;
+        b.consulted.insert(1);
+        b.runs = 5;
+        assert!(!b.is_empty());
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.per_loc[&3].cursor_overruns, 4);
+        assert_eq!(a.runs, 10);
+        assert_eq!(a.hot_locations(), vec![3]);
+        assert!(a.consulted.contains(&1));
+    }
+
+    #[test]
+    fn hints_mirror_every_counter() {
+        let mut r = EscalationReport::new();
+        let e = r.loc_mut(7);
+        e.repair_bursts = 1;
+        e.syscall_divergences = 2;
+        e.forced_failures = 3;
+        r.consulted.insert(7);
+        r.runs = 9;
+        let h = r.hints();
+        assert_eq!(h.per_loc[&7].repair_bursts, 1);
+        assert_eq!(h.per_loc[&7].syscall_divergences, 2);
+        assert_eq!(h.per_loc[&7].forced_failures, 3);
+        assert!(h.consulted.contains(&7));
+        assert_eq!(h.observed_runs, 9);
+    }
+
+    #[test]
+    fn summary_counts_hot_locations_only() {
+        let mut r = EscalationReport::new();
+        r.per_loc.insert(4, LocationEscalation::default());
+        r.loc_mut(5).repair_bursts = 1;
+        assert!(r.summary().starts_with("1 hot locs"));
+    }
+}

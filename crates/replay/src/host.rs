@@ -33,6 +33,7 @@ use minic::types::Sys;
 use minic::vm::{CrashKind, Host, HostStop, PtrRegion};
 use minic::{BranchId, Loc};
 use solver::{ExprArena, ExprRef, Lit, Op, VarId, VarInfo};
+use std::collections::BTreeSet;
 
 /// Host abort reason marking successful arrival at the crash site.
 pub const REACHED_CRASH_SITE: &str = "__reached_crash_site__";
@@ -58,6 +59,16 @@ pub const CURSOR_OVERRUN: &str = "per-location stream overrun";
 /// like [`CURSOR_OVERRUN`] it is surfaced as its own abort string so a
 /// soundness bug is never misread as an ordinary log divergence.
 pub const IMPLICATION_VIOLATION: &str = "branch implication violated";
+
+/// Host abort reason for a syscall-anchored checkpoint divergence: at a
+/// logged syscall boundary some location's cursor position differs from
+/// the snapshot the recording run took at the same boundary. The
+/// candidate is structurally off the recorded path *right here* — the
+/// escalated report pins where every cursor stood between divergences,
+/// so replay resynchronizes locally instead of deriving the mistake
+/// byte by byte downstream. Only escalated plans
+/// ([`instrument::Plan::checkpoints`]) ship the snapshots.
+pub const CHECKPOINT_DIVERGENCE: &str = "cursor checkpoint diverges at syscall boundary";
 
 /// Per-run statistics of a replay attempt.
 #[derive(Debug, Clone, Default)]
@@ -93,6 +104,11 @@ pub struct ReplayRunStats {
     pub reconstructed_bits: u64,
     /// Whether the run aborted on [`IMPLICATION_VIOLATION`].
     pub implication_violation: bool,
+    /// Whether the run aborted on [`CHECKPOINT_DIVERGENCE`].
+    pub checkpoint_divergence: bool,
+    /// Branch locations whose shipped log bits this run consumed — the
+    /// escalation loop drops instrumented locations no run ever reads.
+    pub consulted: BTreeSet<u32>,
 }
 
 /// The replay host.
@@ -124,6 +140,13 @@ pub struct ReplayHost {
     /// the source the implication reconstruction reads from when a
     /// suppressed branch executes.
     pub last_taken: Vec<Option<bool>>,
+    /// Syscall-anchored cursor snapshots from the report (empty unless
+    /// the plan's checkpoint escalation rule was active). `checkpoints
+    /// [k]` is every location's recorded stream length right after the
+    /// `k`-th logged syscall; set by the engine after construction.
+    pub checkpoints: Vec<Vec<(u32, u64)>>,
+    /// Logged syscalls executed so far this run (indexes `checkpoints`).
+    pub logged_syscalls: usize,
 }
 
 impl ReplayHost {
@@ -153,6 +176,8 @@ impl ReplayHost {
             concretization: Concretization::default(),
             crash_loc,
             last_taken,
+            checkpoints: Vec::new(),
+            logged_syscalls: 0,
         }
     }
 
@@ -166,6 +191,7 @@ impl ReplayHost {
     fn next_bit(&mut self, bid: BranchId) -> Option<bool> {
         let b = self.trace.next_bit(&mut self.cursors, bid.0)?;
         self.stats.bits_consumed += 1;
+        self.stats.consulted.insert(bid.0);
         Some(b)
     }
 
@@ -210,6 +236,39 @@ impl ReplayHost {
 
     fn divergence(&self) -> HostStop {
         HostStop::Abort(BRANCH_DIVERGENCE.to_string())
+    }
+
+    /// Verifies the next syscall-anchored cursor checkpoint (no-op when
+    /// the report ships none). At the `k`-th logged syscall every
+    /// location's cursor must sit exactly where the recording run's
+    /// snapshot says it sat; any difference means the candidate is off
+    /// the recorded path *at this boundary*, so the run aborts with a
+    /// local stall identity instead of coincidentally-agreeing onward.
+    fn check_checkpoint(&mut self) -> Result<(), HostStop> {
+        if self.checkpoints.is_empty() {
+            return Ok(());
+        }
+        let k = self.logged_syscalls;
+        self.logged_syscalls += 1;
+        let Some(snapshot) = self.checkpoints.get(k) else {
+            // More logged syscalls than the recording run: recording
+            // stopped at the crash, explore freely (mirrors the flat
+            // log's end-of-log semantics).
+            return Ok(());
+        };
+        for i in 0..snapshot.len() {
+            let (loc, expected) = self.checkpoints[k][i];
+            let got = self.cursors.position(loc);
+            if got != expected {
+                self.stats.checkpoint_divergence = true;
+                // Stall identity: the first bit index the two runs
+                // disagree about at this location.
+                self.stats.divergent_cursor = Some((loc, expected.min(got)));
+                self.stats.divergent_branch = Some((loc, false));
+                return Err(HostStop::Abort(CHECKPOINT_DIVERGENCE.to_string()));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -487,6 +546,7 @@ impl Host for ReplayHost {
         match sys {
             Sys::Read => {
                 let r = self.env.read(a(0), a(2)).map_err(div)?;
+                self.check_checkpoint()?;
                 if let Some((kind, start)) = &r.stream {
                     for (i, b) in r.bytes.iter().enumerate() {
                         let shadow: SymV = self
@@ -508,6 +568,7 @@ impl Host for ReplayHost {
                     fds.push(v);
                 }
                 let r = self.env.select(&fds).map_err(div)?;
+                self.check_checkpoint()?;
                 for (i, flag) in r.flags.iter().enumerate() {
                     let shadow: SymV = r
                         .flag_events
@@ -523,6 +584,7 @@ impl Host for ReplayHost {
             }
             Sys::Accept => {
                 let fd = self.env.accept().map_err(div)?;
+                self.check_checkpoint()?;
                 Ok((fd, None))
             }
             Sys::Socket => Ok((self.env.socket(), None)),
@@ -544,11 +606,13 @@ impl Host for ReplayHost {
             Sys::Getuid => Ok((self.env.getuid(), None)),
             Sys::Time => {
                 let (v, ev) = self.env.time().map_err(div)?;
+                self.check_checkpoint()?;
                 let sh: SymV = ev.map(|(k, lo, hi)| self.model_var(k, lo, hi));
                 Ok((v, sh))
             }
             Sys::Rand => {
                 let (v, ev) = self.env.rand().map_err(div)?;
+                self.check_checkpoint()?;
                 let sh: SymV = ev.map(|(k, lo, hi)| self.model_var(k, lo, hi));
                 Ok((v, sh))
             }

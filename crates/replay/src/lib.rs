@@ -29,14 +29,16 @@
 
 pub mod engine;
 pub mod env;
+pub mod escalation;
 pub mod host;
 pub mod stats;
 
 pub use engine::{ReplayBudget, ReplayConfig, ReplayEngine, ReplayResult};
 pub use env::{realize_streams, ReplayEnv, Streams, SyscallMode};
+pub use escalation::{EscalationReport, LocationEscalation};
 pub use host::{
-    ReplayHost, ReplayRunStats, BRANCH_DIVERGENCE, CURSOR_OVERRUN, IMPLICATION_VIOLATION,
-    REACHED_CRASH_SITE,
+    ReplayHost, ReplayRunStats, BRANCH_DIVERGENCE, CHECKPOINT_DIVERGENCE, CURSOR_OVERRUN,
+    IMPLICATION_VIOLATION, REACHED_CRASH_SITE,
 };
 pub use stats::{assignment_from_input, InputParts, LogStats};
 
@@ -210,9 +212,14 @@ mod e2e {
             sres.symbolic(),
             cp.n_branches(),
         );
-        let sup_plan = full
-            .clone()
-            .with_suppression(sres.implications.iter().map(|(b, i)| (b, i.by, i.negated)));
+        let sup_plan = instrument::PlanBuilder::new(
+            Method::Static,
+            &dyn_labels,
+            sres.symbolic(),
+            cp.n_branches(),
+        )
+        .suppress(sres.implications.iter().map(|(b, i)| (b, i.by, i.negated)))
+        .build();
         assert_eq!(sup_plan.n_suppressed(), 1);
 
         // Deploy both plans on the true crashing input.
@@ -512,9 +519,8 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: instrument::LogFormat::Flat,
+            ..Plan::none(0)
         };
         let mut kcfg = KernelConfig::default();
         kcfg.fs.install_file("/cfg", b"abcd".to_vec());
@@ -591,9 +597,8 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: instrument::LogFormat::Flat,
+            ..Plan::none(0)
         };
         let mut true_input = vec![b'b'; 40];
         true_input[0] = b'Q';
@@ -790,9 +795,8 @@ mod e2e {
         let base_plan = Plan {
             method: Method::DynamicStatic,
             instrumented,
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: instrument::LogFormat::Flat,
+            ..Plan::none(0)
         };
         // The true input: 8 loop iterations, then the crash guard.
         let mut true_input = vec![b'b'; 20];
@@ -1129,9 +1133,8 @@ mod e2e {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented,
-            suppressed: Vec::new(),
             log_syscalls: true,
-            format: instrument::LogFormat::Flat,
+            ..Plan::none(0)
         };
         let mut arena = ExprArena::new();
         let vars = InputVars::alloc(&mut arena, &spec);
@@ -1273,9 +1276,8 @@ mod e2e {
             let plan = Plan {
                 method: Method::Dynamic,
                 instrumented,
-                suppressed: Vec::new(),
                 log_syscalls: true,
-                format: instrument::LogFormat::Flat,
+                ..Plan::none(0)
             };
             let mut arena = ExprArena::new();
             let vars = InputVars::alloc(&mut arena, &spec);

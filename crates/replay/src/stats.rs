@@ -123,9 +123,7 @@ mod tests {
         let plan = Plan {
             method: Method::Dynamic,
             instrumented: vec![true, false, true, false],
-            suppressed: Vec::new(),
-            log_syscalls: true,
-            format: instrument::LogFormat::Flat,
+            ..Plan::none(4)
         };
         let s = LogStats::from_profile(&p, &plan);
         assert_eq!(s.logged_locs, 1);

@@ -37,7 +37,10 @@
 use solver::{ConstraintSet, Fnv128};
 use std::collections::{HashMap, HashSet};
 
+pub mod limits;
 pub mod pool;
+
+pub use limits::SearchLimits;
 
 /// Frontier exploration order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

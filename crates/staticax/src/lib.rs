@@ -11,11 +11,13 @@
 pub mod absloc;
 pub mod analysis;
 pub mod implication;
+pub mod literals;
 pub mod pointsto;
 pub mod taint;
 
 pub use absloc::{AbsLoc, Interner, NodeKey};
 pub use analysis::{analyze, analyze_program, StaticConfig, StaticResult};
 pub use implication::{ImplicationMap, Implied};
+pub use literals::{literal_clusters, LiteralCluster};
 pub use pointsto::PointsTo;
 pub use taint::TaintResult;

@@ -164,6 +164,7 @@ mod tests {
             cursor_spend_units: 0,
             syscalls: SyscallLog::new(),
             method: Method::DynamicStatic,
+            checkpoints: Vec::new(),
         }
     }
 

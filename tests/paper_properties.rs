@@ -74,6 +74,7 @@ proptest! {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: retrace::instrument::LogFormat::Flat,
+            ..Plan::none(n)
         };
         let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
         let run = wb.logged_run(&plan, &parts);
@@ -107,6 +108,7 @@ proptest! {
             suppressed: Vec::new(),
             log_syscalls: true,
             format: retrace::instrument::LogFormat::Flat,
+            ..Plan::none(n)
         };
         let parts = InputParts { argv_sym: vec![arg], ..InputParts::default() };
         let a = wb.logged_run(&plan, &parts);
